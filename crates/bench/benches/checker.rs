@@ -1,0 +1,69 @@
+//! Criterion bench: the axiomatic checker's cost per candidate execution.
+//!
+//! The paper reports (§5.2.1) that checking takes 30–40 % of the total
+//! wall-clock time for 1k-operation tests; this bench measures the checker in
+//! isolation for several execution sizes so that ratio can be compared against
+//! the simulator bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcversi_mcm::checker::Checker;
+use mcversi_mcm::execution::{CandidateExecution, ExecutionBuilder};
+use mcversi_mcm::model::tso::Tso;
+use mcversi_mcm::{Address, ProcessorId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a racy but valid execution with `ops_per_thread` operations on each
+/// of `threads` threads over `locations` addresses.
+fn build_execution(threads: u32, ops_per_thread: u32, locations: u64) -> CandidateExecution {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut b = ExecutionBuilder::new();
+    let mut last_write: Vec<Option<(mcversi_mcm::EventId, u64)>> = vec![None; locations as usize];
+    let mut next_value = 1u64;
+    for t in 0..threads {
+        for _ in 0..ops_per_thread {
+            let loc = rng.gen_range(0..locations);
+            let addr = Address(0x1000 + loc * 8);
+            if rng.gen_bool(0.45) {
+                let w = b.write(ProcessorId(t), addr, Value(next_value));
+                match last_write[loc as usize] {
+                    Some((prev, _)) => b.coherence(prev, w),
+                    None => b.coherence_after_initial(w),
+                }
+                last_write[loc as usize] = Some((w, next_value));
+                next_value += 1;
+            } else {
+                match last_write[loc as usize] {
+                    Some((w, v)) => {
+                        let r = b.read(ProcessorId(t), addr, Value(v));
+                        b.reads_from(w, r);
+                    }
+                    None => {
+                        let r = b.read(ProcessorId(t), addr, Value(0));
+                        b.reads_from_initial(r);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for &(threads, ops) in &[(4u32, 32u32), (8, 64), (8, 125)] {
+        let exec = build_execution(threads, ops, 16);
+        let total = threads * ops;
+        group.bench_with_input(BenchmarkId::new("tso_check", total), &exec, |bench, exec| {
+            let checker = Checker::new(&Tso);
+            bench.iter(|| {
+                let verdict = checker.check(exec);
+                assert!(verdict.is_valid());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

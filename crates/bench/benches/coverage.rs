@@ -1,0 +1,30 @@
+//! Criterion bench: adaptive-coverage fitness evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcversi_core::{AdaptiveCoverage, AdaptiveCoverageConfig};
+use mcversi_sim::protocol::mesi;
+use mcversi_sim::CoverageRecorder;
+use std::collections::BTreeSet;
+
+fn bench_coverage(c: &mut Criterion) {
+    let universe = mesi::all_transitions();
+    let mut recorder = CoverageRecorder::new();
+    for (i, t) in universe.iter().enumerate() {
+        for _ in 0..(i % 7) {
+            recorder.record(*t);
+        }
+    }
+    let run: BTreeSet<_> = universe.iter().copied().step_by(3).collect();
+
+    c.bench_function("adaptive_coverage_fitness", |bench| {
+        let mut adaptive = AdaptiveCoverage::new(AdaptiveCoverageConfig::default());
+        bench.iter(|| adaptive.fitness(&run, &recorder, &universe));
+    });
+
+    c.bench_function("coverage_total_fraction", |bench| {
+        bench.iter(|| recorder.total_coverage(&universe));
+    });
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: end-to-end litmus test-run throughput.
+//!
+//! Measures the wall-clock cost of one complete test-run (several iterations,
+//! checking included) of the MP litmus shape — the unit of work whose
+//! throughput the simulation-aware optimisations of §4 are designed to
+//! maximise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcversi_core::{McVerSiConfig, TestRunner};
+use mcversi_sim::BugConfig;
+use mcversi_testgen::litmus;
+
+fn bench_litmus(c: &mut Criterion) {
+    let suite = litmus::default_suite();
+    let mp = suite.iter().find(|t| t.name == "MP").expect("MP exists");
+    let repeated = litmus::repeat_test(&mp.test, 8);
+
+    let mut group = c.benchmark_group("litmus");
+    group.sample_size(20);
+    group.bench_function("mp_test_run", |bench| {
+        let cfg = McVerSiConfig::small().with_iterations(3);
+        let mut runner = TestRunner::new(cfg, BugConfig::none());
+        bench.iter(|| {
+            let result = runner.run_test(&repeated);
+            assert!(!result.verdict.is_bug());
+            result.cycles
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus);
+criterion_main!(benches);

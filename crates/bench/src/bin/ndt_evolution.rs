@@ -1,0 +1,81 @@
+//! Regenerates the §6.1 NDT analysis: how the average non-determinism of the
+//! GP population evolves over test-runs, for 1 KB and 8 KB test memories and
+//! for the selective vs. standard crossover.
+//!
+//! The paper's finding: with 1 KB of test memory the initial random population
+//! already exceeds NDT 2.0; with 8 KB it starts around 1.1 and only
+//! McVerSi-ALL (selective crossover) pushes it to 2.0 or above.
+
+use mcversi_bench::{banner, write_artifact, Scale};
+use mcversi_core::{GeneratorKind, TestRunner, TestSource};
+use mcversi_sim::BugConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct NdtTracePoint {
+    test_run: usize,
+    mean_population_ndt: f64,
+    run_ndt: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct NdtTrace {
+    label: String,
+    points: Vec<NdtTracePoint>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("NDT evolution (paper §6.1)", &scale);
+    let configs = [
+        (GeneratorKind::McVerSiAll, 1024u64, "McVerSi-ALL (1KB)"),
+        (GeneratorKind::McVerSiAll, 8 * 1024, "McVerSi-ALL (8KB)"),
+        (GeneratorKind::McVerSiStdXo, 8 * 1024, "McVerSi-Std.XO (8KB)"),
+        (GeneratorKind::McVerSiRand, 8 * 1024, "McVerSi-RAND (8KB)"),
+    ];
+    let mut traces = Vec::new();
+
+    for (generator, memory, label) in configs {
+        println!("{label} ...");
+        let cfg = scale.mcversi_config(memory).with_seed(7);
+        let params = cfg.testgen.clone();
+        let mut runner = TestRunner::new(cfg, BugConfig::none());
+        let mut source = TestSource::new(generator, params, 7);
+        let mut points = Vec::new();
+        for run in 1..=scale.test_runs {
+            let (id, test, _) = source.next_test();
+            let result = runner.run_test(&test);
+            source.feedback(id, &result);
+            points.push(NdtTracePoint {
+                test_run: run,
+                mean_population_ndt: source.population_mean_ndt(),
+                run_ndt: result.analysis.ndt,
+            });
+        }
+        let first = points.first().map(|p| p.run_ndt).unwrap_or(0.0);
+        let last_mean = points.last().map(|p| p.mean_population_ndt).unwrap_or(0.0);
+        let max_run = points.iter().map(|p| p.run_ndt).fold(0.0f64, f64::max);
+        println!(
+            "  initial run NDT {:.2}, final population mean NDT {:.2}, max run NDT {:.2}",
+            first, last_mean, max_run
+        );
+        traces.push(NdtTrace {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    println!("\nSeries (test-run index vs population mean NDT):");
+    for trace in &traces {
+        print!("{:<22}", trace.label);
+        let step = (trace.points.len() / 10).max(1);
+        for p in trace.points.iter().step_by(step) {
+            print!(" {:.2}", p.mean_population_ndt);
+        }
+        println!();
+    }
+
+    if let Ok(path) = write_artifact("ndt_evolution.json", &traces) {
+        println!("\nartifact: {}", path.display());
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates paper Table 3: the test generation parameters.
+
+use mcversi_testgen::TestGenParams;
+
+fn main() {
+    println!("=== Table 3: test generation parameters ===");
+    for memory in [1024u64, 8 * 1024] {
+        let p = TestGenParams::paper_default(memory);
+        println!("--- Test memory {} KB ---", memory / 1024);
+        println!("{:<28} {} operations (total across threads)", "Test size", p.test_size);
+        println!("{:<28} {} executions per test-run", "Iterations", p.iterations);
+        println!(
+            "{:<28} {} B (stride {} B, {} B partitions {} MB apart)",
+            "Test memory",
+            p.test_memory_bytes,
+            p.stride_bytes,
+            p.partition_bytes,
+            p.partition_separation_bytes >> 20
+        );
+        let b = p.bias;
+        println!(
+            "{:<28} Read:{}% ReadAddrDp:{}% Write:{}% RMW:{}% CacheFlush:{}% Delay:{}%",
+            "Operations:bias",
+            b.read,
+            b.read_addr_dp,
+            b.write,
+            b.read_modify_write,
+            b.cache_flush,
+            b.delay
+        );
+        println!("{:<28} {}", "Population size", p.population_size);
+        println!("{:<28} {}", "Tournament size", p.tournament_size);
+        println!("{:<28} {}", "Mutation probability (PMUT)", p.mutation_probability);
+        println!("{:<28} {}", "Crossover probability", p.crossover_probability);
+        println!("{:<28} {}", "PUSEL", p.p_usel);
+        println!("{:<28} {}", "PBFA", p.p_bfa);
+        println!();
+    }
+    let p = TestGenParams::paper_default(8 * 1024);
+    match mcversi_bench::write_artifact("table3_testgen_params.json", &p) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates paper Table 4: bug coverage per generator configuration.
+//!
+//! For every studied bug and every generator configuration (McVerSi-ALL,
+//! McVerSi-Std.XO and McVerSi-RAND at 1 KB and 8 KB test memory, plus
+//! diy-litmus), the binary runs `MCVERSI_SAMPLES` campaign samples and reports
+//! how many found the bug and the mean normalised time to find it (fraction of
+//! the test-run budget; the paper reports wall-clock hours of a 24-hour
+//! budget).  See `crates/bench/src/experiment.rs` for the scaling knobs and
+//! EXPERIMENTS.md for the comparison against the paper's numbers.
+
+use mcversi_bench::{banner, table_columns, write_artifact, Scale};
+use mcversi_core::campaign::run_samples;
+use mcversi_core::report::{aggregate_cell, BugCoverageTable};
+use mcversi_sim::Bug;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 4: bug coverage", &scale);
+    let columns = table_columns();
+    let mut table = BugCoverageTable::new(columns.iter().map(|(_, _, l)| l.clone()).collect());
+    let mut raw = Vec::new();
+
+    for &bug in Bug::ALL.iter() {
+        println!("bug {bug} ...");
+        for (generator, memory, label) in &columns {
+            let cfg = scale.campaign(*generator, Some(bug), *memory);
+            let results = run_samples(&cfg, scale.samples, 1000 + bug as u64 * 100);
+            let cell = aggregate_cell(*generator, label, &results, scale.test_runs);
+            println!(
+                "  {:<22} found {}/{} (mean time {:.2})",
+                label, cell.found, cell.samples, cell.mean_time
+            );
+            raw.extend(results);
+            table.insert(bug, label, cell);
+        }
+    }
+
+    println!();
+    println!("{}", table.render());
+    println!("'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget.");
+    let summary = table.summary();
+    println!("\nAll-bugs summary (found samples, mean normalised time):");
+    for (col, (found, time)) in &summary {
+        println!("  {col:<22} {found:>3} ({time:.2})");
+    }
+
+    if let Ok(path) = write_artifact("table4_bug_coverage.json", &table) {
+        println!("\nartifact: {}", path.display());
+    }
+    if let Ok(path) = write_artifact("table4_raw_results.json", &raw) {
+        println!("raw results: {}", path.display());
+    }
+}

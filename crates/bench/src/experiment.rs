@@ -1,0 +1,192 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every experiment binary regenerates one table or figure of the paper's
+//! evaluation.  Because the paper's budget is 24 hours of wall-clock time per
+//! sample on a server farm, the default parameters here are *scaled down* so
+//! the whole suite finishes on one machine; the scale can be raised (up to the
+//! paper's values) through environment variables:
+//!
+//! | Variable               | Meaning                               | Default |
+//! |------------------------|---------------------------------------|---------|
+//! | `MCVERSI_SAMPLES`      | samples (seeds) per generator/bug pair | 2      |
+//! | `MCVERSI_TEST_RUNS`    | test-run budget per sample             | 60     |
+//! | `MCVERSI_TEST_SIZE`    | operations per test                    | 96     |
+//! | `MCVERSI_ITERATIONS`   | executions per test-run                | 4      |
+//! | `MCVERSI_CORES`        | simulated cores / test threads         | 4      |
+//! | `MCVERSI_WALL_SECS`    | wall-clock cap per sample (seconds)    | 120    |
+//! | `MCVERSI_FULL`         | if set, use the paper-scale parameters  | unset  |
+//!
+//! Results are printed as plain-text tables and also written as JSON under
+//! `target/experiments/` so EXPERIMENTS.md can reference machine-readable
+//! artifacts.
+
+use mcversi_core::{CampaignConfig, GeneratorKind, McVerSiConfig};
+use mcversi_sim::{ProtocolKind, SystemConfig};
+use mcversi_testgen::TestGenParams;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Scaled experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Samples (seeds) per generator/bug pair.
+    pub samples: usize,
+    /// Test-run budget per sample.
+    pub test_runs: usize,
+    /// Operations per test.
+    pub test_size: usize,
+    /// Executions per test-run.
+    pub iterations: usize,
+    /// Simulated cores (and test threads).
+    pub cores: usize,
+    /// Wall-clock cap per sample.
+    pub wall_time: Duration,
+    /// Whether the full paper-scale system (Table 2) is used.
+    pub full: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        let full = std::env::var("MCVERSI_FULL").is_ok();
+        if full {
+            Scale {
+                samples: env_usize("MCVERSI_SAMPLES", 10),
+                test_runs: env_usize("MCVERSI_TEST_RUNS", 2000),
+                test_size: env_usize("MCVERSI_TEST_SIZE", 1000),
+                iterations: env_usize("MCVERSI_ITERATIONS", 10),
+                cores: env_usize("MCVERSI_CORES", 8),
+                wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 24 * 3600) as u64),
+                full,
+            }
+        } else {
+            Scale {
+                samples: env_usize("MCVERSI_SAMPLES", 2),
+                test_runs: env_usize("MCVERSI_TEST_RUNS", 60),
+                test_size: env_usize("MCVERSI_TEST_SIZE", 96),
+                iterations: env_usize("MCVERSI_ITERATIONS", 4),
+                cores: env_usize("MCVERSI_CORES", 4),
+                wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 120) as u64),
+                full,
+            }
+        }
+    }
+
+    /// Builds the framework configuration for a given test-memory size.
+    pub fn mcversi_config(&self, test_memory_bytes: u64) -> McVerSiConfig {
+        let system = if self.full {
+            SystemConfig::paper_default().with_cores(self.cores)
+        } else {
+            SystemConfig::small(ProtocolKind::Mesi).with_cores(self.cores)
+        };
+        let testgen = if self.full {
+            TestGenParams::paper_default(test_memory_bytes)
+        } else {
+            let mut p = TestGenParams::small();
+            p.test_memory_bytes = test_memory_bytes;
+            p.population_size = 24;
+            p
+        }
+        .with_threads(self.cores)
+        .with_test_size(self.test_size);
+        let mut cfg = McVerSiConfig {
+            system,
+            testgen,
+            adaptive: Default::default(),
+            seed: 1,
+        };
+        cfg.testgen.iterations = self.iterations;
+        cfg
+    }
+
+    /// Builds a campaign configuration.
+    pub fn campaign(
+        &self,
+        generator: GeneratorKind,
+        bug: Option<mcversi_sim::Bug>,
+        test_memory_bytes: u64,
+    ) -> CampaignConfig {
+        CampaignConfig::new(
+            generator,
+            bug,
+            self.mcversi_config(test_memory_bytes),
+            self.test_runs,
+            self.wall_time,
+        )
+    }
+}
+
+/// The seven generator configurations compared in Table 4 / Table 6.
+pub fn table_columns() -> Vec<(GeneratorKind, u64, String)> {
+    let kib = 1024u64;
+    vec![
+        (GeneratorKind::McVerSiAll, kib, "McVerSi-ALL (1KB)".into()),
+        (GeneratorKind::McVerSiAll, 8 * kib, "McVerSi-ALL (8KB)".into()),
+        (GeneratorKind::McVerSiStdXo, kib, "McVerSi-Std.XO (1KB)".into()),
+        (
+            GeneratorKind::McVerSiStdXo,
+            8 * kib,
+            "McVerSi-Std.XO (8KB)".into(),
+        ),
+        (GeneratorKind::McVerSiRand, kib, "McVerSi-RAND (1KB)".into()),
+        (GeneratorKind::McVerSiRand, 8 * kib, "McVerSi-RAND (8KB)".into()),
+        (GeneratorKind::DiyLitmus, 8 * kib, "diy-litmus".into()),
+    ]
+}
+
+/// Writes a JSON artifact under `target/experiments/`.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, scale: &Scale) {
+    println!("=== {title} ===");
+    println!(
+        "scale: {} samples, {} test-runs/sample, {} ops/test, {} iterations, {} cores, {}",
+        scale.samples,
+        scale.test_runs,
+        scale.test_size,
+        scale.iterations,
+        scale.cores,
+        if scale.full { "FULL (paper) system" } else { "scaled-down system" },
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_small_and_columns_cover_the_paper() {
+        let scale = Scale::from_env();
+        assert!(scale.samples >= 1);
+        assert!(scale.test_runs >= 1);
+        let cols = table_columns();
+        assert_eq!(cols.len(), 7);
+        assert!(cols.iter().any(|(_, _, label)| label == "diy-litmus"));
+    }
+
+    #[test]
+    fn config_builder_respects_memory_and_threads() {
+        let scale = Scale::from_env();
+        let cfg = scale.mcversi_config(1024);
+        assert_eq!(cfg.testgen.test_memory_bytes, 1024);
+        assert_eq!(cfg.testgen.num_threads, cfg.system.num_cores);
+        let campaign = scale.campaign(GeneratorKind::McVerSiRand, None, 8192);
+        assert_eq!(campaign.mcversi.testgen.test_memory_bytes, 8192);
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness and experiment support for the McVerSi reproduction.
+//!
+//! The `benches/` directory contains Criterion micro-benchmarks of the
+//! framework's own costs (checker, crossover, simulator throughput, coverage
+//! fitness, litmus end-to-end), and `src/bin/` contains one binary per table
+//! or figure of the paper's evaluation (see DESIGN.md for the index).
+
+pub mod experiment;
+
+pub use experiment::{banner, table_columns, write_artifact, Scale};

@@ -1,0 +1,227 @@
+//! Verification campaigns: generator × bug runs and coverage runs.
+//!
+//! A *campaign* corresponds to one cell of the paper's Table 4: a particular
+//! test generator attacking a particular (injected) bug with a bounded budget.
+//! The paper's budget is 24 hours of host wall-clock time per sample; this
+//! reproduction expresses the budget both as wall-clock time and as a maximum
+//! number of test-runs, so experiments can be scaled to the available compute
+//! while keeping the comparison between generators fair (every generator gets
+//! the same budget).  Multiple samples (different seeds) run in parallel.
+
+use crate::config::McVerSiConfig;
+use crate::generator::{GeneratorKind, TestSource};
+use crate::runner::{RunVerdict, TestRunner};
+use mcversi_sim::{Bug, BugConfig};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The test generator under evaluation.
+    pub generator: GeneratorKind,
+    /// The injected bug (or `None` for a coverage campaign on the correct
+    /// design, as used for Table 6).
+    pub bug: Option<Bug>,
+    /// Framework configuration (system, test generation, fitness).
+    pub mcversi: McVerSiConfig,
+    /// Maximum number of test-runs per sample.
+    pub max_test_runs: usize,
+    /// Maximum wall-clock time per sample.
+    pub max_wall_time: Duration,
+}
+
+impl CampaignConfig {
+    /// Creates a campaign configuration with the given budget.
+    pub fn new(
+        generator: GeneratorKind,
+        bug: Option<Bug>,
+        mcversi: McVerSiConfig,
+        max_test_runs: usize,
+        max_wall_time: Duration,
+    ) -> Self {
+        CampaignConfig {
+            generator,
+            bug,
+            mcversi,
+            max_test_runs,
+            max_wall_time,
+        }
+    }
+
+    fn bug_config(&self) -> BugConfig {
+        match self.bug {
+            Some(bug) => BugConfig::single(bug),
+            None => BugConfig::none(),
+        }
+    }
+
+    /// Adjusts the system protocol to the one the bug requires (if any),
+    /// returning the effective framework configuration.
+    pub fn effective_mcversi(&self) -> McVerSiConfig {
+        let mut cfg = self.mcversi.clone();
+        if let Some(protocol) = self.bug.and_then(|b| b.required_protocol()) {
+            cfg.system.protocol = protocol;
+        }
+        cfg
+    }
+}
+
+/// The result of one campaign sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The generator that ran.
+    pub generator: GeneratorKind,
+    /// The targeted bug, if any.
+    pub bug: Option<Bug>,
+    /// Sample seed.
+    pub seed: u64,
+    /// Whether the bug was found within the budget.
+    pub found: bool,
+    /// Human-readable description of how the bug manifested.
+    pub detail: Option<String>,
+    /// Number of test-runs executed.
+    pub test_runs: usize,
+    /// Test-run index (1-based) at which the bug was found, if found.
+    pub found_at_run: Option<usize>,
+    /// Simulated cycles consumed.
+    pub simulated_cycles: u64,
+    /// Wall-clock time consumed.
+    pub wall_time: Duration,
+    /// Maximum total transition coverage reached (Table 6 metric).
+    pub max_total_coverage: f64,
+    /// Mean NDT of the GP population at the end (0 for stateless generators).
+    pub final_mean_ndt: f64,
+}
+
+impl CampaignResult {
+    /// Fraction of the test-run budget used before the bug was found (1.0 if
+    /// not found).  This is the scaled analogue of the paper's
+    /// "hours to find the bug" column.
+    pub fn normalized_time_to_bug(&self, budget: usize) -> f64 {
+        match self.found_at_run {
+            Some(run) if budget > 0 => run as f64 / budget as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Runs one campaign sample with the given seed.
+pub fn run_campaign(config: &CampaignConfig, seed: u64) -> CampaignResult {
+    let mcversi = config.effective_mcversi().with_seed(seed);
+    let params = mcversi.testgen.clone();
+    let mut runner = TestRunner::new(mcversi, config.bug_config());
+    let mut source = TestSource::new(config.generator, params, seed.wrapping_add(0x9e37_79b9));
+    let start = Instant::now();
+
+    let mut found = false;
+    let mut detail = None;
+    let mut found_at_run = None;
+    let mut test_runs = 0usize;
+
+    while test_runs < config.max_test_runs && start.elapsed() < config.max_wall_time {
+        let (id, test, name) = source.next_test();
+        let result = runner.run_test(&test);
+        test_runs += 1;
+        source.feedback(id, &result);
+        if result.verdict.is_bug() {
+            found = true;
+            found_at_run = Some(test_runs);
+            detail = Some(match &result.verdict {
+                RunVerdict::McmViolation(v) => match name {
+                    Some(n) => format!("MCM violation ({}) in litmus test {n}", v.axiom),
+                    None => format!("MCM violation of axiom '{}'", v.axiom),
+                },
+                RunVerdict::ProtocolFault(e) => format!("protocol fault: {e}"),
+                RunVerdict::Hang => "iteration hang (cycle budget exceeded)".to_string(),
+                RunVerdict::Passed => unreachable!(),
+            });
+            break;
+        }
+    }
+
+    CampaignResult {
+        generator: config.generator,
+        bug: config.bug,
+        seed,
+        found,
+        detail,
+        test_runs,
+        found_at_run,
+        simulated_cycles: runner.total_cycles(),
+        wall_time: start.elapsed(),
+        max_total_coverage: runner.total_coverage(),
+        final_mean_ndt: source.population_mean_ndt(),
+    }
+}
+
+/// Runs `samples` independent samples of a campaign (different seeds) in
+/// parallel and returns their results in seed order.
+pub fn run_samples(config: &CampaignConfig, samples: usize, base_seed: u64) -> Vec<CampaignResult> {
+    if samples == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<CampaignResult>> = (0..samples).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, slot) in results.iter_mut().enumerate() {
+            let config = &*config;
+            handles.push(scope.spawn(move |_| {
+                *slot = Some(run_campaign(config, base_seed + i as u64));
+            }));
+        }
+        for h in handles {
+            h.join().expect("campaign sample thread panicked");
+        }
+    })
+    .expect("campaign scope failed");
+    results.into_iter().map(|r| r.expect("sample ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcversi_sim::ProtocolKind;
+
+    fn quick_config(generator: GeneratorKind, bug: Option<Bug>) -> CampaignConfig {
+        let mcversi = McVerSiConfig::small().with_test_size(32).with_iterations(3);
+        CampaignConfig::new(generator, bug, mcversi, 40, Duration::from_secs(60))
+    }
+
+    #[test]
+    fn correct_design_campaign_finds_nothing() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, None);
+        let result = run_campaign(&cfg, 1);
+        assert!(!result.found);
+        assert_eq!(result.test_runs, 40);
+        assert!(result.max_total_coverage > 0.0);
+        assert!(result.found_at_run.is_none());
+        assert_eq!(result.normalized_time_to_bug(40), 1.0);
+    }
+
+    #[test]
+    fn lq_no_tso_is_found_by_random_generation() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso));
+        let result = run_campaign(&cfg, 3);
+        assert!(result.found, "LQ+no-TSO should be easy to find: {result:?}");
+        assert!(result.detail.is_some());
+        assert!(result.normalized_time_to_bug(40) <= 1.0);
+    }
+
+    #[test]
+    fn bug_protocol_requirement_overrides_system_protocol() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::TsoCcCompare));
+        assert_eq!(cfg.effective_mcversi().system.protocol, ProtocolKind::TsoCc);
+        let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::MesiLqEInv));
+        assert_eq!(cfg.effective_mcversi().system.protocol, ProtocolKind::Mesi);
+    }
+
+    #[test]
+    fn parallel_samples_use_distinct_seeds() {
+        let cfg = quick_config(GeneratorKind::DiyLitmus, Some(Bug::LqNoTso));
+        let results = run_samples(&cfg, 3, 10);
+        assert_eq!(results.len(), 3);
+        let seeds: Vec<u64> = results.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Top-level framework configuration.
+
+use crate::coverage::AdaptiveCoverageConfig;
+use mcversi_sim::SystemConfig;
+use mcversi_testgen::TestGenParams;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one McVerSi verification run: the simulated system, the
+/// test generation parameters, and the adaptive-coverage fitness parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McVerSiConfig {
+    /// The simulated system (paper Table 2).
+    pub system: SystemConfig,
+    /// Test generation and GP parameters (paper Table 3).
+    pub testgen: TestGenParams,
+    /// Adaptive coverage fitness parameters (paper §3.2).
+    pub adaptive: AdaptiveCoverageConfig,
+    /// RNG seed (each sample of an experiment uses a different seed for both
+    /// simulation and test generation, as in §5.1).
+    pub seed: u64,
+}
+
+impl McVerSiConfig {
+    /// The paper's configuration: 8-core system, 1k-operation tests, the given
+    /// test memory size.
+    pub fn paper_default(test_memory_bytes: u64) -> Self {
+        let system = SystemConfig::paper_default();
+        let testgen = TestGenParams::paper_default(test_memory_bytes).with_threads(system.num_cores);
+        McVerSiConfig {
+            system,
+            testgen,
+            adaptive: AdaptiveCoverageConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration suitable for unit tests, examples and CI:
+    /// 4 cores, small caches, short tests.  The *structure* of the flow is
+    /// identical to the paper configuration; only sizes and budgets shrink.
+    pub fn small() -> Self {
+        let system = SystemConfig::small(mcversi_sim::ProtocolKind::Mesi);
+        let testgen = TestGenParams::small().with_threads(system.num_cores);
+        McVerSiConfig {
+            system,
+            testgen,
+            adaptive: AdaptiveCoverageConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// Replaces the protocol of the simulated system, returning a modified copy.
+    pub fn with_protocol(mut self, protocol: mcversi_sim::ProtocolKind) -> Self {
+        self.system.protocol = protocol;
+        self
+    }
+
+    /// Replaces the RNG seed, returning a modified copy.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the test size, returning a modified copy.
+    pub fn with_test_size(mut self, size: usize) -> Self {
+        self.testgen.test_size = size;
+        self
+    }
+
+    /// Replaces the per-test-run iteration count, returning a modified copy.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.testgen.iterations = iterations;
+        self
+    }
+}
+
+impl Default for McVerSiConfig {
+    fn default() -> Self {
+        McVerSiConfig::paper_default(8 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcversi_sim::ProtocolKind;
+
+    #[test]
+    fn paper_default_wires_thread_count_to_core_count() {
+        let cfg = McVerSiConfig::paper_default(1024);
+        assert_eq!(cfg.testgen.num_threads, cfg.system.num_cores);
+        assert_eq!(cfg.testgen.test_memory_bytes, 1024);
+    }
+
+    #[test]
+    fn builders_modify_copies() {
+        let cfg = McVerSiConfig::small()
+            .with_protocol(ProtocolKind::TsoCc)
+            .with_seed(42)
+            .with_test_size(64)
+            .with_iterations(3);
+        assert_eq!(cfg.system.protocol, ProtocolKind::TsoCc);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.testgen.test_size, 64);
+        assert_eq!(cfg.testgen.iterations, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Adaptive structural-coverage fitness (paper §3.2).
+//!
+//! The GP fitness of a test-run is the fraction of *rare* protocol transitions
+//! it covered.  "Rare" is defined against the whole simulation's cumulative
+//! transition counts: transitions whose count is below the current cut-off.
+//! When the fitness stays below a threshold for too many consecutive test
+//! evaluations, the cut-off doubles (the verification goals change over time),
+//! which keeps the population from getting stuck in a local maximum once the
+//! easy transitions are saturated.
+
+use mcversi_sim::{CoverageRecorder, Transition};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Parameters of the adaptive coverage computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveCoverageConfig {
+    /// Initial cut-off: transitions with fewer cumulative occurrences than
+    /// this are considered rare.
+    pub initial_cutoff: u64,
+    /// Fitness below this value counts towards the low-coverage streak.
+    pub low_fitness_threshold: f64,
+    /// Number of consecutive low-fitness evaluations after which the cut-off
+    /// doubles.
+    pub low_streak_limit: usize,
+}
+
+impl Default for AdaptiveCoverageConfig {
+    fn default() -> Self {
+        AdaptiveCoverageConfig {
+            initial_cutoff: 8,
+            low_fitness_threshold: 0.05,
+            low_streak_limit: 20,
+        }
+    }
+}
+
+/// The adaptive coverage state for one campaign.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCoverage {
+    config: AdaptiveCoverageConfig,
+    cutoff: u64,
+    low_streak: usize,
+    evaluations: u64,
+    cutoff_doublings: u32,
+}
+
+impl AdaptiveCoverage {
+    /// Creates the adaptive coverage state.
+    pub fn new(config: AdaptiveCoverageConfig) -> Self {
+        AdaptiveCoverage {
+            cutoff: config.initial_cutoff.max(1),
+            low_streak: 0,
+            evaluations: 0,
+            cutoff_doublings: 0,
+            config,
+        }
+    }
+
+    /// The current rarity cut-off.
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+
+    /// How many times the cut-off has been doubled.
+    pub fn cutoff_doublings(&self) -> u32 {
+        self.cutoff_doublings
+    }
+
+    /// Number of test evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Computes the fitness of one test-run.
+    ///
+    /// `run` is the set of transitions the test-run covered, `recorder` holds
+    /// the cumulative counts since simulation start, and `universe` is the set
+    /// of transitions defined by the protocol implementation.
+    pub fn fitness(
+        &mut self,
+        run: &BTreeSet<Transition>,
+        recorder: &CoverageRecorder,
+        universe: &[Transition],
+    ) -> f64 {
+        self.evaluations += 1;
+        let rare: Vec<Transition> = universe
+            .iter()
+            .copied()
+            .filter(|t| recorder.count(*t) < self.cutoff)
+            .collect();
+        let fitness = if rare.is_empty() {
+            0.0
+        } else {
+            let covered = rare.iter().filter(|t| run.contains(t)).count();
+            covered as f64 / rare.len() as f64
+        };
+        if fitness < self.config.low_fitness_threshold || rare.is_empty() {
+            self.low_streak += 1;
+            if self.low_streak >= self.config.low_streak_limit {
+                self.cutoff = self.cutoff.saturating_mul(2);
+                self.cutoff_doublings += 1;
+                self.low_streak = 0;
+            }
+        } else {
+            self.low_streak = 0;
+        }
+        fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Vec<Transition> {
+        vec![
+            Transition::l1("I", "Load"),
+            Transition::l1("S", "Inv"),
+            Transition::l2("NP", "GetS"),
+            Transition::l2("MT", "PutX"),
+        ]
+    }
+
+    #[test]
+    fn fitness_is_fraction_of_rare_transitions_covered() {
+        let mut ac = AdaptiveCoverage::new(AdaptiveCoverageConfig::default());
+        let recorder = CoverageRecorder::new();
+        let run: BTreeSet<Transition> = [Transition::l1("I", "Load"), Transition::l2("NP", "GetS")]
+            .into_iter()
+            .collect();
+        let f = ac.fitness(&run, &recorder, &universe());
+        assert!((f - 0.5).abs() < 1e-9);
+        assert_eq!(ac.evaluations(), 1);
+    }
+
+    #[test]
+    fn frequent_transitions_drop_out_of_the_rare_set() {
+        let mut ac = AdaptiveCoverage::new(AdaptiveCoverageConfig {
+            initial_cutoff: 2,
+            ..AdaptiveCoverageConfig::default()
+        });
+        let mut recorder = CoverageRecorder::new();
+        // Make "I + Load" frequent.
+        for _ in 0..10 {
+            recorder.record(Transition::l1("I", "Load"));
+        }
+        let run: BTreeSet<Transition> = [Transition::l1("I", "Load")].into_iter().collect();
+        // The only transition the run covered is no longer rare, so fitness 0
+        // over the remaining 3 rare transitions.
+        let f = ac.fitness(&run, &recorder, &universe());
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn sustained_low_fitness_doubles_the_cutoff() {
+        let cfg = AdaptiveCoverageConfig {
+            initial_cutoff: 4,
+            low_fitness_threshold: 0.5,
+            low_streak_limit: 3,
+        };
+        let mut ac = AdaptiveCoverage::new(cfg);
+        let recorder = CoverageRecorder::new();
+        let empty_run = BTreeSet::new();
+        assert_eq!(ac.cutoff(), 4);
+        for _ in 0..3 {
+            ac.fitness(&empty_run, &recorder, &universe());
+        }
+        assert_eq!(ac.cutoff(), 8, "cut-off doubles after the low streak");
+        assert_eq!(ac.cutoff_doublings(), 1);
+        // A good run resets the streak.
+        let good: BTreeSet<Transition> = universe().into_iter().collect();
+        ac.fitness(&good, &recorder, &universe());
+        for _ in 0..2 {
+            ac.fitness(&empty_run, &recorder, &universe());
+        }
+        assert_eq!(ac.cutoff(), 8, "streak was reset by the good run");
+    }
+
+    #[test]
+    fn empty_universe_is_handled() {
+        let mut ac = AdaptiveCoverage::new(AdaptiveCoverageConfig::default());
+        let recorder = CoverageRecorder::new();
+        let f = ac.fitness(&BTreeSet::new(), &recorder, &[]);
+        assert_eq!(f, 0.0);
+    }
+}

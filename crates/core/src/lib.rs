@@ -1,0 +1,37 @@
+//! The McVerSi framework: coverage-directed MCM test generation in simulation.
+//!
+//! This crate ties the three lower layers together into the verification flow
+//! of the paper:
+//!
+//! * [`lowering`] turns a generated [`mcversi_testgen::Test`] into an
+//!   executable [`mcversi_sim::TestProgram`] (the analogue of on-the-fly code
+//!   emission to the target ISA), assigning globally unique write values;
+//! * [`host`] is the guest–host interface of Table 1 and [`runner`] is the
+//!   guest workload kernel of Algorithm 2: it executes a test-run (several
+//!   iterations of one test), checks every iteration against the target MCM,
+//!   and accumulates the observed conflict orders for the NDT analysis;
+//! * [`coverage`] implements the adaptive structural-coverage fitness of
+//!   §3.2 (rare-transition coverage with an exponentially increasing cut-off);
+//! * [`generator`] wraps the four test sources compared in the evaluation
+//!   (McVerSi-ALL, McVerSi-Std.XO, McVerSi-RAND, diy-litmus);
+//! * [`campaign`] runs generator × bug verification campaigns and the
+//!   coverage campaigns behind Tables 4, 5 and 6; [`report`] renders them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod config;
+pub mod coverage;
+pub mod generator;
+pub mod host;
+pub mod lowering;
+pub mod report;
+pub mod runner;
+
+pub use campaign::{run_campaign, run_samples, CampaignConfig, CampaignResult};
+pub use config::McVerSiConfig;
+pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};
+pub use generator::{GeneratorKind, TestSource};
+pub use runner::{RunVerdict, TestRunResult, TestRunner};

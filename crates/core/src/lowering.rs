@@ -1,0 +1,115 @@
+//! Lowering generated tests to executable programs.
+//!
+//! The paper's framework compiles tests on-the-fly to the target ISA (x86-64
+//! in the evaluation) and the host writes the code into each guest thread's
+//! buffer.  In this reproduction the "ISA" is the simulator's abstract
+//! [`TestOp`] language; lowering assigns every dynamic write its globally
+//! unique, non-zero value (the write-unique-ID scheme of §4.1) and preserves
+//! the per-thread program order of the chromosome.
+
+use mcversi_sim::{TestOp, TestProgram};
+use mcversi_testgen::{OpKind, Test};
+
+/// Lowers a test to an executable program.
+///
+/// Write values are assigned sequentially starting from 1, so they are unique
+/// across the whole program and never collide with the initial value 0.
+pub fn lower(test: &Test) -> TestProgram {
+    let mut next_value = 1u64;
+    let mut threads = Vec::with_capacity(test.num_threads());
+    for ops in test.threads() {
+        let mut program = Vec::with_capacity(ops.len());
+        for op in ops {
+            let lowered = match op.kind {
+                OpKind::Read => TestOp::read(op.addr),
+                OpKind::ReadAddrDp => TestOp::read_addr_dp(op.addr),
+                OpKind::Write => {
+                    let v = next_value;
+                    next_value += 1;
+                    TestOp::write(op.addr, v)
+                }
+                OpKind::ReadModifyWrite => {
+                    let v = next_value;
+                    next_value += 1;
+                    TestOp::rmw(op.addr, v)
+                }
+                OpKind::CacheFlush => TestOp::flush(op.addr),
+                OpKind::Delay => TestOp::delay((op.addr.0 as u32).max(1)),
+                OpKind::Fence => TestOp::fence(),
+            };
+            program.push(lowered);
+        }
+        threads.push(program);
+    }
+    TestProgram::new(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcversi_mcm::Address;
+    use mcversi_testgen::{Gene, Op, RandomTestGenerator, TestGenParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lowering_preserves_structure_and_assigns_unique_values() {
+        let params = TestGenParams::small();
+        let gen = RandomTestGenerator::new(params.clone());
+        let test = gen.generate(&mut StdRng::seed_from_u64(3));
+        let program = lower(&test);
+        assert_eq!(program.num_threads(), test.num_threads());
+        assert_eq!(program.total_ops(), test.len());
+        assert!(program.written_values_unique());
+        // Per-thread op counts match.
+        for (pid, ops) in test.threads().iter().enumerate() {
+            assert_eq!(program.thread(pid).len(), ops.len());
+        }
+    }
+
+    #[test]
+    fn op_kinds_map_one_to_one() {
+        let x = Address(0x10_0000);
+        let test = Test::new(
+            vec![
+                Gene { pid: 0, op: Op::new(OpKind::Write, x) },
+                Gene { pid: 0, op: Op::new(OpKind::Read, x) },
+                Gene { pid: 0, op: Op::new(OpKind::ReadAddrDp, x) },
+                Gene { pid: 0, op: Op::new(OpKind::ReadModifyWrite, x) },
+                Gene { pid: 0, op: Op::new(OpKind::CacheFlush, x) },
+                Gene { pid: 0, op: Op::new(OpKind::Delay, Address(7)) },
+                Gene { pid: 0, op: Op::new(OpKind::Fence, Address(0)) },
+            ],
+            1,
+        );
+        let program = lower(&test);
+        let t0 = program.thread(0);
+        assert_eq!(t0.len(), 7);
+        assert!(matches!(t0[0].kind, mcversi_sim::TestOpKind::Write { value: 1 }));
+        assert!(matches!(t0[1].kind, mcversi_sim::TestOpKind::Read));
+        assert!(matches!(t0[2].kind, mcversi_sim::TestOpKind::ReadAddrDp));
+        assert!(matches!(
+            t0[3].kind,
+            mcversi_sim::TestOpKind::ReadModifyWrite { value: 2 }
+        ));
+        assert!(matches!(t0[4].kind, mcversi_sim::TestOpKind::CacheFlush));
+        assert!(matches!(t0[5].kind, mcversi_sim::TestOpKind::Delay { cycles: 7 }));
+        assert!(matches!(t0[6].kind, mcversi_sim::TestOpKind::Fence));
+    }
+
+    #[test]
+    fn delay_of_zero_is_clamped_to_one_cycle() {
+        let test = Test::new(
+            vec![Gene {
+                pid: 0,
+                op: Op::new(OpKind::Delay, Address(0)),
+            }],
+            1,
+        );
+        let program = lower(&test);
+        assert!(matches!(
+            program.thread(0)[0].kind,
+            mcversi_sim::TestOpKind::Delay { cycles: 1 }
+        ));
+    }
+}

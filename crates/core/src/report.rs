@@ -1,0 +1,294 @@
+//! Experiment reporting: the rows behind Tables 4, 5 and 6.
+//!
+//! Campaign results are aggregated per (bug, generator) pair into the same
+//! quantities the paper reports: how many of the samples found the bug, and
+//! the mean (normalised) time to find it.  The budget-extrapolation view of
+//! Table 5 treats the stateless generators' independent samples as one longer
+//! run, exactly as §6.1 argues.
+
+use crate::campaign::CampaignResult;
+use crate::generator::GeneratorKind;
+use mcversi_sim::Bug;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One cell of Table 4: a generator attacking a bug.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BugCoverageCell {
+    /// The generator.
+    pub generator: GeneratorKind,
+    /// Label distinguishing configurations of the same generator (e.g. the
+    /// test-memory size "1KB" / "8KB").
+    pub config_label: String,
+    /// Number of samples that found the bug.
+    pub found: usize,
+    /// Total number of samples.
+    pub samples: usize,
+    /// Mean normalised time-to-bug over all samples (1.0 = budget exhausted).
+    pub mean_time: f64,
+}
+
+impl BugCoverageCell {
+    /// Returns `true` if every sample found the bug (the paper's bold cells).
+    pub fn consistent(&self) -> bool {
+        self.samples > 0 && self.found == self.samples
+    }
+
+    /// Formats the cell in the paper's style: `found (mean time)` or `NF`.
+    pub fn render(&self) -> String {
+        if self.found == 0 {
+            "NF".to_string()
+        } else {
+            format!("{} ({:.2})", self.found, self.mean_time)
+        }
+    }
+}
+
+/// Aggregates the samples of one (bug, generator-config) cell.
+pub fn aggregate_cell(
+    generator: GeneratorKind,
+    config_label: &str,
+    results: &[CampaignResult],
+    budget: usize,
+) -> BugCoverageCell {
+    let samples = results.len();
+    let found = results.iter().filter(|r| r.found).count();
+    let mean_time = if samples == 0 {
+        1.0
+    } else {
+        results
+            .iter()
+            .map(|r| r.normalized_time_to_bug(budget))
+            .sum::<f64>()
+            / samples as f64
+    };
+    BugCoverageCell {
+        generator,
+        config_label: config_label.to_string(),
+        found,
+        samples,
+        mean_time,
+    }
+}
+
+/// A full Table-4-style report: per bug, per generator configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BugCoverageTable {
+    /// Column labels in display order.
+    pub columns: Vec<String>,
+    /// Rows: bug → column label → cell.
+    pub rows: BTreeMap<String, BTreeMap<String, BugCoverageCell>>,
+}
+
+impl BugCoverageTable {
+    /// Creates an empty table with the given column order.
+    pub fn new(columns: Vec<String>) -> Self {
+        BugCoverageTable {
+            columns,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts one cell.
+    pub fn insert(&mut self, bug: Bug, column: &str, cell: BugCoverageCell) {
+        self.rows
+            .entry(bug.paper_name().to_string())
+            .or_default()
+            .insert(column.to_string(), cell);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let bug_width = self
+            .rows
+            .keys()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(10)
+            .max("Bug".len());
+        let col_width = self.columns.iter().map(|c| c.len()).max().unwrap_or(12).max(12);
+        let _ = write!(out, "{:<bug_width$}", "Bug");
+        for c in &self.columns {
+            let _ = write!(out, "  {c:>col_width$}");
+        }
+        out.push('\n');
+        for (bug, cells) in &self.rows {
+            let _ = write!(out, "{bug:<bug_width$}");
+            for c in &self.columns {
+                let rendered = match cells.get(c) {
+                    Some(cell) => cell.render(),
+                    None => "-".to_string(),
+                };
+                let _ = write!(out, "  {rendered:>col_width$}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Summary row: per column, the number of (bug, sample) pairs that found
+    /// their bug and the mean time (the paper's "All" row).
+    pub fn summary(&self) -> BTreeMap<String, (usize, f64)> {
+        let mut out = BTreeMap::new();
+        for column in &self.columns {
+            let mut found = 0usize;
+            let mut times = Vec::new();
+            for cells in self.rows.values() {
+                if let Some(cell) = cells.get(column) {
+                    found += cell.found;
+                    times.push(cell.mean_time);
+                }
+            }
+            let mean = if times.is_empty() {
+                1.0
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            };
+            out.insert(column.clone(), (found, mean));
+        }
+        out
+    }
+}
+
+/// A Table-5-style budget extrapolation: the fraction of bugs found within
+/// multiples of the base budget, exploiting that stateless generators'
+/// independent samples compose into one longer run.
+pub fn budget_extrapolation(
+    cells: &[(Bug, BugCoverageCell)],
+    multiples: &[usize],
+) -> BTreeMap<usize, f64> {
+    let mut out = BTreeMap::new();
+    let num_bugs = cells.len().max(1);
+    for &m in multiples {
+        let mut found_bugs = 0usize;
+        for (_, cell) in cells {
+            // Within m times the budget, a stateless generator effectively
+            // gets m * samples attempts; the bug counts as found if any sample
+            // found it... within one budget each sample is an independent
+            // 1-budget attempt, so "found within m budgets" means at least one
+            // of the first min(m, samples) samples found it.
+            let attempts = m.min(cell.samples.max(1));
+            let any_found = cell.found > 0 && {
+                // Conservative: assume the successful samples are uniformly
+                // spread; with `found` successes out of `samples`, the chance
+                // that `attempts` attempts contain a success is high once
+                // attempts >= samples / found.
+                attempts * cell.found >= cell.samples || cell.found >= cell.samples
+            };
+            if any_found {
+                found_bugs += 1;
+            }
+        }
+        out.insert(m, found_bugs as f64 / num_bugs as f64);
+    }
+    out
+}
+
+/// One row of Table 6: maximum total transition coverage per generator
+/// configuration for one protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Protocol name ("MESI" or "TSO-CC").
+    pub protocol: String,
+    /// Column label → maximum coverage fraction observed across samples.
+    pub coverage: BTreeMap<String, f64>,
+}
+
+impl CoverageRow {
+    /// Renders the row as plain text percentages.
+    pub fn render(&self, columns: &[String]) -> String {
+        let mut out = format!("{:<8}", self.protocol);
+        for c in columns {
+            match self.coverage.get(c) {
+                Some(v) => {
+                    let _ = write!(out, "  {:>12}", format!("{:.1}%", v * 100.0));
+                }
+                None => {
+                    let _ = write!(out, "  {:>12}", "-");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn result(found: bool, found_at: Option<usize>) -> CampaignResult {
+        CampaignResult {
+            generator: GeneratorKind::McVerSiRand,
+            bug: Some(Bug::LqNoTso),
+            seed: 0,
+            found,
+            detail: None,
+            test_runs: 40,
+            found_at_run: found_at,
+            simulated_cycles: 1000,
+            wall_time: Duration::from_secs(1),
+            max_total_coverage: 0.5,
+            final_mean_ndt: 1.0,
+        }
+    }
+
+    #[test]
+    fn cell_aggregation_counts_and_averages() {
+        let results = vec![result(true, Some(10)), result(true, Some(30)), result(false, None)];
+        let cell = aggregate_cell(GeneratorKind::McVerSiRand, "8KB", &results, 40);
+        assert_eq!(cell.found, 2);
+        assert_eq!(cell.samples, 3);
+        assert!(!cell.consistent());
+        // (10/40 + 30/40 + 1.0) / 3 = (0.25 + 0.75 + 1.0)/3
+        assert!((cell.mean_time - 2.0 / 3.0).abs() < 1e-9);
+        assert!(cell.render().starts_with("2 ("));
+        let nf = aggregate_cell(GeneratorKind::DiyLitmus, "", &[result(false, None)], 40);
+        assert_eq!(nf.render(), "NF");
+    }
+
+    #[test]
+    fn table_renders_all_columns_and_summary() {
+        let mut table = BugCoverageTable::new(vec!["A".to_string(), "B".to_string()]);
+        let cell_a = aggregate_cell(GeneratorKind::McVerSiAll, "A", &[result(true, Some(5))], 40);
+        let cell_b = aggregate_cell(GeneratorKind::McVerSiRand, "B", &[result(false, None)], 40);
+        table.insert(Bug::LqNoTso, "A", cell_a);
+        table.insert(Bug::LqNoTso, "B", cell_b);
+        let text = table.render();
+        assert!(text.contains("LQ+no-TSO"));
+        assert!(text.contains("NF"));
+        let summary = table.summary();
+        assert_eq!(summary["A"].0, 1);
+        assert_eq!(summary["B"].0, 0);
+    }
+
+    #[test]
+    fn budget_extrapolation_grows_with_budget() {
+        let cell_found_half = aggregate_cell(
+            GeneratorKind::McVerSiRand,
+            "8KB",
+            &[result(true, Some(10)), result(false, None)],
+            40,
+        );
+        let cell_never = aggregate_cell(GeneratorKind::McVerSiRand, "8KB", &[result(false, None)], 40);
+        let cells = vec![(Bug::LqNoTso, cell_found_half), (Bug::SqNoFifo, cell_never)];
+        let table = budget_extrapolation(&cells, &[1, 2, 10]);
+        assert!(table[&1] <= table[&2]);
+        assert!(table[&2] <= table[&10]);
+        assert!(table[&10] <= 1.0);
+    }
+
+    #[test]
+    fn coverage_row_renders_percentages() {
+        let mut row = CoverageRow {
+            protocol: "MESI".to_string(),
+            coverage: BTreeMap::new(),
+        };
+        row.coverage.insert("A".to_string(), 0.823);
+        let text = row.render(&["A".to_string(), "B".to_string()]);
+        assert!(text.contains("82.3%"));
+        assert!(text.contains('-'));
+    }
+}

@@ -1,0 +1,691 @@
+//! Candidate executions: events plus program order and conflict orders.
+//!
+//! A *candidate execution* (paper §2.1) is the object the checker decides
+//! about: the set of events executed by a test, their per-thread program order
+//! (`po`), and the dynamically observed conflict orders — reads-from (`rf`,
+//! relating each write to the reads it supplies) and coherence order (`co`,
+//! serialising writes to the same address).  In simulation both conflict
+//! orders are fully visible, so the execution object is complete and the
+//! from-reads relation (`fr`) can be derived exactly.
+
+use crate::event::{Address, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value};
+use crate::program;
+use crate::relation::Relation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced when an execution object is not well formed.
+///
+/// A malformed execution indicates a bug in whatever recorded it (the
+/// simulator's observer), not a consistency violation, so these are reported
+/// separately from checker verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormednessError {
+    /// A read has no reads-from source.
+    ReadWithoutSource(EventId),
+    /// A read has more than one reads-from source.
+    MultipleSources(EventId),
+    /// An `rf` pair whose source is not a write or whose target is not a read.
+    MalformedRf(EventId, EventId),
+    /// An `rf` pair relating events with different addresses.
+    RfAddressMismatch(EventId, EventId),
+    /// An `rf` pair where the value read differs from the value written.
+    RfValueMismatch(EventId, EventId),
+    /// A `co` pair relating non-writes or writes to different addresses.
+    MalformedCo(EventId, EventId),
+    /// The coherence order for one address contains a cycle.
+    CyclicCoherence(Address),
+}
+
+impl fmt::Display for WellFormednessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormednessError::ReadWithoutSource(e) => {
+                write!(f, "read {e} has no reads-from source")
+            }
+            WellFormednessError::MultipleSources(e) => {
+                write!(f, "read {e} has multiple reads-from sources")
+            }
+            WellFormednessError::MalformedRf(a, b) => {
+                write!(f, "rf pair ({a},{b}) does not relate a write to a read")
+            }
+            WellFormednessError::RfAddressMismatch(a, b) => {
+                write!(f, "rf pair ({a},{b}) relates different addresses")
+            }
+            WellFormednessError::RfValueMismatch(a, b) => {
+                write!(f, "rf pair ({a},{b}) value mismatch")
+            }
+            WellFormednessError::MalformedCo(a, b) => {
+                write!(f, "co pair ({a},{b}) does not relate same-address writes")
+            }
+            WellFormednessError::CyclicCoherence(a) => {
+                write!(f, "coherence order for {a} is cyclic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellFormednessError {}
+
+/// A complete candidate execution ready to be checked against a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateExecution {
+    events: Vec<Event>,
+    po: Relation,
+    rf: Relation,
+    co: Relation,
+    co_observed: Relation,
+}
+
+impl CandidateExecution {
+    /// Constructs an execution from raw parts.
+    ///
+    /// Prefer [`ExecutionBuilder`] which also derives `po` and keeps event ids
+    /// dense; this constructor exists for deserialisation and tests.
+    pub fn from_parts(events: Vec<Event>, po: Relation, rf: Relation, co: Relation) -> Self {
+        let co_observed = co.clone();
+        let co = co.transitive_closure();
+        CandidateExecution {
+            events,
+            po,
+            rf,
+            co,
+            co_observed,
+        }
+    }
+
+    /// All events of the execution, ordered by event id.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Looks up an event by id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// Number of events, including synthetic initial writes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the execution has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The (transitive) program order.
+    pub fn po(&self) -> &Relation {
+        &self.po
+    }
+
+    /// Program order restricted to same-address pairs (`po-loc`).
+    pub fn po_loc(&self) -> Relation {
+        program::same_address(&self.po, &self.events)
+    }
+
+    /// The reads-from relation (write → read).
+    pub fn rf(&self) -> &Relation {
+        &self.rf
+    }
+
+    /// The coherence order (write → write, same address), transitively closed.
+    pub fn co(&self) -> &Relation {
+        &self.co
+    }
+
+    /// The coherence order as observed (immediate edges only: each write
+    /// related to the write it directly overwrote).  This is the relation the
+    /// NDT/NDe non-determinism metrics are computed over, so that a fully
+    /// deterministic test-run has exactly one conflict predecessor per event.
+    pub fn co_observed(&self) -> &Relation {
+        &self.co_observed
+    }
+
+    /// External reads-from: pairs whose write and read are on different
+    /// processors (or whose write is an initial write).
+    pub fn rf_external(&self) -> Relation {
+        self.rf.filter(|w, r| {
+            let we = self.event(w);
+            let re = self.event(r);
+            we.pid() != re.pid() || we.pid().is_none()
+        })
+    }
+
+    /// Internal reads-from: same-processor pairs.
+    pub fn rf_internal(&self) -> Relation {
+        self.rf.filter(|w, r| {
+            let we = self.event(w);
+            let re = self.event(r);
+            we.pid().is_some() && we.pid() == re.pid()
+        })
+    }
+
+    /// Derives the from-reads relation `fr = rf⁻¹ ; co`.
+    ///
+    /// A read `r` is from-read before a write `w'` when `r` reads from a write
+    /// that is coherence-ordered before `w'`: the read observed a value that
+    /// `w'` later (in coherence order) overwrote.
+    pub fn fr(&self) -> Relation {
+        self.rf.inverse().compose(&self.co)
+    }
+
+    /// The communication relation `com = rf ∪ co ∪ fr`.
+    pub fn com(&self) -> Relation {
+        let mut com = self.rf.union(&self.co);
+        com.union_with(&self.fr());
+        com
+    }
+
+    /// All read events (including RMW read halves).
+    pub fn reads(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.is_read())
+    }
+
+    /// All write events (including RMW write halves and initial writes).
+    pub fn writes(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.is_write())
+    }
+
+    /// All fence events.
+    pub fn fences(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.is_fence())
+    }
+
+    /// Writes to a particular address.
+    pub fn writes_to(&self, addr: Address) -> impl Iterator<Item = &Event> {
+        self.writes_iter_to(addr)
+    }
+
+    fn writes_iter_to(&self, addr: Address) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(move |e| e.is_write() && e.addr == Some(addr))
+    }
+
+    /// The set of distinct addresses accessed by memory events.
+    pub fn addresses(&self) -> Vec<Address> {
+        let mut addrs: Vec<Address> = self.events.iter().filter_map(|e| e.addr).collect();
+        addrs.sort();
+        addrs.dedup();
+        addrs
+    }
+
+    /// The set of processors with at least one event.
+    pub fn processors(&self) -> Vec<ProcessorId> {
+        let mut pids: Vec<ProcessorId> = self.events.iter().filter_map(|e| e.pid()).collect();
+        pids.sort();
+        pids.dedup();
+        pids
+    }
+
+    /// Checks structural well-formedness of the execution object.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WellFormednessError`] found: reads without (or with
+    /// multiple) sources, `rf`/`co` pairs with mismatched kinds, addresses or
+    /// values, or a cyclic per-address coherence order.
+    pub fn validate(&self) -> Result<(), WellFormednessError> {
+        // rf shape checks.
+        for (w, r) in self.rf.iter() {
+            let we = self.event(w);
+            let re = self.event(r);
+            if !we.is_write() || !re.is_read() {
+                return Err(WellFormednessError::MalformedRf(w, r));
+            }
+            if we.addr != re.addr {
+                return Err(WellFormednessError::RfAddressMismatch(w, r));
+            }
+            if we.value != re.value {
+                return Err(WellFormednessError::RfValueMismatch(w, r));
+            }
+        }
+        // Every read has exactly one source.
+        let rf_inv = self.rf.inverse();
+        for read in self.reads() {
+            let sources: Vec<EventId> = rf_inv.successors(read.id).collect();
+            match sources.len() {
+                0 => return Err(WellFormednessError::ReadWithoutSource(read.id)),
+                1 => {}
+                _ => return Err(WellFormednessError::MultipleSources(read.id)),
+            }
+        }
+        // co shape checks.
+        for (a, b) in self.co.iter() {
+            let ae = self.event(a);
+            let be = self.event(b);
+            if !ae.is_write() || !be.is_write() || ae.addr != be.addr || ae.addr.is_none() {
+                return Err(WellFormednessError::MalformedCo(a, b));
+            }
+        }
+        // Per-address acyclicity of co.
+        for addr in self.addresses() {
+            let per_addr = self.co.filter(|a, b| {
+                self.event(a).addr == Some(addr) && self.event(b).addr == Some(addr)
+            });
+            if !per_addr.is_acyclic() {
+                return Err(WellFormednessError::CyclicCoherence(addr));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incrementally constructs a [`CandidateExecution`].
+///
+/// The builder allocates dense event ids, tracks per-processor program-order
+/// indices, creates initial-value writes on demand, and derives the transitive
+/// program order at [`build`](ExecutionBuilder::build) time.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionBuilder {
+    events: Vec<Event>,
+    rf: Relation,
+    co: Relation,
+    next_poi: BTreeMap<ProcessorId, u32>,
+    init_writes: BTreeMap<Address, EventId>,
+}
+
+impl ExecutionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn alloc(&mut self, iiid: Option<Iiid>, kind: EventKind, addr: Option<Address>, value: Value) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event {
+            id,
+            iiid,
+            kind,
+            addr,
+            value,
+        });
+        id
+    }
+
+    fn next_iiid(&mut self, pid: ProcessorId) -> Iiid {
+        let poi = self.next_poi.entry(pid).or_insert(0);
+        let iiid = Iiid { pid, poi: *poi };
+        *poi += 1;
+        iiid
+    }
+
+    /// Appends a read event to processor `pid`'s program.
+    pub fn read(&mut self, pid: ProcessorId, addr: Address, value: Value) -> EventId {
+        let iiid = self.next_iiid(pid);
+        self.alloc(Some(iiid), EventKind::Read, Some(addr), value)
+    }
+
+    /// Appends a write event to processor `pid`'s program.
+    pub fn write(&mut self, pid: ProcessorId, addr: Address, value: Value) -> EventId {
+        let iiid = self.next_iiid(pid);
+        self.alloc(Some(iiid), EventKind::Write, Some(addr), value)
+    }
+
+    /// Appends a fence event to processor `pid`'s program.
+    pub fn fence(&mut self, pid: ProcessorId, kind: FenceKind) -> EventId {
+        let iiid = self.next_iiid(pid);
+        self.alloc(Some(iiid), EventKind::Fence(kind), None, Value::INITIAL)
+    }
+
+    /// Appends an atomic read-modify-write: returns `(read_event, write_event)`
+    /// sharing one instruction id.
+    pub fn rmw(
+        &mut self,
+        pid: ProcessorId,
+        addr: Address,
+        read_value: Value,
+        write_value: Value,
+    ) -> (EventId, EventId) {
+        let iiid = self.next_iiid(pid);
+        let r = self.alloc(Some(iiid), EventKind::RmwRead, Some(addr), read_value);
+        let w = self.alloc(Some(iiid), EventKind::RmwWrite, Some(addr), write_value);
+        (r, w)
+    }
+
+    /// Appends a read event with an explicit program-order index.
+    ///
+    /// Useful when the caller (e.g. the simulator's observer) already knows
+    /// each instruction's position in its thread.
+    pub fn read_at(&mut self, iiid: Iiid, addr: Address, value: Value) -> EventId {
+        self.bump_poi(iiid);
+        self.alloc(Some(iiid), EventKind::Read, Some(addr), value)
+    }
+
+    /// Appends a write event with an explicit program-order index.
+    pub fn write_at(&mut self, iiid: Iiid, addr: Address, value: Value) -> EventId {
+        self.bump_poi(iiid);
+        self.alloc(Some(iiid), EventKind::Write, Some(addr), value)
+    }
+
+    /// Appends a fence event with an explicit program-order index.
+    pub fn fence_at(&mut self, iiid: Iiid, kind: FenceKind) -> EventId {
+        self.bump_poi(iiid);
+        self.alloc(Some(iiid), EventKind::Fence(kind), None, Value::INITIAL)
+    }
+
+    /// Appends an RMW with an explicit program-order index.
+    pub fn rmw_at(
+        &mut self,
+        iiid: Iiid,
+        addr: Address,
+        read_value: Value,
+        write_value: Value,
+    ) -> (EventId, EventId) {
+        self.bump_poi(iiid);
+        let r = self.alloc(Some(iiid), EventKind::RmwRead, Some(addr), read_value);
+        let w = self.alloc(Some(iiid), EventKind::RmwWrite, Some(addr), write_value);
+        (r, w)
+    }
+
+    fn bump_poi(&mut self, iiid: Iiid) {
+        let next = self.next_poi.entry(iiid.pid).or_insert(0);
+        if iiid.poi >= *next {
+            *next = iiid.poi + 1;
+        }
+    }
+
+    /// Overrides the value of an already-added event.
+    ///
+    /// Observers that create read events before execution (when the value is
+    /// not yet known) use this to patch in the observed value afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to an event added to this builder.
+    pub fn set_event_value(&mut self, id: EventId, value: Value) {
+        self.events[id.index()].value = value;
+    }
+
+    /// Returns (creating if necessary) the initial-value write event for `addr`.
+    ///
+    /// Initial writes carry [`Value::INITIAL`] and are coherence-ordered before
+    /// every other write to the same address once [`build`](Self::build) runs.
+    pub fn initial_write(&mut self, addr: Address) -> EventId {
+        if let Some(&id) = self.init_writes.get(&addr) {
+            return id;
+        }
+        let id = self.alloc(None, EventKind::Write, Some(addr), Value::INITIAL);
+        self.init_writes.insert(addr, id);
+        id
+    }
+
+    /// Records that `read` observes the value written by `write`.
+    pub fn reads_from(&mut self, write: EventId, read: EventId) {
+        self.rf.insert(write, read);
+    }
+
+    /// Records that `read` observes the initial (zero) value of its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read` is not a read event with an address.
+    pub fn reads_from_initial(&mut self, read: EventId) {
+        let addr = self.events[read.index()]
+            .addr
+            .expect("read event must have an address");
+        assert!(
+            self.events[read.index()].is_read(),
+            "reads_from_initial target must be a read"
+        );
+        let init = self.initial_write(addr);
+        self.rf.insert(init, read);
+    }
+
+    /// Records that `before` is coherence-ordered before `after`.
+    pub fn coherence(&mut self, before: EventId, after: EventId) {
+        self.co.insert(before, after);
+    }
+
+    /// Records that the initial write of `write`'s address is coherence-ordered
+    /// before `write`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write` is not a write event with an address.
+    pub fn coherence_after_initial(&mut self, write: EventId) {
+        let addr = self.events[write.index()]
+            .addr
+            .expect("write event must have an address");
+        assert!(
+            self.events[write.index()].is_write(),
+            "coherence_after_initial target must be a write"
+        );
+        let init = self.initial_write(addr);
+        self.co.insert(init, write);
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Access to the events added so far (primarily for observers that need to
+    /// inspect what they have recorded).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Finalises the execution: derives program order, closes the coherence
+    /// order transitively, and orders every initial write before all other
+    /// writes to its address.
+    pub fn build(mut self) -> CandidateExecution {
+        // Initial writes are co-before every other write to the same address.
+        let writes: Vec<(EventId, Address)> = self
+            .events
+            .iter()
+            .filter(|e| e.is_write() && !e.is_initial())
+            .filter_map(|e| e.addr.map(|a| (e.id, a)))
+            .collect();
+        let init_writes = self.init_writes.clone();
+        for (w, addr) in writes {
+            if let Some(&init) = init_writes.get(&addr) {
+                self.co.insert(init, w);
+            }
+        }
+        let po = program::program_order(&self.events);
+        let co_observed = self.co.clone();
+        let co = self.co.transitive_closure();
+        CandidateExecution {
+            events: self.events,
+            po,
+            rf: self.rf,
+            co,
+            co_observed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> ProcessorId {
+        ProcessorId(n)
+    }
+
+    #[test]
+    fn builder_allocates_dense_ids_and_pois() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.write(p(0), Address(0x10), Value(1));
+        let c = b.read(p(0), Address(0x10), Value(1));
+        let d = b.read(p(1), Address(0x10), Value(1));
+        assert_eq!(a, EventId(0));
+        assert_eq!(c, EventId(1));
+        assert_eq!(d, EventId(2));
+        b.reads_from(a, c);
+        b.reads_from(a, d);
+        b.coherence_after_initial(a);
+        let exec = b.build();
+        assert_eq!(exec.event(a).iiid.unwrap().poi, 0);
+        assert_eq!(exec.event(c).iiid.unwrap().poi, 1);
+        assert_eq!(exec.event(d).iiid.unwrap().poi, 0);
+        assert!(exec.validate().is_ok());
+    }
+
+    #[test]
+    fn initial_write_created_once() {
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.read(p(0), Address(0x10), Value(0));
+        let r2 = b.read(p(1), Address(0x10), Value(0));
+        b.reads_from_initial(r1);
+        b.reads_from_initial(r2);
+        let exec = b.build();
+        let inits: Vec<&Event> = exec.events().iter().filter(|e| e.is_initial()).collect();
+        assert_eq!(inits.len(), 1);
+        assert!(exec.validate().is_ok());
+    }
+
+    #[test]
+    fn fr_derivation() {
+        // w_init -> co -> w1; r reads from init; so fr(r, w1).
+        let mut b = ExecutionBuilder::new();
+        let r = b.read(p(0), Address(0x10), Value(0));
+        let w1 = b.write(p(1), Address(0x10), Value(1));
+        b.reads_from_initial(r);
+        b.coherence_after_initial(w1);
+        let exec = b.build();
+        let fr = exec.fr();
+        assert!(fr.contains(r, w1));
+        assert_eq!(fr.len(), 1);
+    }
+
+    #[test]
+    fn rf_external_vs_internal() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(p(0), Address(0x10), Value(1));
+        let r_same = b.read(p(0), Address(0x10), Value(1));
+        let r_other = b.read(p(1), Address(0x10), Value(1));
+        b.reads_from(w, r_same);
+        b.reads_from(w, r_other);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        assert!(exec.rf_internal().contains(w, r_same));
+        assert!(!exec.rf_internal().contains(w, r_other));
+        assert!(exec.rf_external().contains(w, r_other));
+        assert!(!exec.rf_external().contains(w, r_same));
+    }
+
+    #[test]
+    fn validate_detects_missing_source() {
+        let mut b = ExecutionBuilder::new();
+        b.read(p(0), Address(0x10), Value(0));
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::ReadWithoutSource(EventId(0)))
+        );
+    }
+
+    #[test]
+    fn validate_detects_value_mismatch() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(p(0), Address(0x10), Value(1));
+        let r = b.read(p(1), Address(0x10), Value(2));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::RfValueMismatch(w, r))
+        );
+    }
+
+    #[test]
+    fn validate_detects_address_mismatch() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(p(0), Address(0x10), Value(1));
+        let r = b.read(p(1), Address(0x20), Value(1));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::RfAddressMismatch(w, r))
+        );
+    }
+
+    #[test]
+    fn validate_detects_cyclic_coherence() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write(p(0), Address(0x10), Value(1));
+        let w2 = b.write(p(1), Address(0x10), Value(2));
+        b.coherence(w1, w2);
+        b.coherence(w2, w1);
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::CyclicCoherence(Address(0x10)))
+        );
+    }
+
+    #[test]
+    fn build_closes_coherence_transitively() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write(p(0), Address(0x10), Value(1));
+        let w2 = b.write(p(0), Address(0x10), Value(2));
+        let w3 = b.write(p(1), Address(0x10), Value(3));
+        b.coherence(w1, w2);
+        b.coherence(w2, w3);
+        b.coherence_after_initial(w1);
+        let exec = b.build();
+        assert!(exec.co().contains(w1, w3));
+        // Initial write ordered before all three.
+        let init = exec
+            .events()
+            .iter()
+            .find(|e| e.is_initial())
+            .expect("init write exists")
+            .id;
+        assert!(exec.co().contains(init, w1));
+        assert!(exec.co().contains(init, w2));
+        assert!(exec.co().contains(init, w3));
+    }
+
+    #[test]
+    fn rmw_shares_iiid() {
+        let mut b = ExecutionBuilder::new();
+        let (r, w) = b.rmw(p(0), Address(0x10), Value(0), Value(7));
+        let next = b.read(p(0), Address(0x20), Value(0));
+        b.reads_from_initial(r);
+        b.reads_from_initial(next);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        assert_eq!(exec.event(r).iiid, exec.event(w).iiid);
+        assert!(exec.po().contains(r, w));
+        assert!(exec.po().contains(w, next));
+        assert!(exec.validate().is_ok());
+    }
+
+    #[test]
+    fn addresses_and_processors_are_sorted_unique() {
+        let mut b = ExecutionBuilder::new();
+        b.write(p(1), Address(0x20), Value(1));
+        b.write(p(0), Address(0x10), Value(2));
+        b.write(p(1), Address(0x10), Value(3));
+        let exec = b.build();
+        assert_eq!(exec.addresses(), vec![Address(0x10), Address(0x20)]);
+        assert_eq!(exec.processors(), vec![p(0), p(1)]);
+    }
+
+    #[test]
+    fn explicit_poi_variants() {
+        let mut b = ExecutionBuilder::new();
+        let iiid0 = Iiid { pid: p(0), poi: 5 };
+        let iiid1 = Iiid { pid: p(0), poi: 9 };
+        let w = b.write_at(iiid0, Address(0x10), Value(1));
+        let r = b.read_at(iiid1, Address(0x10), Value(1));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        assert!(exec.po().contains(w, r));
+        assert!(exec.validate().is_ok());
+    }
+}

@@ -1,0 +1,325 @@
+//! Axiomatic consistency models in the herding-cats style.
+//!
+//! A model ([`Architecture`]) is characterised by three ingredients (paper
+//! §2.1 and Alglave et al.):
+//!
+//! * the *preserved program order* `ppo` — the subset of program order the
+//!   hardware promises to maintain;
+//! * the *fence order* — pairs of memory accesses ordered by fences or
+//!   fence-implying instructions (e.g. x86 locked RMWs);
+//! * the *global reads-from* `grf` — which reads-from edges participate in the
+//!   global happens-before (for multi-copy-atomic models such as TSO only
+//!   external reads-from is global).
+//!
+//! From these, validity of a candidate execution is expressed as a set of
+//! [`Axiom`]s:
+//!
+//! 1. **sc-per-location** (a.k.a. uniproc / coherence): `po-loc ∪ com` acyclic;
+//! 2. **ghb** (global happens-before): `ppo ∪ fence ∪ grf ∪ co ∪ fr` acyclic;
+//! 3. **rmw-atomicity**: no write intervenes (in coherence order) between the
+//!    read and write halves of an atomic read-modify-write.
+//!
+//! Models provided: [`sc::Sc`], [`tso::Tso`] and the deliberately weak
+//! [`relaxed::Rmo`] (used to demonstrate how a more permissive target model
+//! changes checker verdicts).
+
+pub mod relaxed;
+pub mod sc;
+pub mod tso;
+
+use crate::execution::CandidateExecution;
+use crate::relation::Relation;
+use std::fmt;
+
+/// A single named constraint over derived relations of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Axiom {
+    /// The relation must be acyclic.
+    Acyclic {
+        /// Human-readable axiom name (e.g. `"ghb"`).
+        name: &'static str,
+        /// The relation that must contain no cycle.
+        relation: Relation,
+    },
+    /// The relation must be empty.
+    Empty {
+        /// Human-readable axiom name (e.g. `"rmw-atomicity"`).
+        name: &'static str,
+        /// The relation that must contain no pair.
+        relation: Relation,
+    },
+}
+
+impl Axiom {
+    /// The axiom's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axiom::Acyclic { name, .. } | Axiom::Empty { name, .. } => name,
+        }
+    }
+
+    /// The relation the axiom constrains.
+    pub fn relation(&self) -> &Relation {
+        match self {
+            Axiom::Acyclic { relation, .. } | Axiom::Empty { relation, .. } => relation,
+        }
+    }
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom::Acyclic { name, .. } => write!(f, "acyclic({name})"),
+            Axiom::Empty { name, .. } => write!(f, "empty({name})"),
+        }
+    }
+}
+
+/// An axiomatic memory consistency model.
+///
+/// Implementations provide the model-specific derived relations; the default
+/// [`axioms`](Architecture::axioms) method assembles the standard constraint
+/// set from them.  The checker only consumes `axioms`, so exotic models may
+/// override it entirely.
+pub trait Architecture: fmt::Debug + Send + Sync {
+    /// Short human-readable model name, e.g. `"TSO"`.
+    fn name(&self) -> &'static str;
+
+    /// Preserved program order: the subset of `po` (restricted to memory
+    /// accesses) that the hardware guarantees to maintain globally.
+    fn ppo(&self, exec: &CandidateExecution) -> Relation;
+
+    /// Pairs of memory accesses ordered by fences or fence-implying
+    /// instructions.
+    fn fence_order(&self, exec: &CandidateExecution) -> Relation;
+
+    /// The reads-from edges that are globally ordering (for store-atomic
+    /// models all of `rf`; for TSO-like models only external `rf`).
+    fn global_rf(&self, exec: &CandidateExecution) -> Relation;
+
+    /// Assembles the axioms to check for `exec`.
+    fn axioms(&self, exec: &CandidateExecution) -> Vec<Axiom> {
+        let fr = exec.fr();
+        let com = exec.com();
+
+        // 1. SC per location.
+        let mut sc_per_loc = exec.po_loc();
+        sc_per_loc.union_with(&com);
+
+        // 2. Global happens-before.
+        let mut ghb = self.ppo(exec);
+        ghb.union_with(&self.fence_order(exec));
+        ghb.union_with(&self.global_rf(exec));
+        ghb.union_with(exec.co());
+        ghb.union_with(&fr);
+
+        // 3. RMW atomicity: for an atomic pair (r, w), no other write w' may
+        //    satisfy fr(r, w') and co(w', w).
+        let atomicity_violations = rmw_atomicity_violations(exec, &fr);
+
+        vec![
+            Axiom::Acyclic {
+                name: "sc-per-location",
+                relation: sc_per_loc,
+            },
+            Axiom::Acyclic {
+                name: "ghb",
+                relation: ghb,
+            },
+            Axiom::Empty {
+                name: "rmw-atomicity",
+                relation: atomicity_violations,
+            },
+        ]
+    }
+}
+
+/// Computes the set of RMW pairs whose atomicity is violated.
+///
+/// Returns a relation containing `(read_half, write_half)` for every atomic
+/// read-modify-write where some other write to the same address is coherence
+/// ordered after the read's source but before the write half.
+pub fn rmw_atomicity_violations(exec: &CandidateExecution, fr: &Relation) -> Relation {
+    let mut violations = Relation::new();
+    // Collect RMW pairs: same iiid, read half and write half.
+    let mut rmw_pairs = Vec::new();
+    for r in exec.events().iter().filter(|e| e.kind.is_rmw() && e.is_read()) {
+        for w in exec
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_rmw() && e.is_write())
+        {
+            if r.iiid.is_some() && r.iiid == w.iiid {
+                rmw_pairs.push((r.id, w.id));
+            }
+        }
+    }
+    for (r, w) in rmw_pairs {
+        // fr(r, w') and co(w', w) for some w' != w means a write intervened.
+        for w_prime in fr.successors(r) {
+            if w_prime != w && exec.co().contains(w_prime, w) {
+                violations.insert(r, w);
+                break;
+            }
+        }
+    }
+    violations
+}
+
+/// Helper shared by models: program order restricted to memory accesses
+/// (fences removed), as a relation between memory events only.
+pub(crate) fn po_mem(exec: &CandidateExecution) -> Relation {
+    exec.po().filter(|a, b| {
+        exec.event(a).kind.is_memory_access() && exec.event(b).kind.is_memory_access()
+    })
+}
+
+/// Helper shared by models: pairs of memory accesses separated (in program
+/// order) by a fence satisfying `matches`, or by a fence-implying RMW.
+pub(crate) fn fence_separated<F>(exec: &CandidateExecution, matches: F) -> Relation
+where
+    F: Fn(crate::event::FenceKind) -> bool,
+{
+    let po = exec.po();
+    let mut out = Relation::new();
+    let fencelike: Vec<_> = exec
+        .events()
+        .iter()
+        .filter(|e| match e.kind {
+            crate::event::EventKind::Fence(k) => matches(k),
+            // x86 locked RMWs drain the store buffer: they order everything
+            // before them against everything after them.
+            crate::event::EventKind::RmwRead | crate::event::EventKind::RmwWrite => true,
+            _ => false,
+        })
+        .map(|e| e.id)
+        .collect();
+    for f in fencelike {
+        let f_is_mem = exec.event(f).kind.is_memory_access();
+        let mut before: Vec<_> = exec
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_memory_access() && po.contains(e.id, f))
+            .map(|e| e.id)
+            .collect();
+        let mut after: Vec<_> = exec
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_memory_access() && po.contains(f, e.id))
+            .map(|e| e.id)
+            .collect();
+        // A fence-implying memory access (RMW half) is itself ordered against
+        // everything on both sides: on x86 a locked instruction's write is
+        // globally performed before any later read of the same core.
+        if f_is_mem {
+            before.push(f);
+            after.push(f);
+        }
+        for &a in &before {
+            for &b in &after {
+                if a != b {
+                    out.insert(a, b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Address, FenceKind, ProcessorId, Value};
+    use crate::execution::ExecutionBuilder;
+
+    #[test]
+    fn axiom_accessors() {
+        let a = Axiom::Acyclic {
+            name: "ghb",
+            relation: Relation::new(),
+        };
+        assert_eq!(a.name(), "ghb");
+        assert!(a.relation().is_empty());
+        assert_eq!(format!("{a}"), "acyclic(ghb)");
+        let e = Axiom::Empty {
+            name: "rmw-atomicity",
+            relation: Relation::new(),
+        };
+        assert_eq!(format!("{e}"), "empty(rmw-atomicity)");
+    }
+
+    #[test]
+    fn fence_separated_orders_across_mfence() {
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let w = b.write(p0, Address(0x10), Value(1));
+        b.fence(p0, FenceKind::Full);
+        let r = b.read(p0, Address(0x20), Value(0));
+        b.reads_from_initial(r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        let fo = fence_separated(&exec, |k| k == FenceKind::Full);
+        assert!(fo.contains(w, r));
+    }
+
+    #[test]
+    fn fence_separated_ignores_non_matching_fences() {
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let w = b.write(p0, Address(0x10), Value(1));
+        b.fence(p0, FenceKind::StoreStore);
+        let r = b.read(p0, Address(0x20), Value(0));
+        b.reads_from_initial(r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        let fo = fence_separated(&exec, |k| k == FenceKind::Full);
+        assert!(!fo.contains(w, r));
+    }
+
+    #[test]
+    fn rmw_implies_fence_order() {
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let w = b.write(p0, Address(0x10), Value(1));
+        let (rr, rw) = b.rmw(p0, Address(0x30), Value(0), Value(7));
+        let r = b.read(p0, Address(0x20), Value(0));
+        b.reads_from_initial(rr);
+        b.reads_from_initial(r);
+        b.coherence_after_initial(w);
+        b.coherence_after_initial(rw);
+        let exec = b.build();
+        let fo = fence_separated(&exec, |k| k == FenceKind::Full);
+        assert!(fo.contains(w, r), "W -> RMW -> R must be ordered");
+    }
+
+    #[test]
+    fn atomicity_violation_detected() {
+        // RMW reads from init, but another write is co-between init and the
+        // RMW's write half.
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let p1 = ProcessorId(1);
+        let (rr, rw) = b.rmw(p0, Address(0x10), Value(0), Value(7));
+        let intruder = b.write(p1, Address(0x10), Value(3));
+        b.reads_from_initial(rr);
+        b.coherence_after_initial(intruder);
+        b.coherence(intruder, rw);
+        let exec = b.build();
+        let fr = exec.fr();
+        let v = rmw_atomicity_violations(&exec, &fr);
+        assert!(v.contains(rr, rw));
+    }
+
+    #[test]
+    fn atomicity_ok_when_no_intervening_write() {
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let (rr, rw) = b.rmw(p0, Address(0x10), Value(0), Value(7));
+        b.reads_from_initial(rr);
+        b.coherence_after_initial(rw);
+        let exec = b.build();
+        let fr = exec.fr();
+        let v = rmw_atomicity_violations(&exec, &fr);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Static per-thread structure of a test: program order and fence placement.
+//!
+//! The test generator lowers each test into a per-thread sequence of events;
+//! this module derives the *static orders* the checker needs before the test
+//! executes (paper §4.1: "All static orders required to compute the preserved
+//! program order (ppo) are gathered before first execution of a test").
+
+use crate::event::{Event, EventId, ProcessorId};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// Builds the program order (`po`) relation from events.
+///
+/// `po` totally orders the events of each thread by their program-order index;
+/// events of different threads and initial writes are unrelated.
+///
+/// The relation returned is the *transitive* program order (every pair of
+/// same-thread events in order), which is what axiomatic models quantify over.
+pub fn program_order(events: &[Event]) -> Relation {
+    let mut per_thread: BTreeMap<ProcessorId, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        if let Some(iiid) = ev.iiid {
+            per_thread.entry(iiid.pid).or_default().push(ev);
+        }
+    }
+    let mut po = Relation::new();
+    for thread in per_thread.values_mut() {
+        thread.sort_by_key(|ev| (ev.iiid.expect("thread event has iiid").poi, ev.id));
+        for i in 0..thread.len() {
+            for j in (i + 1)..thread.len() {
+                // Events from the same instruction (same poi, e.g. the two
+                // halves of an RMW) are ordered read -> write.
+                let a = thread[i];
+                let b = thread[j];
+                let same_instr = a.iiid.map(|x| x.poi) == b.iiid.map(|x| x.poi);
+                if same_instr {
+                    if a.is_read() && b.is_write() {
+                        po.insert(a.id, b.id);
+                    }
+                } else {
+                    po.insert(a.id, b.id);
+                }
+            }
+        }
+    }
+    po
+}
+
+/// Restricts `po` to *immediate* program order: each event related only to the
+/// next event of its thread.  Useful for display and for building per-thread
+/// adjacency views.
+pub fn immediate_program_order(events: &[Event]) -> Relation {
+    let mut per_thread: BTreeMap<ProcessorId, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        if let Some(iiid) = ev.iiid {
+            per_thread.entry(iiid.pid).or_default().push(ev);
+        }
+    }
+    let mut po = Relation::new();
+    for thread in per_thread.values_mut() {
+        thread.sort_by_key(|ev| (ev.iiid.expect("thread event has iiid").poi, ev.id));
+        for pair in thread.windows(2) {
+            po.insert(pair[0].id, pair[1].id);
+        }
+    }
+    po
+}
+
+/// Returns the per-thread event id sequences in program order.
+pub fn thread_sequences(events: &[Event]) -> BTreeMap<ProcessorId, Vec<EventId>> {
+    let mut per_thread: BTreeMap<ProcessorId, Vec<&Event>> = BTreeMap::new();
+    for ev in events {
+        if let Some(iiid) = ev.iiid {
+            per_thread.entry(iiid.pid).or_default().push(ev);
+        }
+    }
+    per_thread
+        .into_iter()
+        .map(|(pid, mut evs)| {
+            evs.sort_by_key(|ev| (ev.iiid.expect("thread event has iiid").poi, ev.id));
+            (pid, evs.into_iter().map(|e| e.id).collect())
+        })
+        .collect()
+}
+
+/// Restriction of a relation to pairs of events accessing the same address
+/// (`po-loc` when applied to `po`).
+pub fn same_address(rel: &Relation, events: &[Event]) -> Relation {
+    let addr_of: BTreeMap<EventId, _> = events
+        .iter()
+        .filter_map(|e| e.addr.map(|a| (e.id, a)))
+        .collect();
+    rel.filter(|a, b| match (addr_of.get(&a), addr_of.get(&b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Address, EventKind, Iiid, Value};
+
+    fn mk(id: u32, pid: u32, poi: u32, kind: EventKind, addr: u64) -> Event {
+        Event {
+            id: EventId(id),
+            iiid: Some(Iiid {
+                pid: ProcessorId(pid),
+                poi,
+            }),
+            kind,
+            addr: Some(Address(addr)),
+            value: Value(0),
+        }
+    }
+
+    #[test]
+    fn po_orders_within_thread_only() {
+        let events = vec![
+            mk(0, 0, 0, EventKind::Write, 0x10),
+            mk(1, 0, 1, EventKind::Write, 0x20),
+            mk(2, 1, 0, EventKind::Read, 0x20),
+            mk(3, 1, 1, EventKind::Read, 0x10),
+        ];
+        let po = program_order(&events);
+        assert!(po.contains(EventId(0), EventId(1)));
+        assert!(po.contains(EventId(2), EventId(3)));
+        assert!(!po.contains(EventId(0), EventId(2)));
+        assert!(!po.contains(EventId(1), EventId(0)));
+        assert_eq!(po.len(), 2);
+    }
+
+    #[test]
+    fn po_is_transitive() {
+        let events = vec![
+            mk(0, 0, 0, EventKind::Write, 0x10),
+            mk(1, 0, 1, EventKind::Write, 0x20),
+            mk(2, 0, 2, EventKind::Read, 0x30),
+        ];
+        let po = program_order(&events);
+        assert!(po.contains(EventId(0), EventId(2)));
+        assert_eq!(po.len(), 3);
+    }
+
+    #[test]
+    fn immediate_po_is_chain() {
+        let events = vec![
+            mk(0, 0, 0, EventKind::Write, 0x10),
+            mk(1, 0, 1, EventKind::Write, 0x20),
+            mk(2, 0, 2, EventKind::Read, 0x30),
+        ];
+        let ipo = immediate_program_order(&events);
+        assert_eq!(ipo.len(), 2);
+        assert!(ipo.contains(EventId(0), EventId(1)));
+        assert!(ipo.contains(EventId(1), EventId(2)));
+        assert!(!ipo.contains(EventId(0), EventId(2)));
+    }
+
+    #[test]
+    fn rmw_halves_ordered_read_before_write() {
+        let events = vec![
+            mk(0, 0, 0, EventKind::RmwRead, 0x10),
+            mk(1, 0, 0, EventKind::RmwWrite, 0x10),
+            mk(2, 0, 1, EventKind::Read, 0x20),
+        ];
+        let po = program_order(&events);
+        assert!(po.contains(EventId(0), EventId(1)));
+        assert!(!po.contains(EventId(1), EventId(0)));
+        assert!(po.contains(EventId(0), EventId(2)));
+        assert!(po.contains(EventId(1), EventId(2)));
+    }
+
+    #[test]
+    fn initial_events_not_in_po() {
+        let mut events = vec![mk(1, 0, 0, EventKind::Read, 0x10)];
+        events.push(Event {
+            id: EventId(0),
+            iiid: None,
+            kind: EventKind::Write,
+            addr: Some(Address(0x10)),
+            value: Value::INITIAL,
+        });
+        let po = program_order(&events);
+        assert!(po.is_empty());
+    }
+
+    #[test]
+    fn thread_sequences_sorted_by_poi() {
+        let events = vec![
+            mk(5, 0, 2, EventKind::Read, 0x10),
+            mk(3, 0, 0, EventKind::Write, 0x10),
+            mk(4, 0, 1, EventKind::Write, 0x20),
+            mk(6, 1, 0, EventKind::Read, 0x20),
+        ];
+        let seqs = thread_sequences(&events);
+        assert_eq!(
+            seqs[&ProcessorId(0)],
+            vec![EventId(3), EventId(4), EventId(5)]
+        );
+        assert_eq!(seqs[&ProcessorId(1)], vec![EventId(6)]);
+    }
+
+    #[test]
+    fn same_address_restriction() {
+        let events = vec![
+            mk(0, 0, 0, EventKind::Write, 0x10),
+            mk(1, 0, 1, EventKind::Write, 0x20),
+            mk(2, 0, 2, EventKind::Read, 0x10),
+        ];
+        let po = program_order(&events);
+        let poloc = same_address(&po, &events);
+        assert!(poloc.contains(EventId(0), EventId(2)));
+        assert!(!poloc.contains(EventId(0), EventId(1)));
+        assert!(!poloc.contains(EventId(1), EventId(2)));
+    }
+}

@@ -1,0 +1,489 @@
+//! Binary relations over events and the graph algorithms used by the checker.
+//!
+//! A [`Relation`] is a finite set of ordered pairs of [`EventId`]s, stored as
+//! an adjacency map.  Axiomatic consistency models are phrased as constraints
+//! (acyclicity, irreflexivity) over unions and compositions of such relations,
+//! so this module provides the small relational algebra the checker needs:
+//! union, composition, inverse, restriction, transitive closure, acyclicity
+//! with cycle extraction, and topological ordering.
+
+use crate::event::EventId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A binary relation over [`EventId`]s.
+///
+/// The representation is an adjacency map from source to the ordered set of
+/// targets.  All operations are deterministic (iteration order follows event
+/// id order), which keeps checker output and test failures reproducible.
+///
+/// ```
+/// use mcversi_mcm::relation::Relation;
+/// use mcversi_mcm::event::EventId;
+///
+/// let mut r = Relation::new();
+/// r.insert(EventId(0), EventId(1));
+/// r.insert(EventId(1), EventId(2));
+/// assert!(r.contains(EventId(0), EventId(1)));
+/// assert!(!r.contains(EventId(0), EventId(2)));
+/// assert!(r.transitive_closure().contains(EventId(0), EventId(2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    edges: BTreeMap<EventId, BTreeSet<EventId>>,
+    len: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Relation {
+            edges: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates a relation from an iterator of pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (EventId, EventId)>>(pairs: I) -> Self {
+        let mut r = Relation::new();
+        for (a, b) in pairs {
+            r.insert(a, b);
+        }
+        r
+    }
+
+    /// Inserts the pair `(from, to)`. Returns `true` if it was not already present.
+    pub fn insert(&mut self, from: EventId, to: EventId) -> bool {
+        let inserted = self.edges.entry(from).or_default().insert(to);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Removes the pair `(from, to)`. Returns `true` if it was present.
+    pub fn remove(&mut self, from: EventId, to: EventId) -> bool {
+        if let Some(set) = self.edges.get_mut(&from) {
+            if set.remove(&to) {
+                self.len -= 1;
+                if set.is_empty() {
+                    self.edges.remove(&from);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the pair `(from, to)` is in the relation.
+    pub fn contains(&self, from: EventId, to: EventId) -> bool {
+        self.edges.get(&from).is_some_and(|s| s.contains(&to))
+    }
+
+    /// Number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the relation contains no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over all pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.edges
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+    }
+
+    /// Successors of `from` (events ordered after it by one step of the relation).
+    pub fn successors(&self, from: EventId) -> impl Iterator<Item = EventId> + '_ {
+        self.edges.get(&from).into_iter().flatten().copied()
+    }
+
+    /// Predecessors of `to`.  Linear in the size of the relation.
+    pub fn predecessors(&self, to: EventId) -> Vec<EventId> {
+        self.iter()
+            .filter_map(|(a, b)| if b == to { Some(a) } else { None })
+            .collect()
+    }
+
+    /// All events that appear as source or target of at least one pair.
+    pub fn nodes(&self) -> BTreeSet<EventId> {
+        let mut nodes = BTreeSet::new();
+        for (a, b) in self.iter() {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        nodes
+    }
+
+    /// In-place union with another relation.
+    pub fn union_with(&mut self, other: &Relation) {
+        for (a, b) in other.iter() {
+            self.insert(a, b);
+        }
+    }
+
+    /// Union of `self` and `other`.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut r = self.clone();
+        r.union_with(other);
+        r
+    }
+
+    /// Union of an iterator of relations.
+    pub fn union_all<'a, I: IntoIterator<Item = &'a Relation>>(rels: I) -> Relation {
+        let mut out = Relation::new();
+        for r in rels {
+            out.union_with(r);
+        }
+        out
+    }
+
+    /// Intersection of `self` and `other`.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        Relation::from_pairs(self.iter().filter(|&(a, b)| other.contains(a, b)))
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        Relation::from_pairs(self.iter().filter(|&(a, b)| !other.contains(a, b)))
+    }
+
+    /// Inverse relation: contains `(b, a)` for every `(a, b)` in `self`.
+    pub fn inverse(&self) -> Relation {
+        Relation::from_pairs(self.iter().map(|(a, b)| (b, a)))
+    }
+
+    /// Relational composition `self ; other`: `(a, c)` whenever `(a, b)` in
+    /// `self` and `(b, c)` in `other` for some `b`.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new();
+        for (a, b) in self.iter() {
+            for c in other.successors(b) {
+                out.insert(a, c);
+            }
+        }
+        out
+    }
+
+    /// Restriction of the relation to pairs satisfying `keep`.
+    pub fn filter<F: Fn(EventId, EventId) -> bool>(&self, keep: F) -> Relation {
+        Relation::from_pairs(self.iter().filter(|&(a, b)| keep(a, b)))
+    }
+
+    /// Transitive closure computed by repeated breadth-first reachability.
+    ///
+    /// The closure of a relation with `n` participating nodes is computed in
+    /// `O(n * edges)`; executions checked by McVerSi are short (≈1k events) so
+    /// this is never a bottleneck, and the checker itself avoids materialising
+    /// closures in the common path.
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = Relation::new();
+        for &start in self.edges.keys() {
+            // BFS from start.
+            let mut stack: Vec<EventId> = self.successors(start).collect();
+            let mut seen: BTreeSet<EventId> = BTreeSet::new();
+            while let Some(n) = stack.pop() {
+                if seen.insert(n) {
+                    out.insert(start, n);
+                    stack.extend(self.successors(n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the relation relates any event to itself.
+    pub fn has_reflexive_pair(&self) -> bool {
+        self.iter().any(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if the relation is irreflexive after taking its
+    /// transitive closure (i.e. no event reaches itself).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Finds a cycle if one exists and returns it as a list of events forming
+    /// the cycle (each adjacent pair, and the last-to-first pair, are related).
+    ///
+    /// Uses an iterative depth-first search with tri-colour marking; the cycle
+    /// is reconstructed from the DFS parent pointers when a back-edge is found.
+    pub fn find_cycle(&self) -> Option<Vec<EventId>> {
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour: BTreeMap<EventId, u8> = BTreeMap::new();
+        let mut parent: BTreeMap<EventId, EventId> = BTreeMap::new();
+        let roots: Vec<EventId> = self.edges.keys().copied().collect();
+
+        for &root in &roots {
+            if colour.get(&root).copied().unwrap_or(WHITE) != WHITE {
+                continue;
+            }
+            colour.insert(root, GREY);
+            // Stack frames: (node, successor list, next successor index).
+            let mut stack: Vec<(EventId, Vec<EventId>, usize)> =
+                vec![(root, self.successors(root).collect(), 0)];
+            while !stack.is_empty() {
+                let frame_len = stack.last().expect("non-empty").1.len();
+                let frame_idx = stack.last().expect("non-empty").2;
+                let frame_node = stack.last().expect("non-empty").0;
+                if frame_idx < frame_len {
+                    let succ = stack.last().expect("non-empty").1[frame_idx];
+                    stack.last_mut().expect("non-empty").2 += 1;
+                    match colour.get(&succ).copied().unwrap_or(WHITE) {
+                        WHITE => {
+                            parent.insert(succ, frame_node);
+                            colour.insert(succ, GREY);
+                            let succs: Vec<EventId> = self.successors(succ).collect();
+                            stack.push((succ, succs, 0));
+                        }
+                        GREY => {
+                            // Back-edge frame_node -> succ closes a cycle.
+                            let mut cycle = vec![frame_node];
+                            let mut cur = frame_node;
+                            while cur != succ {
+                                cur = parent[&cur];
+                                cycle.push(cur);
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour.insert(frame_node, BLACK);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns a topological ordering of all nodes participating in the
+    /// relation, or `None` if the relation is cyclic.
+    ///
+    /// Kahn's algorithm; ties are broken by event id so the result is
+    /// deterministic.
+    pub fn topological_sort(&self) -> Option<Vec<EventId>> {
+        let nodes = self.nodes();
+        let mut indegree: BTreeMap<EventId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        for (_, b) in self.iter() {
+            *indegree.get_mut(&b).expect("target in node set") += 1;
+        }
+        let mut ready: BTreeSet<EventId> = indegree
+            .iter()
+            .filter_map(|(&n, &d)| if d == 0 { Some(n) } else { None })
+            .collect();
+        let mut out = Vec::with_capacity(nodes.len());
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(&n);
+            out.push(n);
+            for s in self.successors(n) {
+                let d = indegree.get_mut(&s).expect("successor in node set");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(s);
+                }
+            }
+        }
+        if out.len() == nodes.len() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+impl FromIterator<(EventId, EventId)> for Relation {
+    fn from_iter<I: IntoIterator<Item = (EventId, EventId)>>(iter: I) -> Self {
+        Relation::from_pairs(iter)
+    }
+}
+
+impl Extend<(EventId, EventId)> for Relation {
+    fn extend<I: IntoIterator<Item = (EventId, EventId)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.insert(a, b);
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a},{b})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut r = Relation::new();
+        assert!(r.is_empty());
+        assert!(r.insert(e(0), e(1)));
+        assert!(!r.insert(e(0), e(1)));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(e(0), e(1)));
+        assert!(!r.contains(e(1), e(0)));
+        assert!(r.remove(e(0), e(1)));
+        assert!(!r.remove(e(0), e(1)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = Relation::from_pairs([(e(0), e(1)), (e(1), e(2))]);
+        let b = Relation::from_pairs([(e(1), e(2)), (e(2), e(3))]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(e(1), e(2)));
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(e(0), e(1)));
+    }
+
+    #[test]
+    fn inverse_and_compose() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(1), e(2))]);
+        let inv = r.inverse();
+        assert!(inv.contains(e(1), e(0)));
+        assert!(inv.contains(e(2), e(1)));
+        let comp = r.compose(&r);
+        assert_eq!(comp.len(), 1);
+        assert!(comp.contains(e(0), e(2)));
+    }
+
+    #[test]
+    fn transitive_closure_chain() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(1), e(2)), (e(2), e(3))]);
+        let tc = r.transitive_closure();
+        assert!(tc.contains(e(0), e(3)));
+        assert!(tc.contains(e(0), e(2)));
+        assert!(tc.contains(e(1), e(3)));
+        assert_eq!(tc.len(), 6);
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(1), e(2)), (e(3), e(0))]);
+        let tc = r.transitive_closure();
+        assert_eq!(tc.transitive_closure(), tc);
+    }
+
+    #[test]
+    fn acyclic_detection() {
+        let dag = Relation::from_pairs([(e(0), e(1)), (e(0), e(2)), (e(1), e(3)), (e(2), e(3))]);
+        assert!(dag.is_acyclic());
+        assert!(dag.find_cycle().is_none());
+
+        let cyc = Relation::from_pairs([(e(0), e(1)), (e(1), e(2)), (e(2), e(0))]);
+        assert!(!cyc.is_acyclic());
+        let cycle = cyc.find_cycle().expect("cycle exists");
+        assert!(cycle.len() >= 2);
+        // Every adjacent pair in the reported cycle must be an edge.
+        for w in cycle.windows(2) {
+            assert!(cyc.contains(w[0], w[1]), "cycle edge {:?} missing", w);
+        }
+        assert!(cyc.contains(*cycle.last().unwrap(), cycle[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let r = Relation::from_pairs([(e(5), e(5))]);
+        assert!(!r.is_acyclic());
+        assert_eq!(r.find_cycle().unwrap(), vec![e(5)]);
+        assert!(r.has_reflexive_pair());
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(1), e(0))]);
+        let cycle = r.find_cycle().expect("cycle exists");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn topological_sort_dag() {
+        let r = Relation::from_pairs([(e(2), e(1)), (e(1), e(0)), (e(3), e(0))]);
+        let order = r.topological_sort().expect("acyclic");
+        let pos = |x: EventId| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(e(2)) < pos(e(1)));
+        assert!(pos(e(1)) < pos(e(0)));
+        assert!(pos(e(3)) < pos(e(0)));
+    }
+
+    #[test]
+    fn topological_sort_rejects_cycles() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(1), e(0))]);
+        assert!(r.topological_sort().is_none());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let r = Relation::from_pairs([(e(0), e(1)), (e(10), e(11)), (e(11), e(10))]);
+        assert!(!r.is_acyclic());
+        // The cycle reported must come from the cyclic component.
+        let cycle = r.find_cycle().unwrap();
+        assert!(cycle.contains(&e(10)) || cycle.contains(&e(11)));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut r: Relation = [(e(0), e(1))].into_iter().collect();
+        r.extend([(e(1), e(2)), (e(0), e(1))]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_pairs() {
+        let r = Relation::from_pairs([(e(0), e(1))]);
+        assert_eq!(format!("{r}"), "{(e0,e1)}");
+    }
+
+    #[test]
+    fn predecessors_and_nodes() {
+        let r = Relation::from_pairs([(e(0), e(2)), (e(1), e(2))]);
+        let preds = r.predecessors(e(2));
+        assert_eq!(preds, vec![e(0), e(1)]);
+        assert_eq!(r.nodes().len(), 3);
+    }
+
+    #[test]
+    fn large_chain_acyclic_and_sorted() {
+        let r = Relation::from_pairs((0..500u32).map(|i| (e(i), e(i + 1))));
+        assert!(r.is_acyclic());
+        let order = r.topological_sort().unwrap();
+        assert_eq!(order.len(), 501);
+        assert_eq!(order[0], e(0));
+        assert_eq!(order[500], e(500));
+    }
+
+    #[test]
+    fn large_cycle_detected() {
+        let mut pairs: Vec<(EventId, EventId)> = (0..500u32).map(|i| (e(i), e(i + 1))).collect();
+        pairs.push((e(500), e(0)));
+        let r = Relation::from_pairs(pairs);
+        assert!(!r.is_acyclic());
+    }
+}

@@ -1,0 +1,245 @@
+//! The bug registry: the 11 bugs studied in the paper's evaluation (§5.3).
+//!
+//! Each [`Bug`] is injected by suppressing or corrupting one specific piece of
+//! logic in the pipeline or coherence protocol.  Bugs are *injected*, never
+//! present by default: a [`BugConfig`] with no bugs enabled is the correct
+//! design, and the test suite asserts that the correct design never produces
+//! consistency violations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 11 studied bugs.
+///
+/// The first seven affect the MESI protocol (or its interaction with the load
+/// queue), the next two affect TSO-CC, and the last two affect the core's
+/// load/store queues independently of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Bug {
+    /// `MESI,LQ+IS,Inv`: the L1 sinks an invalidation received in the IS
+    /// transient state but fails to forward the invalidation to the load queue
+    /// when the data later arrives (IS_I), allowing read→read reordering.
+    MesiLqIsInv,
+    /// `MESI,LQ+SM,Inv`: invalidation received in SM is not forwarded to the
+    /// load/store queue.
+    MesiLqSmInv,
+    /// `MESI,LQ+E,Inv`: invalidation (ownership-stripping forward) received in
+    /// E is not forwarded to the load queue.
+    MesiLqEInv,
+    /// `MESI,LQ+M,Inv`: invalidation received in M is not forwarded to the
+    /// load queue.
+    MesiLqMInv,
+    /// `MESI,LQ+S,Replacement`: replacement of a Shared line does not notify
+    /// the load queue.
+    MesiLqSReplacement,
+    /// `MESI+PUTX-Race`: the L2 mishandles the race between an owner's
+    /// writeback (PUTX) and an in-flight forwarded request, resulting in an
+    /// invalid transition (caught by the protocol monitor, as in Ruby).
+    MesiPutxRace,
+    /// `MESI+Replace-Race`: on an L2 replacement of a block it believes clean
+    /// (granted Exclusive, silently modified), the dirty writeback data is
+    /// dropped, losing the modification.
+    MesiReplaceRace,
+    /// `TSO-CC+no-epoch-ids`: epoch identifiers are ignored when comparing
+    /// timestamps, so timestamp resets lead to missed self-invalidations.
+    TsoCcNoEpochIds,
+    /// `TSO-CC+compare`: the self-invalidation comparison uses `>` instead of
+    /// `>=`, missing self-invalidations for writes in the same timestamp group.
+    TsoCcCompare,
+    /// `LQ+no-TSO`: the load queue does not squash younger performed loads on
+    /// a forwarded invalidation.
+    LqNoTso,
+    /// `SQ+no-FIFO`: the store buffer drains out of order.
+    SqNoFifo,
+}
+
+impl Bug {
+    /// All bugs, in the order of the paper's Table 4.
+    pub const ALL: [Bug; 11] = [
+        Bug::MesiLqIsInv,
+        Bug::MesiLqSmInv,
+        Bug::MesiLqEInv,
+        Bug::MesiLqMInv,
+        Bug::MesiLqSReplacement,
+        Bug::MesiPutxRace,
+        Bug::MesiReplaceRace,
+        Bug::TsoCcNoEpochIds,
+        Bug::TsoCcCompare,
+        Bug::LqNoTso,
+        Bug::SqNoFifo,
+    ];
+
+    /// The paper's name for the bug (Table 4 row label).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Bug::MesiLqIsInv => "MESI,LQ+IS,Inv",
+            Bug::MesiLqSmInv => "MESI,LQ+SM,Inv",
+            Bug::MesiLqEInv => "MESI,LQ+E,Inv",
+            Bug::MesiLqMInv => "MESI,LQ+M,Inv",
+            Bug::MesiLqSReplacement => "MESI,LQ+S,Replacement",
+            Bug::MesiPutxRace => "MESI+PUTX-Race",
+            Bug::MesiReplaceRace => "MESI+Replace-Race",
+            Bug::TsoCcNoEpochIds => "TSO-CC+no-epoch-ids",
+            Bug::TsoCcCompare => "TSO-CC+compare",
+            Bug::LqNoTso => "LQ+no-TSO",
+            Bug::SqNoFifo => "SQ+no-FIFO",
+        }
+    }
+
+    /// Which protocol the system must run for the bug to be applicable.
+    ///
+    /// `None` means the bug is protocol-independent (pipeline bugs); the
+    /// paper evaluates those on the MESI configuration.
+    pub fn required_protocol(self) -> Option<crate::config::ProtocolKind> {
+        use crate::config::ProtocolKind::*;
+        match self {
+            Bug::MesiLqIsInv
+            | Bug::MesiLqSmInv
+            | Bug::MesiLqEInv
+            | Bug::MesiLqMInv
+            | Bug::MesiLqSReplacement
+            | Bug::MesiPutxRace
+            | Bug::MesiReplaceRace => Some(Mesi),
+            Bug::TsoCcNoEpochIds | Bug::TsoCcCompare => Some(TsoCc),
+            Bug::LqNoTso | Bug::SqNoFifo => None,
+        }
+    }
+
+    /// Returns `true` for bugs that were real (pre-existing) gem5 bugs in the
+    /// paper (marked `*` in §5.3), as opposed to artificially injected ones.
+    pub fn real_in_gem5(self) -> bool {
+        matches!(
+            self,
+            Bug::MesiLqIsInv | Bug::MesiLqSmInv | Bug::MesiPutxRace | Bug::LqNoTso
+        )
+    }
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The set of bugs injected into a simulated system.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugConfig {
+    enabled: Vec<Bug>,
+}
+
+impl BugConfig {
+    /// The correct design: no bugs injected.
+    pub fn none() -> Self {
+        BugConfig::default()
+    }
+
+    /// A configuration with exactly one bug injected.
+    pub fn single(bug: Bug) -> Self {
+        BugConfig { enabled: vec![bug] }
+    }
+
+    /// Creates a configuration from a list of bugs.
+    pub fn from_bugs<I: IntoIterator<Item = Bug>>(bugs: I) -> Self {
+        let mut enabled: Vec<Bug> = bugs.into_iter().collect();
+        enabled.sort();
+        enabled.dedup();
+        BugConfig { enabled }
+    }
+
+    /// Returns `true` if `bug` is injected.
+    pub fn has(&self, bug: Bug) -> bool {
+        self.enabled.contains(&bug)
+    }
+
+    /// Returns `true` if no bug is injected.
+    pub fn is_correct_design(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    /// Iterates over the injected bugs.
+    pub fn iter(&self) -> impl Iterator<Item = Bug> + '_ {
+        self.enabled.iter().copied()
+    }
+}
+
+impl fmt::Display for BugConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.enabled.is_empty() {
+            return write!(f, "correct design (no bugs)");
+        }
+        for (i, b) in self.enabled.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+
+    #[test]
+    fn all_bugs_have_distinct_paper_names() {
+        let mut names: Vec<&str> = Bug::ALL.iter().map(|b| b.paper_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn protocol_requirements() {
+        assert_eq!(
+            Bug::MesiLqIsInv.required_protocol(),
+            Some(ProtocolKind::Mesi)
+        );
+        assert_eq!(
+            Bug::TsoCcCompare.required_protocol(),
+            Some(ProtocolKind::TsoCc)
+        );
+        assert_eq!(Bug::LqNoTso.required_protocol(), None);
+        assert_eq!(Bug::SqNoFifo.required_protocol(), None);
+    }
+
+    #[test]
+    fn real_gem5_bugs_are_the_starred_ones() {
+        let real: Vec<Bug> = Bug::ALL.iter().copied().filter(|b| b.real_in_gem5()).collect();
+        assert_eq!(
+            real,
+            vec![
+                Bug::MesiLqIsInv,
+                Bug::MesiLqSmInv,
+                Bug::MesiPutxRace,
+                Bug::LqNoTso
+            ]
+        );
+    }
+
+    #[test]
+    fn bug_config_membership() {
+        let cfg = BugConfig::single(Bug::LqNoTso);
+        assert!(cfg.has(Bug::LqNoTso));
+        assert!(!cfg.has(Bug::SqNoFifo));
+        assert!(!cfg.is_correct_design());
+        assert!(BugConfig::none().is_correct_design());
+    }
+
+    #[test]
+    fn bug_config_dedups_and_sorts() {
+        let cfg = BugConfig::from_bugs([Bug::SqNoFifo, Bug::LqNoTso, Bug::SqNoFifo]);
+        assert_eq!(cfg.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Bug::MesiPutxRace), "MESI+PUTX-Race");
+        assert_eq!(
+            format!("{}", BugConfig::none()),
+            "correct design (no bugs)"
+        );
+        assert!(format!("{}", BugConfig::from_bugs([Bug::LqNoTso, Bug::SqNoFifo])).contains(","));
+    }
+}

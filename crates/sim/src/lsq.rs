@@ -1,0 +1,179 @@
+//! Store buffer (and store-queue forwarding) model.
+//!
+//! Under TSO a core's committed stores sit in a FIFO store buffer until they
+//! are written to the cache; loads of the same core may read ("forward") the
+//! newest buffered value for their address.  The `SQ+no-FIFO` bug drains the
+//! buffer out of order, which is directly observable as write→write
+//! reordering by other cores.
+
+use mcversi_mcm::Address;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// One committed store waiting to be written to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreBufferEntry {
+    /// Program-order index of the store instruction.
+    pub poi: u32,
+    /// Written address.
+    pub addr: Address,
+    /// Written (globally unique) value.
+    pub value: u64,
+}
+
+/// A bounded FIFO store buffer.
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<StoreBufferEntry>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a store buffer holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        StoreBuffer {
+            entries: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if no further store can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends a committed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full; callers must check [`is_full`](Self::is_full)
+    /// before retiring a store.
+    pub fn push(&mut self, entry: StoreBufferEntry) {
+        assert!(!self.is_full(), "store buffer overflow");
+        self.entries.push_back(entry);
+    }
+
+    /// The newest buffered value for `addr`, if any (store-to-load forwarding).
+    pub fn forward_value(&self, addr: Address) -> Option<u64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
+    }
+
+    /// Removes and returns the next store to drain to the cache.
+    ///
+    /// The correct design drains in FIFO order; with `out_of_order` set (the
+    /// `SQ+no-FIFO` bug) a random entry is chosen instead.
+    pub fn begin_drain<R: Rng>(&mut self, out_of_order: bool, rng: &mut R) -> Option<StoreBufferEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let idx = if out_of_order && self.entries.len() > 1 {
+            rng.gen_range(0..self.entries.len())
+        } else {
+            0
+        };
+        self.entries.remove(idx)
+    }
+
+    /// Drops all buffered stores (used when a test iteration is abandoned).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entry(poi: u32, addr: u64, value: u64) -> StoreBufferEntry {
+        StoreBufferEntry {
+            poi,
+            addr: Address(addr),
+            value,
+        }
+    }
+
+    #[test]
+    fn fifo_drain_preserves_program_order() {
+        let mut sb = StoreBuffer::new(8);
+        for i in 0..5 {
+            sb.push(entry(i, 0x100 + i as u64 * 8, i as u64 + 1));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut drained = Vec::new();
+        while let Some(e) = sb.begin_drain(false, &mut rng) {
+            drained.push(e.poi);
+        }
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_drain_eventually_reorders() {
+        // With many trials the buggy drain must produce at least one
+        // non-FIFO order (statistically certain with this seed count).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut reordered = false;
+        for _ in 0..50 {
+            let mut sb = StoreBuffer::new(8);
+            for i in 0..4 {
+                sb.push(entry(i, 0x100 + i as u64 * 8, i as u64 + 1));
+            }
+            let mut drained = Vec::new();
+            while let Some(e) = sb.begin_drain(true, &mut rng) {
+                drained.push(e.poi);
+            }
+            assert_eq!(drained.len(), 4);
+            if drained != vec![0, 1, 2, 3] {
+                reordered = true;
+            }
+        }
+        assert!(reordered, "SQ+no-FIFO drain never reordered");
+    }
+
+    #[test]
+    fn forwarding_returns_newest_matching_value() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(entry(0, 0x100, 1));
+        sb.push(entry(1, 0x200, 2));
+        sb.push(entry(2, 0x100, 3));
+        assert_eq!(sb.forward_value(Address(0x100)), Some(3));
+        assert_eq!(sb.forward_value(Address(0x200)), Some(2));
+        assert_eq!(sb.forward_value(Address(0x300)), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(entry(0, 0x100, 1));
+        assert!(!sb.is_full());
+        sb.push(entry(1, 0x108, 2));
+        assert!(sb.is_full());
+        assert_eq!(sb.len(), 2);
+        sb.clear();
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn pushing_into_full_buffer_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(entry(0, 0x100, 1));
+        sb.push(entry(1, 0x108, 2));
+    }
+}

@@ -1,0 +1,214 @@
+//! The main-memory controller.
+//!
+//! A single memory controller node serves line reads and writebacks from the
+//! L2 banks with a latency drawn from the configured range (paper Table 2:
+//! 120–230 cycles).  Memory contents are stored sparsely; unwritten lines read
+//! as zero, matching the paper's convention that all test memory starts zeroed.
+
+use crate::config::SystemConfig;
+use crate::msg::{Msg, MsgPayload};
+use crate::types::{Cycle, LineAddr, LineData, NodeId};
+use rand::Rng;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The memory controller component.
+#[derive(Debug)]
+pub struct MemoryController {
+    node: NodeId,
+    line_bytes: u64,
+    data: BTreeMap<LineAddr, LineData>,
+    inbox: VecDeque<Msg>,
+    pending: Vec<(Cycle, Msg)>,
+    reads_served: u64,
+    writes_served: u64,
+}
+
+impl MemoryController {
+    /// Creates a memory controller for the given configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        MemoryController {
+            node: cfg.node_of_memory(),
+            line_bytes: cfg.line_bytes,
+            data: BTreeMap::new(),
+            inbox: VecDeque::new(),
+            pending: Vec::new(),
+            reads_served: 0,
+            writes_served: 0,
+        }
+    }
+
+    /// Queues an incoming message (from an L2 bank).
+    pub fn push_msg(&mut self, msg: Msg) {
+        self.inbox.push_back(msg);
+    }
+
+    /// Reads a line directly (host access; no latency, no statistics).
+    pub fn peek_line(&self, line: LineAddr) -> LineData {
+        self.data
+            .get(&line)
+            .cloned()
+            .unwrap_or_else(|| LineData::zeroed(self.line_bytes))
+    }
+
+    /// Writes a line directly (host access, used by the reset interface).
+    pub fn poke_line(&mut self, line: LineAddr, data: LineData) {
+        self.data.insert(line, data);
+    }
+
+    /// Writes a single 8-byte word directly (host access).
+    pub fn poke_word(&mut self, line: LineAddr, word_index: usize, value: u64) {
+        let entry = self
+            .data
+            .entry(line)
+            .or_insert_with(|| LineData::zeroed(self.line_bytes));
+        entry.set_word(word_index, value);
+    }
+
+    /// Clears all memory contents back to zero (host reset).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Full host-assisted reset: clears contents *and* any queued or pending
+    /// requests.  Used between test executions so that a memory fetch still in
+    /// flight when the previous iteration finished cannot deliver a stale
+    /// response into the next iteration's (freshly reset) L2 state.
+    pub fn reset(&mut self) {
+        self.data.clear();
+        self.inbox.clear();
+        self.pending.clear();
+    }
+
+    /// Number of read requests served so far.
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// Number of writebacks served so far.
+    pub fn writes_served(&self) -> u64 {
+        self.writes_served
+    }
+
+    /// Returns `true` if no requests are queued or pending.
+    pub fn is_idle(&self) -> bool {
+        self.inbox.is_empty() && self.pending.is_empty()
+    }
+
+    /// Advances the controller by one cycle, returning response messages.
+    pub fn tick<R: Rng>(&mut self, cycle: Cycle, cfg: &SystemConfig, rng: &mut R) -> Vec<Msg> {
+        // Accept new requests.
+        while let Some(msg) = self.inbox.pop_front() {
+            match msg.payload {
+                MsgPayload::MemRead { line } => {
+                    self.reads_served += 1;
+                    let latency = rng.gen_range(cfg.latency.mem_min..=cfg.latency.mem_max);
+                    let data = self.peek_line(line);
+                    let response = Msg::new(self.node, msg.src, MsgPayload::MemData { line, data });
+                    self.pending.push((cycle + latency, response));
+                }
+                MsgPayload::MemWrite { line, data } => {
+                    self.writes_served += 1;
+                    // Writes complete in place; no acknowledgement is required
+                    // by either protocol (the L2 only needs the data durable).
+                    self.data.insert(line, data);
+                }
+                other => {
+                    // Memory only understands MemRead/MemWrite; anything else
+                    // is a wiring bug in the simulator itself.
+                    unreachable!("memory controller received {:?}", other.event_name());
+                }
+            }
+        }
+        // Emit responses that are due.
+        let mut out = Vec::new();
+        let mut remaining = Vec::with_capacity(self.pending.len());
+        for (ready, msg) in self.pending.drain(..) {
+            if ready <= cycle {
+                out.push(msg);
+            } else {
+                remaining.push((ready, msg));
+            }
+        }
+        self.pending = remaining;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MemoryController, SystemConfig, StdRng) {
+        let cfg = SystemConfig::paper_default();
+        (MemoryController::new(&cfg), cfg, StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let (mem, _, _) = setup();
+        let line = mem.peek_line(LineAddr(0x1000));
+        assert!(
+            (0..line.num_words()).all(|i| line.word(i) == 0),
+            "fresh memory must be zero"
+        );
+    }
+
+    #[test]
+    fn read_request_served_after_latency() {
+        let (mut mem, cfg, mut rng) = setup();
+        mem.poke_word(LineAddr(0x1000), 2, 99);
+        let l2 = cfg.node_of_l2(0);
+        mem.push_msg(Msg::new(
+            l2,
+            cfg.node_of_memory(),
+            MsgPayload::MemRead {
+                line: LineAddr(0x1000),
+            },
+        ));
+        // Not served before the minimum latency.
+        let out = mem.tick(0, &cfg, &mut rng);
+        assert!(out.is_empty());
+        assert!(!mem.is_idle());
+        // Served by the maximum latency.
+        let out = mem.tick(cfg.latency.mem_max, &cfg, &mut rng);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, l2);
+        match &out[0].payload {
+            MsgPayload::MemData { line, data } => {
+                assert_eq!(*line, LineAddr(0x1000));
+                assert_eq!(data.word(2), 99);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(mem.is_idle());
+        assert_eq!(mem.reads_served(), 1);
+    }
+
+    #[test]
+    fn writeback_updates_contents() {
+        let (mut mem, cfg, mut rng) = setup();
+        let mut data = LineData::zeroed(64);
+        data.set_word(0, 7);
+        mem.push_msg(Msg::new(
+            cfg.node_of_l2(1),
+            cfg.node_of_memory(),
+            MsgPayload::MemWrite {
+                line: LineAddr(0x2000),
+                data,
+            },
+        ));
+        mem.tick(0, &cfg, &mut rng);
+        assert_eq!(mem.peek_line(LineAddr(0x2000)).word(0), 7);
+        assert_eq!(mem.writes_served(), 1);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let (mut mem, _, _) = setup();
+        mem.poke_word(LineAddr(0x40), 0, 5);
+        mem.clear();
+        assert_eq!(mem.peek_line(LineAddr(0x40)).word(0), 0);
+    }
+}

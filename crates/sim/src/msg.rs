@@ -1,0 +1,363 @@
+//! Coherence protocol messages exchanged over the on-chip network.
+//!
+//! Messages are grouped into three virtual networks (requests, forwards,
+//! responses) as in Ruby/GARNET.  Delivery is FIFO per (source, destination,
+//! virtual network) channel but *not* ordered across virtual networks, which
+//! is what makes races such as an invalidation overtaking a data response
+//! (the `IS_I` case) possible.
+
+use crate::types::{LineAddr, LineData, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Virtual network classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VirtualNetwork {
+    /// L1 → L2 requests (GetS/GetX/PutX) and L2 → memory requests.
+    Request,
+    /// L2 → L1 forwards and invalidations.
+    Forward,
+    /// Data and acknowledgement responses.
+    Response,
+}
+
+/// Timestamp metadata carried by TSO-CC data and writeback messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TsInfo {
+    /// Core id of the last writer of the line.
+    pub writer: u32,
+    /// The writer's (group) timestamp at the time of the write.
+    pub ts: u64,
+    /// The writer's epoch id (incremented on every timestamp reset).
+    pub epoch: u64,
+}
+
+/// The payload of a protocol message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MsgPayload {
+    // ---- Requests (L1 -> L2) ----
+    /// Read request (shared permission).
+    GetS {
+        /// The requested line.
+        line: LineAddr,
+    },
+    /// Write request (exclusive permission).
+    GetX {
+        /// The requested line.
+        line: LineAddr,
+    },
+    /// Voluntary writeback of an owned (E/M) line.
+    PutX {
+        /// The written-back line.
+        line: LineAddr,
+        /// Current line data.
+        data: LineData,
+        /// Whether the line was modified relative to the L2/memory copy.
+        dirty: bool,
+        /// TSO-CC: last-writer timestamp metadata.
+        ts: Option<TsInfo>,
+    },
+
+    // ---- Forwards (L2 -> L1) ----
+    /// Invalidate a shared copy; acknowledge to the L2.
+    Inv {
+        /// The line to invalidate.
+        line: LineAddr,
+    },
+    /// The owner must provide data (to the L2) and downgrade to Shared.
+    FwdGetS {
+        /// The forwarded line.
+        line: LineAddr,
+    },
+    /// The owner must provide data (to the L2) and invalidate.
+    FwdGetX {
+        /// The forwarded line.
+        line: LineAddr,
+    },
+    /// The L2 is evicting the line; the owner must provide data and invalidate.
+    Recall {
+        /// The recalled line.
+        line: LineAddr,
+    },
+    /// TSO-CC: the owner must provide data and downgrade to Shared (reads of
+    /// an exclusively owned line).
+    Downgrade {
+        /// The downgraded line.
+        line: LineAddr,
+    },
+
+    // ---- Responses ----
+    /// Shared data to an L1.
+    DataS {
+        /// The line the data belongs to.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// TSO-CC timestamp metadata.
+        ts: Option<TsInfo>,
+    },
+    /// Exclusive (clean) data to an L1 responding to a GetS when no other
+    /// sharers exist.
+    DataE {
+        /// The line the data belongs to.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// TSO-CC timestamp metadata.
+        ts: Option<TsInfo>,
+    },
+    /// Exclusive data to an L1 responding to a GetX (all invalidations done).
+    DataX {
+        /// The line the data belongs to.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// TSO-CC timestamp metadata.
+        ts: Option<TsInfo>,
+    },
+    /// Data written back from an owner L1 to the L2 in response to a forward,
+    /// recall or downgrade.
+    WbData {
+        /// The line being written back.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// Whether the owner had modified the line.
+        dirty: bool,
+        /// TSO-CC timestamp metadata.
+        ts: Option<TsInfo>,
+    },
+    /// Invalidation acknowledgement from an L1 to the L2.
+    InvAck {
+        /// The acknowledged line.
+        line: LineAddr,
+    },
+    /// The L2 accepted a PutX.
+    WbAck {
+        /// The acknowledged line.
+        line: LineAddr,
+    },
+    /// The L2 received a PutX from a core that is no longer the owner (the
+    /// PUTX race); the L1 should simply drop its copy.
+    WbStale {
+        /// The line whose writeback was stale.
+        line: LineAddr,
+    },
+
+    // ---- Memory controller ----
+    /// L2 → memory read request.
+    MemRead {
+        /// The requested line.
+        line: LineAddr,
+    },
+    /// L2 → memory writeback.
+    MemWrite {
+        /// The written line.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+    },
+    /// Memory → L2 data response.
+    MemData {
+        /// The line the data belongs to.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+    },
+}
+
+impl MsgPayload {
+    /// The line address the message concerns.
+    pub fn line(&self) -> LineAddr {
+        match self {
+            MsgPayload::GetS { line }
+            | MsgPayload::GetX { line }
+            | MsgPayload::PutX { line, .. }
+            | MsgPayload::Inv { line }
+            | MsgPayload::FwdGetS { line }
+            | MsgPayload::FwdGetX { line }
+            | MsgPayload::Recall { line }
+            | MsgPayload::Downgrade { line }
+            | MsgPayload::DataS { line, .. }
+            | MsgPayload::DataE { line, .. }
+            | MsgPayload::DataX { line, .. }
+            | MsgPayload::WbData { line, .. }
+            | MsgPayload::InvAck { line }
+            | MsgPayload::WbAck { line }
+            | MsgPayload::WbStale { line }
+            | MsgPayload::MemRead { line }
+            | MsgPayload::MemWrite { line, .. }
+            | MsgPayload::MemData { line, .. } => *line,
+        }
+    }
+
+    /// The virtual network this payload travels on.
+    pub fn vnet(&self) -> VirtualNetwork {
+        match self {
+            MsgPayload::GetS { .. }
+            | MsgPayload::GetX { .. }
+            | MsgPayload::PutX { .. }
+            | MsgPayload::MemRead { .. }
+            | MsgPayload::MemWrite { .. } => VirtualNetwork::Request,
+            MsgPayload::Inv { .. }
+            | MsgPayload::FwdGetS { .. }
+            | MsgPayload::FwdGetX { .. }
+            | MsgPayload::Recall { .. }
+            | MsgPayload::Downgrade { .. } => VirtualNetwork::Forward,
+            MsgPayload::DataS { .. }
+            | MsgPayload::DataE { .. }
+            | MsgPayload::DataX { .. }
+            | MsgPayload::WbData { .. }
+            | MsgPayload::InvAck { .. }
+            | MsgPayload::WbAck { .. }
+            | MsgPayload::WbStale { .. }
+            | MsgPayload::MemData { .. } => VirtualNetwork::Response,
+        }
+    }
+
+    /// A short static name used in coverage transitions and error reports.
+    pub fn event_name(&self) -> &'static str {
+        match self {
+            MsgPayload::GetS { .. } => "GetS",
+            MsgPayload::GetX { .. } => "GetX",
+            MsgPayload::PutX { .. } => "PutX",
+            MsgPayload::Inv { .. } => "Inv",
+            MsgPayload::FwdGetS { .. } => "FwdGetS",
+            MsgPayload::FwdGetX { .. } => "FwdGetX",
+            MsgPayload::Recall { .. } => "Recall",
+            MsgPayload::Downgrade { .. } => "Downgrade",
+            MsgPayload::DataS { .. } => "DataS",
+            MsgPayload::DataE { .. } => "DataE",
+            MsgPayload::DataX { .. } => "DataX",
+            MsgPayload::WbData { .. } => "WbData",
+            MsgPayload::InvAck { .. } => "InvAck",
+            MsgPayload::WbAck { .. } => "WbAck",
+            MsgPayload::WbStale { .. } => "WbStale",
+            MsgPayload::MemRead { .. } => "MemRead",
+            MsgPayload::MemWrite { .. } => "MemWrite",
+            MsgPayload::MemData { .. } => "MemData",
+        }
+    }
+}
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Msg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The protocol payload.
+    pub payload: MsgPayload,
+}
+
+impl Msg {
+    /// Creates a message.
+    pub fn new(src: NodeId, dst: NodeId, payload: MsgPayload) -> Self {
+        Msg { src, dst, payload }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {}: {} {}",
+            self.src,
+            self.dst,
+            self.payload.event_name(),
+            self.payload.line()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_line_and_vnet() {
+        let p = MsgPayload::GetS { line: LineAddr(0x40) };
+        assert_eq!(p.line(), LineAddr(0x40));
+        assert_eq!(p.vnet(), VirtualNetwork::Request);
+        assert_eq!(p.event_name(), "GetS");
+
+        let p = MsgPayload::Inv { line: LineAddr(0x80) };
+        assert_eq!(p.vnet(), VirtualNetwork::Forward);
+
+        let p = MsgPayload::DataS {
+            line: LineAddr(0xc0),
+            data: LineData::zeroed(64),
+            ts: None,
+        };
+        assert_eq!(p.vnet(), VirtualNetwork::Response);
+    }
+
+    #[test]
+    fn all_event_names_distinct() {
+        let line = LineAddr(0);
+        let data = LineData::zeroed(64);
+        let payloads = vec![
+            MsgPayload::GetS { line },
+            MsgPayload::GetX { line },
+            MsgPayload::PutX {
+                line,
+                data: data.clone(),
+                dirty: false,
+                ts: None,
+            },
+            MsgPayload::Inv { line },
+            MsgPayload::FwdGetS { line },
+            MsgPayload::FwdGetX { line },
+            MsgPayload::Recall { line },
+            MsgPayload::Downgrade { line },
+            MsgPayload::DataS {
+                line,
+                data: data.clone(),
+                ts: None,
+            },
+            MsgPayload::DataE {
+                line,
+                data: data.clone(),
+                ts: None,
+            },
+            MsgPayload::DataX {
+                line,
+                data: data.clone(),
+                ts: None,
+            },
+            MsgPayload::WbData {
+                line,
+                data: data.clone(),
+                dirty: true,
+                ts: None,
+            },
+            MsgPayload::InvAck { line },
+            MsgPayload::WbAck { line },
+            MsgPayload::WbStale { line },
+            MsgPayload::MemRead { line },
+            MsgPayload::MemWrite { line, data },
+            MsgPayload::MemData {
+                line,
+                data: LineData::zeroed(64),
+            },
+        ];
+        let mut names: Vec<&str> = payloads.iter().map(|p| p.event_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn msg_display() {
+        let m = Msg::new(
+            NodeId(0),
+            NodeId(9),
+            MsgPayload::GetX { line: LineAddr(0x100) },
+        );
+        let s = format!("{m}");
+        assert!(s.contains("n0"));
+        assert!(s.contains("n9"));
+        assert!(s.contains("GetX"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The on-chip interconnect: a latency/ordering model of a 2D mesh.
+//!
+//! This stands in for GARNET.  Rather than simulating individual flits and
+//! router pipelines, each message is assigned a delivery time of
+//! `now + hops * link_latency + jitter`, where `hops` is the Manhattan
+//! distance between the endpoints on the mesh and `jitter` is drawn from the
+//! seeded simulation RNG (modelling contention).  Ordering guarantees match
+//! what the coherence protocols assume of GARNET:
+//!
+//! * FIFO per (source, destination, virtual network) channel;
+//! * no ordering across different channels — in particular an invalidation on
+//!   the forward network may overtake a data response, which is exactly the
+//!   race the `IS_I` transient state (and the `MESI,LQ+IS,Inv` bug) is about.
+
+use crate::config::SystemConfig;
+use crate::msg::{Msg, VirtualNetwork};
+use crate::types::{Cycle, NodeId};
+use rand::Rng;
+use std::collections::{BTreeMap, VecDeque};
+
+type ChannelKey = (NodeId, NodeId, VirtualNetwork);
+
+/// The mesh interconnect.
+#[derive(Debug, Default)]
+pub struct Network {
+    channels: BTreeMap<ChannelKey, VecDeque<(Cycle, Msg)>>,
+    in_flight: usize,
+    total_sent: u64,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total number of messages ever sent (statistics).
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Returns `true` if no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// Injects a message at time `now`.
+    ///
+    /// The delivery time is computed from the mesh hop distance plus random
+    /// jitter, then clamped so it never precedes the delivery time of the
+    /// previously injected message on the same channel (FIFO per channel).
+    pub fn send<R: Rng>(&mut self, msg: Msg, now: Cycle, cfg: &SystemConfig, rng: &mut R) {
+        let hops = cfg.mesh_hops(msg.src, msg.dst);
+        let jitter = if cfg.latency.network_jitter == 0 {
+            0
+        } else {
+            rng.gen_range(0..=cfg.latency.network_jitter)
+        };
+        let mut deliver_at = now + 1 + hops * cfg.latency.link_hop + jitter;
+        let vnet = msg.payload.vnet();
+        // Data (response) messages are multi-flit and never overtake earlier
+        // single-flit control messages to the same destination, while control
+        // messages may overtake data — this is the asymmetry that makes the
+        // IS_I race reachable without allowing a stale invalidation to arrive
+        // after the data its transaction produced.
+        if vnet == VirtualNetwork::Response {
+            if let Some(&(last_fwd, _)) = self
+                .channels
+                .get(&(msg.src, msg.dst, VirtualNetwork::Forward))
+                .and_then(|q| q.back())
+            {
+                deliver_at = deliver_at.max(last_fwd);
+            }
+        }
+        let key = (msg.src, msg.dst, vnet);
+        let queue = self.channels.entry(key).or_default();
+        if let Some(&(last, _)) = queue.back() {
+            deliver_at = deliver_at.max(last);
+        }
+        queue.push_back((deliver_at, msg));
+        self.in_flight += 1;
+        self.total_sent += 1;
+    }
+
+    /// Removes and returns every message whose delivery time has been reached,
+    /// preserving per-channel FIFO order.
+    pub fn deliver_due(&mut self, now: Cycle) -> Vec<Msg> {
+        let mut out = Vec::new();
+        for queue in self.channels.values_mut() {
+            while let Some(&(ready, _)) = queue.front() {
+                if ready <= now {
+                    let (_, msg) = queue.pop_front().expect("front exists");
+                    out.push(msg);
+                    self.in_flight -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The earliest pending delivery time, if any (used to fast-forward the
+    /// clock when all components are otherwise idle).
+    pub fn next_delivery(&self) -> Option<Cycle> {
+        self.channels
+            .values()
+            .filter_map(|q| q.front().map(|&(t, _)| t))
+            .min()
+    }
+
+    /// Drops all in-flight messages (used by the host-assisted hard reset).
+    pub fn clear(&mut self) {
+        self.channels.clear();
+        self.in_flight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgPayload;
+    use crate::types::LineAddr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn gets(src: u32, dst: u32, line: u64) -> Msg {
+        Msg::new(
+            NodeId(src),
+            NodeId(dst),
+            MsgPayload::GetS {
+                line: LineAddr(line),
+            },
+        )
+    }
+
+    #[test]
+    fn messages_are_delivered_after_latency() {
+        let cfg = cfg();
+        let mut rng = rng();
+        let mut net = Network::new();
+        net.send(gets(0, 8, 0x40), 100, &cfg, &mut rng);
+        assert_eq!(net.in_flight(), 1);
+        assert!(net.deliver_due(100).is_empty(), "not instantaneous");
+        // Worst case latency: 1 + hops*link + jitter.
+        let worst = 100 + 1 + cfg.mesh_hops(NodeId(0), NodeId(8)) * cfg.latency.link_hop
+            + cfg.latency.network_jitter;
+        let delivered = net.deliver_due(worst);
+        assert_eq!(delivered.len(), 1);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        let cfg = cfg();
+        let mut rng = rng();
+        let mut net = Network::new();
+        // Many messages on the same channel: delivery order must match send
+        // order even though jitter varies.
+        for i in 0..50u64 {
+            net.send(gets(0, 8, 0x40 * (i + 1)), i, &cfg, &mut rng);
+        }
+        let delivered = net.deliver_due(10_000);
+        assert_eq!(delivered.len(), 50);
+        for (i, msg) in delivered.iter().enumerate() {
+            assert_eq!(msg.payload.line(), LineAddr(0x40 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn different_vnets_can_reorder() {
+        let cfg = cfg();
+        let mut net = Network::new();
+        // Deterministically construct reordering by zeroing jitter and using
+        // payloads on different vnets with different send times such that the
+        // later-sent forward arrives earlier than the earlier-sent response
+        // would only happen with jitter; instead verify independence: draining
+        // one channel does not drain the other.
+        let mut rng = rng();
+        let data = MsgPayload::DataS {
+            line: LineAddr(0x40),
+            data: crate::types::LineData::zeroed(64),
+            ts: None,
+        };
+        let inv = MsgPayload::Inv {
+            line: LineAddr(0x40),
+        };
+        net.send(Msg::new(NodeId(8), NodeId(0), data), 0, &cfg, &mut rng);
+        net.send(Msg::new(NodeId(8), NodeId(0), inv), 0, &cfg, &mut rng);
+        let delivered = net.deliver_due(10_000);
+        assert_eq!(delivered.len(), 2);
+    }
+
+    #[test]
+    fn next_delivery_and_clear() {
+        let cfg = cfg();
+        let mut rng = rng();
+        let mut net = Network::new();
+        assert_eq!(net.next_delivery(), None);
+        net.send(gets(0, 8, 0x40), 7, &cfg, &mut rng);
+        let next = net.next_delivery().expect("one message pending");
+        assert!(next > 7);
+        net.clear();
+        assert!(net.is_empty());
+        assert_eq!(net.next_delivery(), None);
+    }
+
+    #[test]
+    fn statistics_count_sends() {
+        let cfg = cfg();
+        let mut rng = rng();
+        let mut net = Network::new();
+        for i in 0..10 {
+            net.send(gets(0, 8, 0x40 + i * 64), 0, &cfg, &mut rng);
+        }
+        net.deliver_due(10_000);
+        assert_eq!(net.total_sent(), 10);
+        assert!(net.is_empty());
+    }
+}

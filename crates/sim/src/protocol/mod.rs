@@ -1,0 +1,185 @@
+//! Coherence protocol controllers and the core↔L1 interface.
+//!
+//! Two protocols are provided:
+//!
+//! * [`mesi`] — a two-level MESI directory protocol in the style of gem5
+//!   Ruby's `MESI_Two_Level` (private L1s, shared banked L2 acting as an
+//!   inclusive directory, blocking per-line transactions, transient states
+//!   `IS`, `IS_I`, `IM`, `SM`, `MI`);
+//! * [`tsocc`] — the lazy, timestamp-based TSO-CC protocol (no sharer
+//!   tracking; Shared lines self-invalidate on timestamp acquisition, access
+//!   budgets bound staleness).
+//!
+//! Both are implemented behind the [`L1Controller`] and [`L2Controller`]
+//! traits, so the [`crate::system::System`] is protocol-agnostic.
+
+pub mod mesi;
+pub mod tsocc;
+
+use crate::bugs::BugConfig;
+use crate::config::SystemConfig;
+use crate::coverage::CoverageRecorder;
+use crate::msg::Msg;
+use crate::system::ProtocolError;
+use crate::types::{Cycle, LineAddr};
+use mcversi_mcm::Address;
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// A memory request issued by a core to its L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRequest {
+    /// Core-local tag used to match the response.
+    pub tag: u64,
+    /// The accessed (8-byte aligned) address.
+    pub addr: Address,
+    /// What to do.
+    pub kind: CoreReqKind,
+}
+
+/// The kind of a core request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreReqKind {
+    /// Read an 8-byte word.
+    Load,
+    /// Write an 8-byte word.
+    Store {
+        /// Value to write.
+        value: u64,
+    },
+    /// Atomically read and write an 8-byte word.
+    Rmw {
+        /// Value to write.
+        write_value: u64,
+    },
+    /// Flush the containing line from this L1.
+    Flush,
+    /// A full memory fence reached the head of the core's pipeline.  MESI
+    /// treats this as a no-op (ordering is the core's job); TSO-CC
+    /// self-invalidates all Shared lines, which is part of how it enforces
+    /// TSO across fences and atomics.
+    Fence,
+}
+
+/// A response from the L1 back to its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreResponse {
+    /// The tag of the request this responds to.
+    pub tag: u64,
+    /// The result.
+    pub kind: CoreRespKind,
+}
+
+/// The kind of a core response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreRespKind {
+    /// The load's value.
+    LoadDone {
+        /// Value read.
+        value: u64,
+    },
+    /// The store has been performed in the cache.
+    StoreDone {
+        /// The value the store overwrote (used to construct coherence order).
+        overwritten: u64,
+    },
+    /// The RMW has been performed atomically.
+    RmwDone {
+        /// The value read (and overwritten) by the RMW.
+        read_value: u64,
+    },
+    /// The flush has completed.
+    FlushDone,
+    /// The fence has been processed by the cache.
+    FenceDone,
+}
+
+/// Everything an L1 produces in one cycle.
+#[derive(Debug, Default)]
+pub struct L1Output {
+    /// Messages to inject into the network.
+    pub to_network: Vec<Msg>,
+    /// Responses to the core.
+    pub responses: Vec<CoreResponse>,
+    /// Invalidation notices forwarded to the core's load queue: the core lost
+    /// read permission on these lines (invalidation, ownership transfer,
+    /// recall, replacement or flush).
+    pub lq_notices: Vec<LineAddr>,
+}
+
+/// Mutable context shared by all controllers during one tick.
+#[derive(Debug)]
+pub struct TickCtx<'a> {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// System configuration.
+    pub cfg: &'a SystemConfig,
+    /// Injected bugs.
+    pub bugs: &'a BugConfig,
+    /// Transition coverage recorder.
+    pub coverage: &'a mut CoverageRecorder,
+    /// Seeded simulation RNG (latency jitter).
+    pub rng: &'a mut StdRng,
+    /// Sink for protocol errors (invalid transitions).
+    pub errors: &'a mut Vec<ProtocolError>,
+}
+
+/// A private L1 cache controller.
+pub trait L1Controller: fmt::Debug {
+    /// Queues a request from the core.
+    fn push_core_request(&mut self, req: CoreRequest);
+
+    /// Queues an incoming protocol message.
+    fn push_msg(&mut self, msg: Msg);
+
+    /// Advances the controller by one cycle.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) -> L1Output;
+
+    /// Returns `true` when no transactions, queued requests or queued messages
+    /// are outstanding.
+    fn is_idle(&self) -> bool;
+
+    /// Drops all cached lines and transaction state without writebacks
+    /// (host-assisted reset between tests).
+    fn hard_reset(&mut self);
+}
+
+/// A shared L2 bank / directory controller.
+pub trait L2Controller: fmt::Debug {
+    /// Queues an incoming protocol message.
+    fn push_msg(&mut self, msg: Msg);
+
+    /// Advances the controller by one cycle.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) -> Vec<Msg>;
+
+    /// Returns `true` when no transactions or queued messages are outstanding.
+    fn is_idle(&self) -> bool;
+
+    /// Drops all cached lines and transaction state without writebacks
+    /// (host-assisted reset between tests).
+    fn hard_reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_response_shapes() {
+        let req = CoreRequest {
+            tag: 7,
+            addr: Address(0x100),
+            kind: CoreReqKind::Store { value: 3 },
+        };
+        assert_eq!(req.tag, 7);
+        let resp = CoreResponse {
+            tag: 7,
+            kind: CoreRespKind::StoreDone { overwritten: 0 },
+        };
+        assert_eq!(resp.tag, req.tag);
+        let out = L1Output::default();
+        assert!(out.to_network.is_empty());
+        assert!(out.responses.is_empty());
+        assert!(out.lq_notices.is_empty());
+    }
+}

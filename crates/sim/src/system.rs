@@ -1,0 +1,564 @@
+//! The full simulated system: cores, L1s, L2 banks, memory, network.
+//!
+//! [`System`] owns every component and advances them in lock step, one cycle
+//! at a time.  One call to [`System::run_iteration`] executes a complete
+//! [`TestProgram`] once (one iteration of a test-run in the paper's
+//! terminology) and returns the observed [`CandidateExecution`], any protocol
+//! errors, and whether the iteration hung.  The host-assisted reset between
+//! iterations (paper Table 1, `reset_test_mem`) is implemented by
+//! [`System::reset_test_state`]: caches and the network are cleared and the
+//! test memory re-zeroed, while simulation-persistent state (RNG, coverage
+//! counts, TSO-CC timestamps) is retained so consecutive executions of the
+//! same test are perturbed differently (§5.1).
+
+use crate::bugs::BugConfig;
+use crate::config::{ProtocolKind, SystemConfig};
+use crate::core::{cores_for_program, CoreModel};
+use crate::coverage::{CoverageRecorder, Transition};
+use crate::memory::MemoryController;
+use crate::msg::Msg;
+use crate::network::Network;
+use crate::observer::ExecObserver;
+use crate::program::TestProgram;
+use crate::protocol::{mesi, tsocc, L1Controller, L2Controller, TickCtx};
+use crate::types::{Cycle, LineAddr};
+use mcversi_mcm::execution::CandidateExecution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A protocol-level error detected by the simulator's monitor (the analogue of
+/// Ruby aborting on an invalid transition).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolError {
+    /// Cycle at which the error was detected.
+    pub cycle: Cycle,
+    /// Which controller detected it (e.g. `"L2[3]"`).
+    pub controller: String,
+    /// The line involved.
+    pub line: LineAddr,
+    /// The state the controller was in.
+    pub state: String,
+    /// The event that had no legal transition (or `"deadlock"`).
+    pub event: String,
+}
+
+impl ProtocolError {
+    /// Creates an invalid-transition error.
+    pub fn invalid_transition(
+        cycle: Cycle,
+        controller: String,
+        line: LineAddr,
+        state: &str,
+        event: &str,
+    ) -> Self {
+        ProtocolError {
+            cycle,
+            controller,
+            line,
+            state: state.to_string(),
+            event: event.to_string(),
+        }
+    }
+
+    /// Creates a deadlock/hang error.
+    pub fn deadlock(cycle: Cycle, detail: &str) -> Self {
+        ProtocolError {
+            cycle,
+            controller: "system".to_string(),
+            line: LineAddr(0),
+            state: detail.to_string(),
+            event: "deadlock".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} has no transition for {} in state {} (line {})",
+            self.cycle, self.controller, self.event, self.state, self.line
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The outcome of one test iteration.
+#[derive(Debug)]
+pub struct IterationOutcome {
+    /// The recorded candidate execution (partial if the iteration hung).
+    pub execution: CandidateExecution,
+    /// Protocol errors detected during the iteration.
+    pub protocol_errors: Vec<ProtocolError>,
+    /// `true` if the iteration did not complete within the cycle budget.
+    pub hung: bool,
+    /// `true` if every memory operation completed and was observed.
+    pub complete: bool,
+    /// Number of cycles the iteration took.
+    pub cycles: Cycle,
+    /// Number of operations retired during the iteration.
+    pub retired_ops: usize,
+}
+
+impl IterationOutcome {
+    /// Returns `true` if the iteration surfaced any error the verification
+    /// flow should treat as a caught bug *other than* an MCM violation (which
+    /// only the checker can decide): an invalid protocol transition or a hang.
+    pub fn has_hardware_fault(&self) -> bool {
+        !self.protocol_errors.is_empty() || self.hung
+    }
+}
+
+/// The full simulated system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    bugs: BugConfig,
+    l1s: Vec<Box<dyn L1Controller>>,
+    l2s: Vec<Box<dyn L2Controller>>,
+    memory: MemoryController,
+    network: Network,
+    coverage: CoverageRecorder,
+    rng: StdRng,
+    cycle: Cycle,
+    total_instructions: u64,
+    coverage_universe: Vec<Transition>,
+}
+
+impl System {
+    /// Builds a system with the given configuration, injected bugs and RNG
+    /// seed.
+    pub fn new(cfg: SystemConfig, bugs: BugConfig, seed: u64) -> Self {
+        let l1s: Vec<Box<dyn L1Controller>> = (0..cfg.num_cores)
+            .map(|c| match cfg.protocol {
+                ProtocolKind::Mesi => Box::new(mesi::MesiL1::new(c, &cfg)) as Box<dyn L1Controller>,
+                ProtocolKind::TsoCc => {
+                    Box::new(tsocc::TsoCcL1::new(c, &cfg)) as Box<dyn L1Controller>
+                }
+            })
+            .collect();
+        let l2s: Vec<Box<dyn L2Controller>> = (0..cfg.l2_banks)
+            .map(|b| match cfg.protocol {
+                ProtocolKind::Mesi => Box::new(mesi::MesiL2::new(b, &cfg)) as Box<dyn L2Controller>,
+                ProtocolKind::TsoCc => {
+                    Box::new(tsocc::TsoCcL2::new(b, &cfg)) as Box<dyn L2Controller>
+                }
+            })
+            .collect();
+        let memory = MemoryController::new(&cfg);
+        let coverage_universe = match cfg.protocol {
+            ProtocolKind::Mesi => mesi::all_transitions(),
+            ProtocolKind::TsoCc => tsocc::all_transitions(),
+        };
+        System {
+            bugs,
+            l1s,
+            l2s,
+            memory,
+            network: Network::new(),
+            coverage: CoverageRecorder::new(),
+            rng: StdRng::seed_from_u64(seed),
+            cycle: 0,
+            total_instructions: 0,
+            coverage_universe,
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The injected bugs.
+    pub fn bugs(&self) -> &BugConfig {
+        &self.bugs
+    }
+
+    /// The coverage recorder (cumulative since system construction).
+    pub fn coverage(&self) -> &CoverageRecorder {
+        &self.coverage
+    }
+
+    /// Ends the current test-run for coverage purposes and returns the set of
+    /// transitions it covered (the fitness signal).
+    pub fn finish_coverage_run(&mut self) -> BTreeSet<Transition> {
+        self.coverage.finish_run()
+    }
+
+    /// The coverage universe (all transitions defined by the active protocol).
+    pub fn coverage_universe(&self) -> &[Transition] {
+        &self.coverage_universe
+    }
+
+    /// The current global cycle count.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Total instructions (test operations) retired since construction.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Host-assisted reset between test executions: drop all cached lines and
+    /// in-flight messages and zero the memory.  Coverage, the RNG and other
+    /// simulation-persistent state are retained.
+    pub fn reset_test_state(&mut self) {
+        for l1 in &mut self.l1s {
+            l1.hard_reset();
+        }
+        for l2 in &mut self.l2s {
+            l2.hard_reset();
+        }
+        self.network.clear();
+        self.memory.reset();
+    }
+
+    fn route(&mut self, msgs: Vec<Msg>) {
+        for msg in msgs {
+            self.network.send(msg, self.cycle, &self.cfg, &mut self.rng);
+        }
+    }
+
+    fn dispatch_delivered(&mut self, delivered: Vec<Msg>) {
+        for msg in delivered {
+            let dst = msg.dst;
+            if let Some(core) = self.cfg.l1_index(dst) {
+                self.l1s[core].push_msg(msg);
+            } else if let Some(bank) = self.cfg.l2_index(dst) {
+                self.l2s[bank].push_msg(msg);
+            } else if dst == self.cfg.node_of_memory() {
+                self.memory.push_msg(msg);
+            } else {
+                unreachable!("message routed to unknown node {dst}");
+            }
+        }
+    }
+
+    /// Runs one complete iteration of `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more threads than the system has cores, or if
+    /// its written values are not unique and non-zero.
+    pub fn run_iteration(&mut self, program: &TestProgram) -> IterationOutcome {
+        assert!(
+            program.num_threads() <= self.cfg.num_cores,
+            "program has {} threads but the system has {} cores",
+            program.num_threads(),
+            self.cfg.num_cores
+        );
+        assert!(
+            program.written_values_unique(),
+            "test programs must use unique non-zero write values"
+        );
+
+        self.reset_test_state();
+
+        let mut cores: Vec<CoreModel> = cores_for_program(program, &self.cfg);
+        let mut observer = ExecObserver::new(program);
+        let mut errors: Vec<ProtocolError> = Vec::new();
+        let mut responses_per_core: Vec<Vec<crate::protocol::CoreResponse>> =
+            vec![Vec::new(); self.cfg.num_cores];
+        let mut notices_per_core: Vec<Vec<LineAddr>> = vec![Vec::new(); self.cfg.num_cores];
+        let start_cycle = self.cycle;
+        let mut retired_ops = 0usize;
+        let mut hung = false;
+
+        loop {
+            if cores.iter().all(|c| c.is_finished()) {
+                break;
+            }
+            if self.cycle - start_cycle > self.cfg.max_cycles_per_iteration {
+                errors.push(ProtocolError::deadlock(
+                    self.cycle,
+                    "iteration exceeded its cycle budget",
+                ));
+                hung = true;
+                break;
+            }
+            if !errors.is_empty() {
+                // An invalid transition was detected: abort the iteration, as
+                // Ruby would abort the simulation.
+                break;
+            }
+            self.cycle += 1;
+
+            // 1. Network delivery.
+            let delivered = self.network.deliver_due(self.cycle);
+            self.dispatch_delivered(delivered);
+
+            // 2. Memory controller.
+            let mem_out = self.memory.tick(self.cycle, &self.cfg, &mut self.rng);
+            self.route(mem_out);
+
+            // 3. L2 banks.
+            for bank in 0..self.l2s.len() {
+                let mut ctx = TickCtx {
+                    cycle: self.cycle,
+                    cfg: &self.cfg,
+                    bugs: &self.bugs,
+                    coverage: &mut self.coverage,
+                    rng: &mut self.rng,
+                    errors: &mut errors,
+                };
+                let out = self.l2s[bank].tick(&mut ctx);
+                self.route(out);
+            }
+
+            // 4. L1 caches.
+            for core in 0..self.l1s.len() {
+                let mut ctx = TickCtx {
+                    cycle: self.cycle,
+                    cfg: &self.cfg,
+                    bugs: &self.bugs,
+                    coverage: &mut self.coverage,
+                    rng: &mut self.rng,
+                    errors: &mut errors,
+                };
+                let out = self.l1s[core].tick(&mut ctx);
+                self.route(out.to_network);
+                responses_per_core[core].extend(out.responses);
+                notices_per_core[core].extend(out.lq_notices);
+            }
+
+            // 5. Cores.
+            for (core_idx, core) in cores.iter_mut().enumerate() {
+                let responses = std::mem::take(&mut responses_per_core[core_idx]);
+                let notices = std::mem::take(&mut notices_per_core[core_idx]);
+                let out = core.tick(self.cycle, &self.bugs, &responses, &notices, &mut self.rng);
+                for req in out.requests {
+                    self.l1s[core_idx].push_core_request(req);
+                }
+                for obs in out.observed {
+                    retired_ops += 1;
+                    self.total_instructions += 1;
+                    observer.record(core_idx, obs);
+                }
+            }
+        }
+
+        let complete = observer.is_complete() && !hung && errors.is_empty();
+        IterationOutcome {
+            execution: observer.finish(),
+            protocol_errors: errors,
+            hung,
+            complete,
+            cycles: self.cycle - start_cycle,
+            retired_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::Bug;
+    use crate::program::TestOp;
+    use mcversi_mcm::checker::Checker;
+    use mcversi_mcm::model::tso::Tso;
+    use mcversi_mcm::Address;
+
+    fn mp_program() -> TestProgram {
+        TestProgram::new(vec![
+            vec![
+                TestOp::write(Address(0x1000), 1),
+                TestOp::write(Address(0x2000), 2),
+            ],
+            vec![
+                TestOp::read(Address(0x2000)),
+                TestOp::read(Address(0x1000)),
+            ],
+        ])
+    }
+
+    #[test]
+    fn single_thread_program_runs_to_completion_mesi() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 1);
+        let program = TestProgram::new(vec![vec![
+            TestOp::write(Address(0x1000), 1),
+            TestOp::read(Address(0x1000)),
+            TestOp::write(Address(0x1008), 2),
+            TestOp::read(Address(0x1008)),
+        ]]);
+        let outcome = sys.run_iteration(&program);
+        assert!(outcome.complete, "outcome: {outcome:?}");
+        assert!(!outcome.hung);
+        assert!(outcome.protocol_errors.is_empty());
+        assert_eq!(outcome.retired_ops, 4);
+        assert!(outcome.execution.validate().is_ok());
+        assert!(Checker::new(&Tso).check(&outcome.execution).is_valid());
+        assert!(sys.coverage().distinct_covered() > 0);
+    }
+
+    #[test]
+    fn single_thread_program_runs_to_completion_tsocc() {
+        let cfg = SystemConfig::small(ProtocolKind::TsoCc);
+        let mut sys = System::new(cfg, BugConfig::none(), 1);
+        let program = TestProgram::new(vec![vec![
+            TestOp::write(Address(0x1000), 1),
+            TestOp::read(Address(0x1000)),
+            TestOp::rmw(Address(0x1040), 3),
+            TestOp::read(Address(0x1040)),
+        ]]);
+        let outcome = sys.run_iteration(&program);
+        assert!(outcome.complete, "outcome: {outcome:?}");
+        assert!(outcome.protocol_errors.is_empty());
+        assert!(Checker::new(&Tso).check(&outcome.execution).is_valid());
+    }
+
+    #[test]
+    fn correct_mesi_system_satisfies_tso_on_message_passing() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 7);
+        let checker = Checker::new(&Tso);
+        for _ in 0..20 {
+            let outcome = sys.run_iteration(&mp_program());
+            assert!(outcome.complete);
+            assert!(outcome.protocol_errors.is_empty());
+            assert!(
+                checker.check(&outcome.execution).is_valid(),
+                "correct MESI produced a TSO violation"
+            );
+        }
+    }
+
+    #[test]
+    fn correct_tsocc_system_satisfies_tso_on_message_passing() {
+        let cfg = SystemConfig::small(ProtocolKind::TsoCc);
+        let mut sys = System::new(cfg, BugConfig::none(), 7);
+        let checker = Checker::new(&Tso);
+        for _ in 0..20 {
+            let outcome = sys.run_iteration(&mp_program());
+            assert!(outcome.complete);
+            assert!(outcome.protocol_errors.is_empty());
+            assert!(
+                checker.check(&outcome.execution).is_valid(),
+                "correct TSO-CC produced a TSO violation"
+            );
+        }
+    }
+
+    #[test]
+    fn sq_no_fifo_bug_eventually_produces_a_violation() {
+        // Writer publishes data then flag out of order; reader spins-ish.
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::single(Bug::SqNoFifo), 3);
+        let checker = Checker::new(&Tso);
+        let program = TestProgram::new(vec![
+            vec![
+                TestOp::write(Address(0x1000), 1),
+                TestOp::write(Address(0x2000), 2),
+                TestOp::write(Address(0x3000), 3),
+                TestOp::write(Address(0x4000), 4),
+            ],
+            vec![
+                TestOp::read(Address(0x4000)),
+                TestOp::read(Address(0x3000)),
+                TestOp::read(Address(0x2000)),
+                TestOp::read(Address(0x1000)),
+            ],
+        ]);
+        let mut found = false;
+        for _ in 0..200 {
+            let outcome = sys.run_iteration(&program);
+            if !outcome.complete {
+                continue;
+            }
+            if checker.check(&outcome.execution).is_violation() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "SQ+no-FIFO never produced an observable violation");
+    }
+
+    #[test]
+    fn reset_between_iterations_restores_initial_values() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 5);
+        let writer = TestProgram::new(vec![vec![TestOp::write(Address(0x1000), 9)]]);
+        let outcome = sys.run_iteration(&writer);
+        assert!(outcome.complete);
+        // A later iteration that only reads must observe the initial value.
+        let reader = TestProgram::new(vec![vec![TestOp::read(Address(0x1000))]]);
+        let outcome = sys.run_iteration(&reader);
+        assert!(outcome.complete);
+        let read_event = outcome
+            .execution
+            .events()
+            .iter()
+            .find(|e| e.is_read())
+            .expect("read event exists");
+        assert_eq!(read_event.value.0, 0, "reset must restore initial values");
+    }
+
+    #[test]
+    fn coverage_accumulates_across_runs_and_run_set_resets() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 5);
+        sys.run_iteration(&mp_program());
+        let run1 = sys.finish_coverage_run();
+        assert!(!run1.is_empty());
+        let cumulative_after_run1 = sys.coverage().distinct_covered();
+        sys.run_iteration(&mp_program());
+        let run2 = sys.finish_coverage_run();
+        assert!(!run2.is_empty());
+        assert!(sys.coverage().distinct_covered() >= cumulative_after_run1);
+        let universe = sys.coverage_universe().to_vec();
+        let frac = sys.coverage().total_coverage(&universe);
+        assert!(frac > 0.0 && frac <= 1.0);
+    }
+
+    #[test]
+    fn stale_memory_responses_do_not_leak_across_resets() {
+        // A fetch can still be in flight at the memory controller when an
+        // iteration finishes; the host reset must drop it, otherwise the next
+        // iteration's L2 receives a MemData with no matching transaction.
+        // Flush-heavy single-op-per-core programs maximise that window.
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 123);
+        let program = TestProgram::new(vec![
+            vec![
+                TestOp::read(Address(0x10_0000)),
+                TestOp::flush(Address(0x10_0000)),
+                TestOp::read(Address(0x12_0000)),
+            ],
+            vec![
+                TestOp::write(Address(0x11_0000), 1),
+                TestOp::read(Address(0x13_0000)),
+            ],
+        ]);
+        for _ in 0..50 {
+            let outcome = sys.run_iteration(&program);
+            assert!(
+                outcome.protocol_errors.is_empty(),
+                "spurious protocol error: {:?}",
+                outcome.protocol_errors
+            );
+            assert!(outcome.complete);
+        }
+    }
+
+    #[test]
+    fn too_many_threads_is_rejected() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let threads = cfg.num_cores + 1;
+        let mut sys = System::new(cfg, BugConfig::none(), 5);
+        let program = TestProgram::new(
+            (0..threads)
+                .map(|i| vec![TestOp::write(Address(0x1000 + i as u64 * 8), i as u64 + 1)])
+                .collect(),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.run_iteration(&program)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Crossover and mutation operators.
+//!
+//! [`selective_crossover_mutate`] is the paper's Algorithm 1: genes whose
+//! memory operation touches an address in a parent's fit-address set are
+//! always selected from that parent, other genes are selected with probability
+//! `PSELECT` (derived from the parent's fit-address fraction and `PUSEL`), and
+//! slots selected from neither parent are regenerated randomly — biased with
+//! probability `PBFA` towards the union of the parents' fit addresses.
+//! Because the child is built slot by slot over the flat gene list, the
+//! relative position of every operation is preserved and the test size stays
+//! constant.
+//!
+//! [`single_point_crossover_mutate`] is the conventional single-point
+//! crossover used by the `McVerSi-Std.XO` baseline.
+
+use crate::ndt::NdtAnalysis;
+use crate::params::TestGenParams;
+use crate::random::RandomTestGenerator;
+use crate::test::Test;
+use mcversi_mcm::Address;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+fn random_bool<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p
+}
+
+/// Algorithm 1: selective crossover followed by (bounded) mutation.
+///
+/// `analysis1` / `analysis2` are the NDT analyses of the two parents' latest
+/// test-runs; their `fitaddrs` sets drive the selection.
+pub fn selective_crossover_mutate<R: Rng>(
+    test1: &Test,
+    test2: &Test,
+    analysis1: &NdtAnalysis,
+    analysis2: &NdtAnalysis,
+    params: &TestGenParams,
+    rng: &mut R,
+) -> Test {
+    assert_eq!(test1.len(), test2.len(), "parents must have equal size");
+    assert_eq!(test1.num_threads(), test2.num_threads());
+    let generator = RandomTestGenerator::new(params.clone());
+    let fit1 = &analysis1.fitaddrs;
+    let fit2 = &analysis2.fitaddrs;
+    let fit_union: BTreeSet<Address> = fit1.union(fit2).copied().collect();
+
+    let a1 = test1.fitaddr_fraction(fit1);
+    let a2 = test2.fitaddr_fraction(fit2);
+    let p_usel = params.p_usel;
+    let p_select1 = a1 + p_usel - (a1 * p_usel);
+    let p_select2 = a2 + p_usel - (a2 * p_usel);
+
+    let mut child = test1.clone();
+    let mut mutations = 0usize;
+
+    for i in 0..child.len() {
+        let g1 = test1.genes()[i];
+        let g2 = test2.genes()[i];
+
+        let select1 = if g1.op.is_memop() {
+            random_bool(rng, p_usel) || fit1.contains(&g1.op.addr)
+        } else {
+            random_bool(rng, p_select1)
+        };
+        let select2 = if g2.op.is_memop() {
+            random_bool(rng, p_usel) || fit2.contains(&g2.op.addr)
+        } else {
+            random_bool(rng, p_select2)
+        };
+
+        if !select1 && select2 {
+            child.set_gene(i, g2);
+        } else if !select1 && !select2 {
+            mutations += 1;
+            let gene = if random_bool(rng, params.p_bfa) {
+                generator.random_gene_from(rng, &fit_union)
+            } else {
+                generator.random_gene(rng)
+            };
+            child.set_gene(i, gene);
+        } else {
+            // Retain child[i] (== test1[i]).
+        }
+    }
+
+    // If crossover itself introduced few fresh genes, apply the classic
+    // per-gene mutation pass with probability PMUT.
+    if (mutations as f64) / (child.len() as f64) < params.mutation_probability {
+        mutate(&mut child, params, &generator, rng);
+    }
+    child
+}
+
+/// Standard single-point crossover over the flat gene list, followed by the
+/// same mutation pass (the `McVerSi-Std.XO` baseline).
+pub fn single_point_crossover_mutate<R: Rng>(
+    test1: &Test,
+    test2: &Test,
+    params: &TestGenParams,
+    rng: &mut R,
+) -> Test {
+    assert_eq!(test1.len(), test2.len(), "parents must have equal size");
+    assert_eq!(test1.num_threads(), test2.num_threads());
+    let generator = RandomTestGenerator::new(params.clone());
+    let point = rng.gen_range(0..=test1.len());
+    let mut genes = Vec::with_capacity(test1.len());
+    genes.extend_from_slice(&test1.genes()[..point]);
+    genes.extend_from_slice(&test2.genes()[point..]);
+    let mut child = Test::new(genes, test1.num_threads());
+    mutate(&mut child, params, &generator, rng);
+    child
+}
+
+/// Mutates each gene with probability `PMUT`, randomising thread and operation
+/// but preserving the gene's position in the test.
+fn mutate<R: Rng>(test: &mut Test, params: &TestGenParams, generator: &RandomTestGenerator, rng: &mut R) {
+    for i in 0..test.len() {
+        if random_bool(rng, params.mutation_probability) {
+            let gene = generator.random_gene(rng);
+            test.set_gene(i, gene);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Op, OpKind};
+    use crate::test::Gene;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> TestGenParams {
+        TestGenParams::small()
+    }
+
+    fn random_parents(seed: u64) -> (Test, Test) {
+        let g = RandomTestGenerator::new(params());
+        let t1 = g.generate(&mut StdRng::seed_from_u64(seed));
+        let t2 = g.generate(&mut StdRng::seed_from_u64(seed + 1));
+        (t1, t2)
+    }
+
+    fn analysis_with(fitaddrs: &[Address]) -> NdtAnalysis {
+        let mut a = NdtAnalysis::empty();
+        a.fitaddrs = fitaddrs.iter().copied().collect();
+        a.ndt = 2.0;
+        a
+    }
+
+    #[test]
+    fn selective_crossover_preserves_size_and_thread_validity() {
+        let (t1, t2) = random_parents(1);
+        let a1 = analysis_with(&[]);
+        let a2 = analysis_with(&[]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let child = selective_crossover_mutate(&t1, &t2, &a1, &a2, &params(), &mut rng);
+        assert_eq!(child.len(), t1.len());
+        assert_eq!(child.num_threads(), t1.num_threads());
+        assert!(child
+            .genes()
+            .iter()
+            .all(|g| (g.pid as usize) < child.num_threads()));
+    }
+
+    #[test]
+    fn fit_address_genes_of_parent1_are_always_retained() {
+        // Construct a parent whose every memory op touches the fit address:
+        // those genes must all survive crossover unchanged.  The trailing
+        // whole-test mutation pass is disabled so only the crossover's own
+        // selection logic is under test.
+        let mut p = params();
+        p.mutation_probability = 0.0;
+        let fit = Address(0x10_0000);
+        let genes1: Vec<Gene> = (0..p.test_size)
+            .map(|i| Gene {
+                pid: (i % p.num_threads) as u32,
+                op: Op::new(OpKind::Write, fit),
+            })
+            .collect();
+        let t1 = Test::new(genes1, p.num_threads);
+        let g = RandomTestGenerator::new(p.clone());
+        let t2 = g.generate(&mut StdRng::seed_from_u64(11));
+        let a1 = analysis_with(&[fit]);
+        let a2 = analysis_with(&[]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let child = selective_crossover_mutate(&t1, &t2, &a1, &a2, &p, &mut rng);
+        assert_eq!(child.genes(), t1.genes(), "fit genes must be preserved");
+    }
+
+    #[test]
+    fn genes_unselected_in_parent1_can_come_from_parent2() {
+        // Parent 2's memory ops all touch its fit address, parent 1 has no fit
+        // addresses: with PUSEL = 0 every slot where parent 1 is unselected
+        // must take parent 2's gene.
+        let mut p = params();
+        p.p_usel = 0.0;
+        p.mutation_probability = 0.0;
+        let fit2 = Address(0x10_0000);
+        let g = RandomTestGenerator::new(p.clone());
+        let t1 = g.generate(&mut StdRng::seed_from_u64(21));
+        let genes2: Vec<Gene> = (0..p.test_size)
+            .map(|i| Gene {
+                pid: (i % p.num_threads) as u32,
+                op: Op::new(OpKind::Read, fit2),
+            })
+            .collect();
+        let t2 = Test::new(genes2, p.num_threads);
+        let a1 = analysis_with(&[]);
+        let a2 = analysis_with(&[fit2]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let child = selective_crossover_mutate(&t1, &t2, &a1, &a2, &p, &mut rng);
+        // Memory-op slots of parent 1 are never selected (no fit addresses,
+        // PUSEL 0), so they must all equal parent 2's genes.
+        for (i, gene) in child.genes().iter().enumerate() {
+            if t1.genes()[i].op.is_memop() {
+                assert_eq!(*gene, t2.genes()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn unselected_in_both_parents_is_mutated_within_fit_union_or_randomly() {
+        let mut p = params();
+        p.p_usel = 0.0;
+        p.p_bfa = 1.0;
+        p.mutation_probability = 0.0;
+        let fit = Address(0x10_0000);
+        let g = RandomTestGenerator::new(p.clone());
+        let t1 = g.generate(&mut StdRng::seed_from_u64(31));
+        let t2 = g.generate(&mut StdRng::seed_from_u64(32));
+        // Neither parent has fit addresses covering its own genes, but the
+        // "fit union" passed in steers replacement genes to `fit`.
+        let a1 = analysis_with(&[fit]);
+        let a2 = analysis_with(&[fit]);
+        // Remove accidental matches: map both parents' ops away from `fit`.
+        // (Randomly generated addresses start at 0x10_0000 too, so rebuild the
+        // parents with a different base.)
+        let other = Address(0x20_0000);
+        let t1 = Test::new(
+            t1.genes()
+                .iter()
+                .map(|g| Gene {
+                    pid: g.pid,
+                    op: Op::new(g.op.kind, if g.op.is_memop() { other } else { g.op.addr }),
+                })
+                .collect(),
+            p.num_threads,
+        );
+        let t2 = Test::new(
+            t2.genes()
+                .iter()
+                .map(|g| Gene {
+                    pid: g.pid,
+                    op: Op::new(g.op.kind, if g.op.is_memop() { other } else { g.op.addr }),
+                })
+                .collect(),
+            p.num_threads,
+        );
+        let mut rng = StdRng::seed_from_u64(33);
+        let child = selective_crossover_mutate(&t1, &t2, &a1, &a2, &p, &mut rng);
+        // Every memory op in the child must target the fit address (PBFA = 1)
+        // because no slot could be selected from either parent.
+        assert!(child
+            .genes()
+            .iter()
+            .filter(|g| g.op.is_memop())
+            .all(|g| g.op.addr == fit));
+    }
+
+    #[test]
+    fn single_point_crossover_takes_a_prefix_and_suffix() {
+        let mut p = params();
+        p.mutation_probability = 0.0;
+        let (t1, t2) = random_parents(41);
+        let mut rng = StdRng::seed_from_u64(43);
+        let child = single_point_crossover_mutate(&t1, &t2, &p, &mut rng);
+        assert_eq!(child.len(), t1.len());
+        // Find the crossover point: the child is a prefix of t1 followed by a
+        // suffix of t2.
+        let mut point = 0;
+        while point < child.len() && child.genes()[point] == t1.genes()[point] {
+            point += 1;
+        }
+        for i in point..child.len() {
+            assert_eq!(child.genes()[i], t2.genes()[i]);
+        }
+    }
+
+    #[test]
+    fn mutation_probability_one_rewrites_the_whole_test() {
+        let mut p = params();
+        p.mutation_probability = 1.0;
+        let (t1, t2) = random_parents(51);
+        let mut rng = StdRng::seed_from_u64(53);
+        let child = single_point_crossover_mutate(&t1, &t2, &p, &mut rng);
+        // With PMUT = 1 every slot is rerandomised; sizes still match.
+        assert_eq!(child.len(), t1.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Test generation for memory consistency verification.
+//!
+//! This crate implements the paper's primary contribution (§3): the
+//! representation of tests as chromosomes, the pseudo-random generator used to
+//! seed (and to serve as the `McVerSi-RAND` baseline), the non-determinism
+//! metrics NDT and NDe computed from observed conflict orders, the
+//! *selective crossover* of Algorithm 1, a standard single-point crossover
+//! (the `McVerSi-Std.XO` baseline), the steady-state genetic-programming
+//! engine, and a diy-style litmus-test generator for x86-TSO (the non-GP
+//! baseline).
+//!
+//! The crate is simulator-independent: it only depends on the axiomatic MCM
+//! crate for event/address types and candidate executions.  Lowering a
+//! [`Test`] to an executable program for a particular simulator is the job of
+//! the framework crate (`mcversi-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crossover;
+pub mod gp;
+pub mod litmus;
+pub mod ndt;
+pub mod ops;
+pub mod params;
+pub mod random;
+pub mod test;
+
+pub use crossover::{selective_crossover_mutate, single_point_crossover_mutate};
+pub use gp::{CrossoverMode, Evaluation, GpEngine};
+pub use ndt::{NdtAnalysis, RunConflicts};
+pub use ops::{Op, OpKind};
+pub use params::{OperationBias, TestGenParams};
+pub use random::RandomTestGenerator;
+pub use test::{Gene, Test};

@@ -1,0 +1,286 @@
+//! Non-determinism metrics: NDT, NDe and the fit-address set.
+//!
+//! The key metric behind the selective crossover (paper §3.1, Definitions
+//! 1–3) is the *average non-determinism of a test* (NDT): the number of
+//! distinct conflict-order predecessors observed per event across all
+//! iterations of a test-run.  A fully deterministic test-run yields exactly
+//! one predecessor per event (its reads-from source or the write it
+//! overwrote), so NDT = 1; racy tests accumulate different predecessors across
+//! iterations and NDT grows.
+//!
+//! Events are identified *statically* — by thread and program-order index —
+//! so observations from different iterations of the same test can be unioned.
+
+use crate::ops::OpKind;
+use crate::test::Test;
+use mcversi_mcm::execution::CandidateExecution;
+use mcversi_mcm::{Address, Event};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Static identity of an event, stable across iterations of a test-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKey {
+    /// An event of the test: thread, program-order index, and whether it is
+    /// the write half of the instruction (for RMWs).
+    Op {
+        /// Thread id.
+        pid: u32,
+        /// Program-order index within the thread.
+        poi: u32,
+        /// `true` for the write half of an instruction.
+        write: bool,
+    },
+    /// The synthetic initial write of an address.
+    Initial {
+        /// The address.
+        addr: Address,
+    },
+}
+
+impl EventKey {
+    fn of(event: &Event) -> EventKey {
+        match event.iiid {
+            Some(iiid) => EventKey::Op {
+                pid: iiid.pid.0,
+                poi: iiid.poi,
+                write: event.is_write(),
+            },
+            None => EventKey::Initial {
+                addr: event.addr.unwrap_or(Address(0)),
+            },
+        }
+    }
+}
+
+/// The union of observed conflict orders across the iterations of a test-run
+/// (`rfcoRUN` of Definition 1).
+#[derive(Debug, Clone, Default)]
+pub struct RunConflicts {
+    pairs: BTreeSet<(EventKey, EventKey)>,
+    iterations: usize,
+}
+
+impl RunConflicts {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunConflicts::default()
+    }
+
+    /// Number of iterations accumulated so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of distinct conflict-order pairs observed (`|rfcoRUN|`).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Adds one iteration's observed conflict orders (`rf_i ∪ co_i`).
+    ///
+    /// The *observed* (immediate) coherence order is used rather than its
+    /// transitive closure, so a deterministic iteration contributes exactly
+    /// one predecessor per event.
+    pub fn add_iteration(&mut self, exec: &CandidateExecution) {
+        self.iterations += 1;
+        for (a, b) in exec.rf().iter().chain(exec.co_observed().iter()) {
+            let ka = EventKey::of(exec.event(a));
+            let kb = EventKey::of(exec.event(b));
+            self.pairs.insert((ka, kb));
+        }
+    }
+
+    /// Computes NDT, per-event NDe and the fit-address set for `test`
+    /// (Definitions 2 and 3; the fit-address rule of §3.3).
+    pub fn analyze(&self, test: &Test) -> NdtAnalysis {
+        let n = test.num_events().max(1);
+        let ndt = self.pairs.len() as f64 / n as f64;
+
+        // NDe: number of distinct predecessors per (non-initial) event.
+        let mut nde: BTreeMap<EventKey, usize> = BTreeMap::new();
+        for (_, b) in &self.pairs {
+            if matches!(b, EventKey::Op { .. }) {
+                *nde.entry(*b).or_insert(0) += 1;
+            }
+        }
+
+        // fitaddrs: addresses of events whose NDe exceeds the rounded NDT.
+        let threshold = ndt.round() as usize;
+        let mut fitaddrs = BTreeSet::new();
+        let threads = test.threads();
+        for (key, count) in &nde {
+            if *count <= threshold {
+                continue;
+            }
+            if let EventKey::Op { pid, poi, .. } = key {
+                if let Some(op) = threads
+                    .get(*pid as usize)
+                    .and_then(|ops| ops.get(*poi as usize))
+                {
+                    if op.is_memop() && op.kind != OpKind::Delay {
+                        fitaddrs.insert(op.addr);
+                    }
+                }
+            }
+        }
+
+        NdtAnalysis { ndt, nde, fitaddrs }
+    }
+}
+
+/// The result of analysing one test-run's observed conflict orders.
+#[derive(Debug, Clone)]
+pub struct NdtAnalysis {
+    /// The test's average non-determinism (Definition 2).
+    pub ndt: f64,
+    /// Per-event non-determinism (Definition 3), keyed by static event id.
+    pub nde: BTreeMap<EventKey, usize>,
+    /// Addresses of events whose NDe exceeds the rounded NDT — the addresses
+    /// the selective crossover will always preserve.
+    pub fitaddrs: BTreeSet<Address>,
+}
+
+impl NdtAnalysis {
+    /// An analysis representing "nothing observed" (NDT 0, no fit addresses).
+    pub fn empty() -> Self {
+        NdtAnalysis {
+            ndt: 0.0,
+            nde: BTreeMap::new(),
+            fitaddrs: BTreeSet::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use crate::test::Gene;
+    use mcversi_mcm::execution::ExecutionBuilder;
+    use mcversi_mcm::{ProcessorId, Value};
+
+    /// Builds the MP-shaped test used by the executions below:
+    /// P0: W x; W y.  P1: R y; R x.
+    fn mp_test() -> Test {
+        let x = Address(0x100);
+        let y = Address(0x200);
+        Test::new(
+            vec![
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Write, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Write, y),
+                },
+                Gene {
+                    pid: 1,
+                    op: Op::new(OpKind::Read, y),
+                },
+                Gene {
+                    pid: 1,
+                    op: Op::new(OpKind::Read, x),
+                },
+            ],
+            2,
+        )
+    }
+
+    /// One iteration where P1 observes `from_init` (both reads see 0) or the
+    /// written values.
+    fn mp_execution(reads_see_writes: bool) -> CandidateExecution {
+        let x = Address(0x100);
+        let y = Address(0x200);
+        let mut b = ExecutionBuilder::new();
+        let wx = b.write(ProcessorId(0), x, Value(1));
+        let wy = b.write(ProcessorId(0), y, Value(2));
+        let ry = b.read(ProcessorId(1), y, if reads_see_writes { Value(2) } else { Value(0) });
+        let rx = b.read(ProcessorId(1), x, if reads_see_writes { Value(1) } else { Value(0) });
+        if reads_see_writes {
+            b.reads_from(wy, ry);
+            b.reads_from(wx, rx);
+        } else {
+            b.reads_from_initial(ry);
+            b.reads_from_initial(rx);
+        }
+        b.coherence_after_initial(wx);
+        b.coherence_after_initial(wy);
+        b.build()
+    }
+
+    #[test]
+    fn deterministic_run_has_ndt_one() {
+        let test = mp_test();
+        let mut rc = RunConflicts::new();
+        for _ in 0..5 {
+            rc.add_iteration(&mp_execution(false));
+        }
+        assert_eq!(rc.iterations(), 5);
+        let analysis = rc.analyze(&test);
+        assert!(
+            (analysis.ndt - 1.0).abs() < 1e-9,
+            "identical iterations must give NDT = 1, got {}",
+            analysis.ndt
+        );
+        assert!(analysis.fitaddrs.is_empty());
+    }
+
+    #[test]
+    fn racy_run_has_ndt_above_one_and_fit_addresses() {
+        let test = mp_test();
+        let mut rc = RunConflicts::new();
+        // The two reads observe different sources across iterations.
+        rc.add_iteration(&mp_execution(false));
+        rc.add_iteration(&mp_execution(true));
+        let analysis = rc.analyze(&test);
+        assert!(analysis.ndt > 1.0, "NDT = {}", analysis.ndt);
+        // The reads (to x and y) have two distinct predecessors each, above
+        // the rounded NDT of 1... or equal to NDT 1.5 rounded to 2; verify the
+        // fit-address rule against the definition explicitly:
+        let threshold = analysis.ndt.round() as usize;
+        for (key, count) in &analysis.nde {
+            if let EventKey::Op { pid, poi, .. } = key {
+                let op = test.threads()[*pid as usize][*poi as usize];
+                assert_eq!(
+                    analysis.fitaddrs.contains(&op.addr) && *count > threshold,
+                    *count > threshold,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_analysis_is_safe() {
+        let a = NdtAnalysis::empty();
+        assert_eq!(a.ndt, 0.0);
+        assert!(a.fitaddrs.is_empty());
+        let rc = RunConflicts::new();
+        assert!(rc.is_empty());
+        assert_eq!(rc.len(), 0);
+        let analysis = rc.analyze(&mp_test());
+        assert_eq!(analysis.ndt, 0.0);
+    }
+
+    #[test]
+    fn nde_counts_distinct_predecessors() {
+        let test = mp_test();
+        let mut rc = RunConflicts::new();
+        rc.add_iteration(&mp_execution(false));
+        rc.add_iteration(&mp_execution(true));
+        let analysis = rc.analyze(&test);
+        // The read of y (pid 1, poi 0) saw both the initial value and W y.
+        let key = EventKey::Op {
+            pid: 1,
+            poi: 0,
+            write: false,
+        };
+        assert_eq!(analysis.nde.get(&key), Some(&2));
+    }
+}

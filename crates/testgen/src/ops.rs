@@ -1,0 +1,148 @@
+//! High-level test operations (genes of the chromosome).
+//!
+//! Each node of a test's DAG is a high-level operation of one thread (paper
+//! §3.3); the operation kinds and their default selection biases follow
+//! Table 3.  Write values are *not* part of the representation — they are
+//! assigned (globally unique) when the test is lowered to an executable
+//! program, because the unique-value scheme is a property of execution, not of
+//! the chromosome.
+
+use mcversi_mcm::Address;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a high-level test operation (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read into a register.
+    Read,
+    /// Read into a register with an address dependency on the previous read.
+    ReadAddrDp,
+    /// Write from a register.
+    Write,
+    /// Atomic read-modify-write (also an implicit fence on x86).
+    ReadModifyWrite,
+    /// Cache-line flush (`clflush`).
+    CacheFlush,
+    /// Constant delay (NOPs).
+    Delay,
+    /// A full memory fence (`mfence`).  Not part of the default Table 3 mix
+    /// (x86 RMWs already imply fences) but used by litmus tests and useful
+    /// when targeting more relaxed models.
+    Fence,
+}
+
+impl OpKind {
+    /// All operation kinds (Table 3 order, plus the explicit fence).
+    pub const ALL: [OpKind; 7] = [
+        OpKind::Read,
+        OpKind::ReadAddrDp,
+        OpKind::Write,
+        OpKind::ReadModifyWrite,
+        OpKind::CacheFlush,
+        OpKind::Delay,
+        OpKind::Fence,
+    ];
+
+    /// Returns `true` if the operation accesses memory (has a meaningful
+    /// address attribute).
+    pub fn is_memory_op(self) -> bool {
+        !matches!(self, OpKind::Delay | OpKind::Fence)
+    }
+
+    /// Returns `true` if the operation reads memory.
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            OpKind::Read | OpKind::ReadAddrDp | OpKind::ReadModifyWrite
+        )
+    }
+
+    /// Returns `true` if the operation writes memory.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::Write | OpKind::ReadModifyWrite)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Read => "Read",
+            OpKind::ReadAddrDp => "ReadAddrDp",
+            OpKind::Write => "Write",
+            OpKind::ReadModifyWrite => "ReadModifyWrite",
+            OpKind::CacheFlush => "CacheFlush",
+            OpKind::Delay => "Delay",
+            OpKind::Fence => "Fence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A high-level operation: kind plus accessed address.
+///
+/// For `Delay` operations the address field carries the delay length in
+/// cycles instead of an address (it is never interpreted as an address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// The accessed (8-byte aligned) address, or the delay length for
+    /// [`OpKind::Delay`].
+    pub addr: Address,
+}
+
+impl Op {
+    /// Creates an operation.
+    pub fn new(kind: OpKind, addr: Address) -> Self {
+        Op { kind, addr }
+    }
+
+    /// Returns `true` if this is a memory operation with a valid `addr`
+    /// attribute (mirrors Algorithm 1's `is_memop`).
+    pub fn is_memop(&self) -> bool {
+        self.kind.is_memory_op()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == OpKind::Delay {
+            write!(f, "Delay({})", self.addr.0)
+        } else {
+            write!(f, "{} {}", self.kind, self.addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(OpKind::Read.is_read());
+        assert!(!OpKind::Read.is_write());
+        assert!(OpKind::Write.is_write());
+        assert!(OpKind::ReadModifyWrite.is_read());
+        assert!(OpKind::ReadModifyWrite.is_write());
+        assert!(OpKind::CacheFlush.is_memory_op());
+        assert!(!OpKind::CacheFlush.is_read());
+        assert!(!OpKind::Delay.is_memory_op());
+        assert!(!OpKind::Fence.is_memory_op());
+        assert!(!OpKind::Fence.is_read());
+        assert_eq!(OpKind::ALL.len(), 7);
+    }
+
+    #[test]
+    fn op_is_memop_mirrors_kind() {
+        assert!(Op::new(OpKind::Read, Address(0x10)).is_memop());
+        assert!(!Op::new(OpKind::Delay, Address(8)).is_memop());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Op::new(OpKind::Read, Address(0x10))), "Read 0x10");
+        assert_eq!(format!("{}", Op::new(OpKind::Delay, Address(12))), "Delay(12)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Pseudo-random test generation (the `McVerSi-RAND` baseline and the GP's
+//! initial population / mutation source).
+//!
+//! Given the user constraints of Table 3 — operation bias, test memory size
+//! and stride — the generator draws each gene independently: a uniformly
+//! random thread, an operation kind according to the bias, and a
+//! stride-aligned address inside the (partitioned) test memory.
+
+use crate::ops::{Op, OpKind};
+use crate::params::TestGenParams;
+use crate::test::{Gene, Test};
+use mcversi_mcm::Address;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A pseudo-random test generator.
+#[derive(Debug, Clone)]
+pub struct RandomTestGenerator {
+    params: TestGenParams,
+}
+
+impl RandomTestGenerator {
+    /// Creates a generator with the given parameters.
+    pub fn new(params: TestGenParams) -> Self {
+        RandomTestGenerator { params }
+    }
+
+    /// The generator's parameters.
+    pub fn params(&self) -> &TestGenParams {
+        &self.params
+    }
+
+    /// Draws a random stride-aligned address within the test memory.
+    pub fn random_address<R: Rng>(&self, rng: &mut R) -> Address {
+        let slot = rng.gen_range(0..self.params.num_slots());
+        self.params.offset_to_address(slot * self.params.stride_bytes)
+    }
+
+    /// Draws a random address from `pool` (used for PBFA-biased mutation);
+    /// falls back to a uniformly random address when the pool is empty.
+    pub fn random_address_from<R: Rng>(&self, rng: &mut R, pool: &BTreeSet<Address>) -> Address {
+        if pool.is_empty() {
+            return self.random_address(rng);
+        }
+        let idx = rng.gen_range(0..pool.len());
+        *pool.iter().nth(idx).expect("index in range")
+    }
+
+    /// Draws a random operation according to the bias.
+    pub fn random_op<R: Rng>(&self, rng: &mut R) -> Op {
+        let kind = self.params.bias.pick(rng.gen_range(0..self.params.bias.total()));
+        let addr = if kind == OpKind::Delay {
+            Address(rng.gen_range(1..=self.params.max_delay_cycles) as u64)
+        } else if kind == OpKind::Fence {
+            Address(0)
+        } else {
+            self.random_address(rng)
+        };
+        Op::new(kind, addr)
+    }
+
+    /// Draws a random gene (thread plus operation).
+    pub fn random_gene<R: Rng>(&self, rng: &mut R) -> Gene {
+        Gene {
+            pid: rng.gen_range(0..self.params.num_threads as u32),
+            op: self.random_op(rng),
+        }
+    }
+
+    /// Draws a random gene whose address is biased towards `pool`
+    /// (Algorithm 1's PBFA-constrained mutation).
+    pub fn random_gene_from<R: Rng>(&self, rng: &mut R, pool: &BTreeSet<Address>) -> Gene {
+        let mut gene = self.random_gene(rng);
+        if gene.op.is_memop() {
+            gene.op.addr = self.random_address_from(rng, pool);
+        }
+        gene
+    }
+
+    /// Generates a complete random test of `params.test_size` genes.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Test {
+        let genes = (0..self.params.test_size)
+            .map(|_| self.random_gene(rng))
+            .collect();
+        Test::new(genes, self.params.num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator() -> RandomTestGenerator {
+        RandomTestGenerator::new(TestGenParams::small())
+    }
+
+    #[test]
+    fn generated_test_has_requested_size_and_threads() {
+        let g = generator();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = g.generate(&mut rng);
+        assert_eq!(t.len(), g.params().test_size);
+        assert_eq!(t.num_threads(), g.params().num_threads);
+        assert!(t.genes().iter().all(|g2| (g2.pid as usize) < t.num_threads()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = generator();
+        let t1 = g.generate(&mut StdRng::seed_from_u64(7));
+        let t2 = g.generate(&mut StdRng::seed_from_u64(7));
+        let t3 = g.generate(&mut StdRng::seed_from_u64(8));
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn addresses_respect_stride_and_partitioning() {
+        let g = RandomTestGenerator::new(TestGenParams::paper_default(1024));
+        let mut rng = StdRng::seed_from_u64(3);
+        let valid: BTreeSet<Address> = g.params().all_slot_addresses().into_iter().collect();
+        for _ in 0..500 {
+            let a = g.random_address(&mut rng);
+            assert!(valid.contains(&a), "address {a} outside the slot set");
+        }
+    }
+
+    #[test]
+    fn operation_mix_roughly_follows_bias() {
+        let g = RandomTestGenerator::new(TestGenParams::paper_default(8 * 1024));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            match g.random_op(&mut rng).kind {
+                OpKind::Read => reads += 1,
+                OpKind::Write => writes += 1,
+                _ => {}
+            }
+        }
+        let read_frac = reads as f64 / n as f64;
+        let write_frac = writes as f64 / n as f64;
+        assert!((read_frac - 0.50).abs() < 0.03, "read fraction {read_frac}");
+        assert!((write_frac - 0.42).abs() < 0.03, "write fraction {write_frac}");
+    }
+
+    #[test]
+    fn pbfa_pool_addresses_are_used_when_available() {
+        let g = generator();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pool: BTreeSet<Address> = [Address(0x10_0000), Address(0x10_0010)]
+            .into_iter()
+            .collect();
+        for _ in 0..100 {
+            let gene = g.random_gene_from(&mut rng, &pool);
+            if gene.op.is_memop() {
+                assert!(pool.contains(&gene.op.addr));
+            }
+        }
+        // Empty pool falls back to the full address range without panicking.
+        let gene = g.random_gene_from(&mut rng, &BTreeSet::new());
+        assert!((gene.pid as usize) < g.params().num_threads);
+    }
+}

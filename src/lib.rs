@@ -1,0 +1,5 @@
+//! Umbrella crate re-exporting the McVerSi framework.
+pub use mcversi_core as core;
+pub use mcversi_mcm as mcm;
+pub use mcversi_sim as sim;
+pub use mcversi_testgen as testgen;

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full verification flow.
+//!
+//! These tests exercise the complete stack — test generation → lowering →
+//! simulation → observation → checking → fitness → campaign — the way a user
+//! of the framework would.
+
+use mcversi::core::{run_campaign, run_samples, CampaignConfig, GeneratorKind, McVerSiConfig, TestRunner};
+use mcversi::sim::{Bug, BugConfig, ProtocolKind};
+use std::time::Duration;
+
+fn quick_campaign(generator: GeneratorKind, bug: Option<Bug>, runs: usize) -> CampaignConfig {
+    let mcversi = McVerSiConfig::small().with_iterations(3).with_test_size(48);
+    CampaignConfig::new(generator, bug, mcversi, runs, Duration::from_secs(90))
+}
+
+#[test]
+fn correct_design_never_fails_for_any_generator() {
+    for generator in [
+        GeneratorKind::McVerSiAll,
+        GeneratorKind::McVerSiRand,
+        GeneratorKind::DiyLitmus,
+    ] {
+        let result = run_campaign(&quick_campaign(generator, None, 15), 5);
+        assert!(
+            !result.found,
+            "{generator} reported a bug on the correct design: {:?}",
+            result.detail
+        );
+        assert_eq!(result.test_runs, 15);
+        assert!(result.max_total_coverage > 0.0);
+    }
+}
+
+#[test]
+fn pipeline_bugs_are_found_by_the_gp_generator() {
+    // The two pipeline bugs are the easiest in the paper's Table 4 (found in
+    // well under an hour by every McVerSi generator); the GP generator must
+    // find them within a small budget here.
+    for bug in [Bug::LqNoTso, Bug::SqNoFifo] {
+        let result = run_campaign(&quick_campaign(GeneratorKind::McVerSiAll, Some(bug), 120), 11);
+        assert!(result.found, "{bug} not found by McVerSi-ALL: {result:?}");
+    }
+}
+
+#[test]
+fn mesi_invalidation_forwarding_bug_is_found() {
+    // MESI,LQ+IS,Inv: the headline real gem5 bug of the paper — the coherence
+    // protocol sinks an invalidation in the IS transient state and never
+    // forwards it to the load queue.  It is found quickly here by random
+    // generation with a constrained address range (the other MESI,LQ bugs
+    // need a larger budget; they are exercised by the Table 4 binary).
+    let result = run_campaign(
+        &quick_campaign(GeneratorKind::McVerSiRand, Some(Bug::MesiLqIsInv), 150),
+        3,
+    );
+    assert!(result.found, "MESI,LQ+IS,Inv not found: {result:?}");
+}
+
+#[test]
+fn tsocc_bugs_run_on_the_tsocc_protocol() {
+    // The campaign must switch the system to TSO-CC automatically; whether the
+    // bug is found within this small budget is not asserted (the paper needed
+    // hours), but the runs must be well formed and non-trivial.
+    let cfg = quick_campaign(GeneratorKind::McVerSiRand, Some(Bug::TsoCcCompare), 20);
+    assert_eq!(cfg.effective_mcversi().system.protocol, ProtocolKind::TsoCc);
+    let result = run_campaign(&cfg, 1);
+    assert!(result.test_runs >= 1);
+    assert!(result.simulated_cycles > 0);
+}
+
+#[test]
+fn parallel_samples_are_reproducible_per_seed() {
+    let cfg = quick_campaign(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso), 30);
+    let a = run_samples(&cfg, 2, 100);
+    let b = run_samples(&cfg, 2, 100);
+    assert_eq!(a.len(), 2);
+    // Same seeds => same outcome and same discovery point.
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.seed, rb.seed);
+        assert_eq!(ra.found, rb.found);
+        assert_eq!(ra.found_at_run, rb.found_at_run);
+        assert_eq!(ra.test_runs, rb.test_runs);
+    }
+}
+
+#[test]
+fn gp_runner_improves_population_ndt_with_small_memory() {
+    // With 1 KB-style constrained memory the initial population is already
+    // racy (NDT > 1); the engine must at least sustain it.
+    use mcversi::core::TestSource;
+    let config = McVerSiConfig::small().with_iterations(3).with_test_size(48);
+    let params = config.testgen.clone();
+    let mut runner = TestRunner::new(config, BugConfig::none());
+    let mut source = TestSource::new(GeneratorKind::McVerSiAll, params, 13);
+    let mut last_ndt = 0.0;
+    for _ in 0..40 {
+        let (id, test, _) = source.next_test();
+        let result = runner.run_test(&test);
+        source.feedback(id, &result);
+        last_ndt = source.population_mean_ndt();
+    }
+    assert!(
+        last_ndt > 1.0,
+        "population mean NDT should exceed 1.0, got {last_ndt}"
+    );
+}
