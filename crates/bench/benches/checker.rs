@@ -54,13 +54,17 @@ fn bench_checker(c: &mut Criterion) {
     for &(threads, ops) in &[(4u32, 32u32), (8, 64), (8, 125)] {
         let exec = build_execution(threads, ops, 16);
         let total = threads * ops;
-        group.bench_with_input(BenchmarkId::new("tso_check", total), &exec, |bench, exec| {
-            let checker = Checker::new(&Tso);
-            bench.iter(|| {
-                let verdict = checker.check(exec);
-                assert!(verdict.is_valid());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tso_check", total),
+            &exec,
+            |bench, exec| {
+                let checker = Checker::new(&Tso);
+                bench.iter(|| {
+                    let verdict = checker.check(exec);
+                    assert!(verdict.is_valid());
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -96,13 +96,22 @@ fn main() {
     params.p_bfa = 0.5;
     for seed in 0..3u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let child = selective_crossover_mutate(&parent1, &parent2, &analysis1, &analysis2, &params, &mut rng);
+        let child = selective_crossover_mutate(
+            &parent1, &parent2, &analysis1, &analysis2, &params, &mut rng,
+        );
         show(&format!("Child (seed {seed})"), &child, &names);
         let kept_fit = child
             .genes()
             .iter()
-            .filter(|g| g.op.is_memop() && (analysis1.fitaddrs.contains(&g.op.addr) || analysis2.fitaddrs.contains(&g.op.addr)))
+            .filter(|g| {
+                g.op.is_memop()
+                    && (analysis1.fitaddrs.contains(&g.op.addr)
+                        || analysis2.fitaddrs.contains(&g.op.addr))
+            })
             .count();
-        println!("  -> {kept_fit}/{} genes touch a fit address\n", child.len());
+        println!(
+            "  -> {kept_fit}/{} genes touch a fit address\n",
+            child.len()
+        );
     }
 }

@@ -30,7 +30,11 @@ fn main() {
     let configs = [
         (GeneratorKind::McVerSiAll, 1024u64, "McVerSi-ALL (1KB)"),
         (GeneratorKind::McVerSiAll, 8 * 1024, "McVerSi-ALL (8KB)"),
-        (GeneratorKind::McVerSiStdXo, 8 * 1024, "McVerSi-Std.XO (8KB)"),
+        (
+            GeneratorKind::McVerSiStdXo,
+            8 * 1024,
+            "McVerSi-Std.XO (8KB)",
+        ),
         (GeneratorKind::McVerSiRand, 8 * 1024, "McVerSi-RAND (8KB)"),
     ];
     let mut traces = Vec::new();

@@ -5,31 +5,26 @@ use mcversi_sim::SystemConfig;
 fn main() {
     let cfg = SystemConfig::paper_default();
     println!("=== Table 2: system parameters ===");
-    println!("{:<28} {}", "Core-count & frequency", format!("{} (out-of-order)", cfg.num_cores));
+    let cores = format!("{} (out-of-order)", cfg.num_cores);
+    println!("{:<28} {}", "Core-count & frequency", cores);
     println!("{:<28} {}", "LSQ entries", cfg.lq_entries + cfg.sq_entries);
     println!("{:<28} {}", "ROB entries", cfg.rob_entries);
-    println!(
-        "{:<28} {}",
-        "L1 I+D-cache (private)",
-        format!(
-            "{}KB, {}B lines, {}-way",
-            cfg.l1_bytes / 1024,
-            cfg.line_bytes,
-            cfg.l1_ways
-        )
+    let l1 = format!(
+        "{}KB, {}B lines, {}-way",
+        cfg.l1_bytes / 1024,
+        cfg.line_bytes,
+        cfg.l1_ways
     );
+    println!("{:<28} {}", "L1 I+D-cache (private)", l1);
     println!("{:<28} {} cycles", "L1 hit latency", cfg.latency.l1_hit);
-    println!(
-        "{:<28} {}",
-        "L2 cache (NUCA, shared)",
-        format!(
-            "{}KB x {} tiles, {}B lines, {}-way",
-            cfg.l2_bank_bytes / 1024,
-            cfg.l2_banks,
-            cfg.line_bytes,
-            cfg.l2_ways
-        )
+    let l2 = format!(
+        "{}KB x {} tiles, {}B lines, {}-way",
+        cfg.l2_bank_bytes / 1024,
+        cfg.l2_banks,
+        cfg.line_bytes,
+        cfg.l2_ways
     );
+    println!("{:<28} {}", "L2 cache (NUCA, shared)", l2);
     println!(
         "{:<28} {} to {} cycles",
         "L2 hit latency", cfg.latency.l2_min, cfg.latency.l2_max
@@ -38,11 +33,8 @@ fn main() {
         "{:<28} {} to {} cycles",
         "Memory latency", cfg.latency.mem_min, cfg.latency.mem_max
     );
-    println!(
-        "{:<28} {}",
-        "On-chip network",
-        format!("2D mesh, {} rows, {} nodes", cfg.mesh_rows, cfg.num_nodes())
-    );
+    let network = format!("2D mesh, {} rows, {} nodes", cfg.mesh_rows, cfg.num_nodes());
+    println!("{:<28} {}", "On-chip network", network);
     println!("{:<28} {}", "Coherence protocol", cfg.protocol.name());
     match mcversi_bench::write_artifact("table2_system_params.json", &cfg) {
         Ok(path) => println!("\nartifact: {}", path.display()),

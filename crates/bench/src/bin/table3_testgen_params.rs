@@ -7,8 +7,14 @@ fn main() {
     for memory in [1024u64, 8 * 1024] {
         let p = TestGenParams::paper_default(memory);
         println!("--- Test memory {} KB ---", memory / 1024);
-        println!("{:<28} {} operations (total across threads)", "Test size", p.test_size);
-        println!("{:<28} {} executions per test-run", "Iterations", p.iterations);
+        println!(
+            "{:<28} {} operations (total across threads)",
+            "Test size", p.test_size
+        );
+        println!(
+            "{:<28} {} executions per test-run",
+            "Iterations", p.iterations
+        );
         println!(
             "{:<28} {} B (stride {} B, {} B partitions {} MB apart)",
             "Test memory",
@@ -30,8 +36,14 @@ fn main() {
         );
         println!("{:<28} {}", "Population size", p.population_size);
         println!("{:<28} {}", "Tournament size", p.tournament_size);
-        println!("{:<28} {}", "Mutation probability (PMUT)", p.mutation_probability);
-        println!("{:<28} {}", "Crossover probability", p.crossover_probability);
+        println!(
+            "{:<28} {}",
+            "Mutation probability (PMUT)", p.mutation_probability
+        );
+        println!(
+            "{:<28} {}",
+            "Crossover probability", p.crossover_probability
+        );
         println!("{:<28} {}", "PUSEL", p.p_usel);
         println!("{:<28} {}", "PBFA", p.p_bfa);
         println!();

@@ -37,7 +37,9 @@ fn main() {
 
     println!();
     println!("{}", table.render());
-    println!("'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget.");
+    println!(
+        "'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget."
+    );
     let summary = table.summary();
     println!("\nAll-bugs summary (found samples, mean normalised time):");
     for (col, (found, time)) in &summary {

@@ -33,14 +33,20 @@ fn main() {
         for &bug in Bug::ALL.iter() {
             let cfg = scale.campaign(*generator, Some(bug), *memory);
             let results = run_samples(&cfg, scale.samples, 500 + bug as u64 * 37);
-            cells.push((bug, aggregate_cell(*generator, label, &results, scale.test_runs)));
+            cells.push((
+                bug,
+                aggregate_cell(*generator, label, &results, scale.test_runs),
+            ));
         }
         let table = budget_extrapolation(&cells, &multiples);
         report.insert(label.to_string(), table);
     }
 
     println!();
-    println!("{:<22} {:>10} {:>10} {:>10}", "Bugs found within", "1 budget", "5 budgets", "10 budgets");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "Bugs found within", "1 budget", "5 budgets", "10 budgets"
+    );
     for (label, row) in &report {
         println!(
             "{:<22} {:>9.0}% {:>9.0}% {:>9.0}%",

@@ -129,15 +129,27 @@ pub fn table_columns() -> Vec<(GeneratorKind, u64, String)> {
     let kib = 1024u64;
     vec![
         (GeneratorKind::McVerSiAll, kib, "McVerSi-ALL (1KB)".into()),
-        (GeneratorKind::McVerSiAll, 8 * kib, "McVerSi-ALL (8KB)".into()),
-        (GeneratorKind::McVerSiStdXo, kib, "McVerSi-Std.XO (1KB)".into()),
+        (
+            GeneratorKind::McVerSiAll,
+            8 * kib,
+            "McVerSi-ALL (8KB)".into(),
+        ),
+        (
+            GeneratorKind::McVerSiStdXo,
+            kib,
+            "McVerSi-Std.XO (1KB)".into(),
+        ),
         (
             GeneratorKind::McVerSiStdXo,
             8 * kib,
             "McVerSi-Std.XO (8KB)".into(),
         ),
         (GeneratorKind::McVerSiRand, kib, "McVerSi-RAND (1KB)".into()),
-        (GeneratorKind::McVerSiRand, 8 * kib, "McVerSi-RAND (8KB)".into()),
+        (
+            GeneratorKind::McVerSiRand,
+            8 * kib,
+            "McVerSi-RAND (8KB)".into(),
+        ),
         (GeneratorKind::DiyLitmus, 8 * kib, "diy-litmus".into()),
     ]
 }
@@ -161,7 +173,11 @@ pub fn banner(title: &str, scale: &Scale) {
         scale.test_size,
         scale.iterations,
         scale.cores,
-        if scale.full { "FULL (paper) system" } else { "scaled-down system" },
+        if scale.full {
+            "FULL (paper) system"
+        } else {
+            "scaled-down system"
+        },
     );
     println!();
 }

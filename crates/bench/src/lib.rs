@@ -8,3 +8,20 @@
 pub mod experiment;
 
 pub use experiment::{banner, table_columns, write_artifact, Scale};
+
+#[cfg(test)]
+mod smoke {
+    use mcversi_core::GeneratorKind;
+
+    /// Crate-level smoke test: experiment scaffolding builds a campaign and
+    /// the vendored serde stack serializes a config to JSON.
+    #[test]
+    fn scaffolding_and_artifacts() {
+        let scale = crate::Scale::from_env();
+        let campaign = scale.campaign(GeneratorKind::McVerSiRand, None, 1024);
+        assert!(campaign.max_test_runs >= 1);
+        let json = serde_json::to_string_pretty(&campaign.mcversi.system)
+            .expect("system config serializes");
+        assert!(json.contains("\"num_cores\""), "json was: {json}");
+    }
+}

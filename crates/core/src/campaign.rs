@@ -13,6 +13,9 @@ use crate::generator::{GeneratorKind, TestSource};
 use crate::runner::{RunVerdict, TestRunner};
 use mcversi_sim::{Bug, BugConfig};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Configuration of one campaign.
@@ -29,6 +32,16 @@ pub struct CampaignConfig {
     pub max_test_runs: usize,
     /// Maximum wall-clock time per sample.
     pub max_wall_time: Duration,
+    /// Number of worker threads used by [`run_samples`].  `0` (the default)
+    /// means one worker per available hardware thread, capped at the number
+    /// of samples.
+    pub parallelism: usize,
+    /// Optional wall-clock budget shared by *all* samples of a batch.  When a
+    /// batch of samples runs on an oversubscribed host, per-sample wall-clock
+    /// budgets skew generator comparisons (late-scheduled samples observe a
+    /// colder machine); a shared deadline bounds the whole batch instead.
+    /// `None` (the default) bounds each sample only by `max_wall_time`.
+    pub shared_wall_time: Option<Duration>,
 }
 
 impl CampaignConfig {
@@ -46,7 +59,33 @@ impl CampaignConfig {
             mcversi,
             max_test_runs,
             max_wall_time,
+            parallelism: 0,
+            shared_wall_time: None,
         }
+    }
+
+    /// Sets the number of worker threads used by [`run_samples`]
+    /// (`0` = one per available hardware thread).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets a wall-clock budget shared by all samples of a batch.
+    pub fn with_shared_wall_time(mut self, budget: Duration) -> Self {
+        self.shared_wall_time = Some(budget);
+        self
+    }
+
+    /// The effective number of worker threads for a batch of `samples`.
+    fn effective_parallelism(&self, samples: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = if self.parallelism == 0 {
+            hw
+        } else {
+            self.parallelism
+        };
+        workers.clamp(1, samples.max(1))
     }
 
     fn bug_config(&self) -> BugConfig {
@@ -106,8 +145,49 @@ impl CampaignResult {
     }
 }
 
+/// A wall-clock budget shared by every sample of a campaign batch.
+///
+/// Samples poll [`WallBudget::expired`] between test-runs; once the deadline
+/// passes, all in-flight samples wind down at the next test-run boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct WallBudget {
+    deadline: Option<Instant>,
+}
+
+impl WallBudget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Self {
+        WallBudget { deadline: None }
+    }
+
+    /// A budget expiring `limit` from now.
+    pub fn starting_now(limit: Duration) -> Self {
+        WallBudget {
+            deadline: Some(Instant::now() + limit),
+        }
+    }
+
+    /// Whether the budget has expired.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// Runs one campaign sample with the given seed.
 pub fn run_campaign(config: &CampaignConfig, seed: u64) -> CampaignResult {
+    let budget = config
+        .shared_wall_time
+        .map_or_else(WallBudget::unlimited, WallBudget::starting_now);
+    run_campaign_budgeted(config, seed, &budget)
+}
+
+/// Runs one campaign sample under an externally shared wall-clock budget
+/// (in addition to the per-sample `max_wall_time`).
+pub fn run_campaign_budgeted(
+    config: &CampaignConfig,
+    seed: u64,
+    budget: &WallBudget,
+) -> CampaignResult {
     let mcversi = config.effective_mcversi().with_seed(seed);
     let params = mcversi.testgen.clone();
     let mut runner = TestRunner::new(mcversi, config.bug_config());
@@ -119,7 +199,10 @@ pub fn run_campaign(config: &CampaignConfig, seed: u64) -> CampaignResult {
     let mut found_at_run = None;
     let mut test_runs = 0usize;
 
-    while test_runs < config.max_test_runs && start.elapsed() < config.max_wall_time {
+    while test_runs < config.max_test_runs
+        && start.elapsed() < config.max_wall_time
+        && !budget.expired()
+    {
         let (id, test, name) = source.next_test();
         let result = runner.run_test(&test);
         test_runs += 1;
@@ -155,27 +238,155 @@ pub fn run_campaign(config: &CampaignConfig, seed: u64) -> CampaignResult {
     }
 }
 
-/// Runs `samples` independent samples of a campaign (different seeds) in
-/// parallel and returns their results in seed order.
+/// The outcome of one scheduled sample: either a completed campaign result or
+/// an isolated panic (a poisoned sample must not abort the rest of the batch).
+#[derive(Debug, Clone)]
+pub enum SampleOutcome {
+    /// The sample ran to completion.
+    Completed(CampaignResult),
+    /// The sample panicked; the batch continued without it.
+    Panicked {
+        /// The seed of the panicked sample.
+        seed: u64,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl SampleOutcome {
+    /// Converts the outcome into a [`CampaignResult`], mapping panics to a
+    /// sentinel "not found" result whose `detail` records the panic.
+    pub fn into_result(self, config: &CampaignConfig) -> CampaignResult {
+        match self {
+            SampleOutcome::Completed(result) => result,
+            SampleOutcome::Panicked { seed, message } => {
+                // Surface the crash: callers of `run_samples` (the experiment
+                // binaries) would otherwise average this sentinel into their
+                // tables with no visible trace.  Use `run_samples_outcomes`
+                // to handle panics programmatically instead.
+                eprintln!(
+                    "warning: campaign sample (generator {}, seed {seed}) panicked: {message}",
+                    config.generator
+                );
+                CampaignResult {
+                    generator: config.generator,
+                    bug: config.bug,
+                    seed,
+                    found: false,
+                    detail: Some(format!("sample panicked: {message}")),
+                    test_runs: 0,
+                    found_at_run: None,
+                    simulated_cycles: 0,
+                    wall_time: Duration::ZERO,
+                    max_total_coverage: 0.0,
+                    final_mean_ndt: 0.0,
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `samples` independent samples of a campaign (different seeds) on a
+/// bounded worker pool and returns their results in seed order.
+///
+/// * The pool size is `config.parallelism` (or the host's available
+///   parallelism when `0`), capped at the number of samples, so the batch
+///   never oversubscribes the host with one thread per sample.
+/// * Sample `i` always runs with seed `base_seed + i` regardless of which
+///   worker picks it up or in which order, so results are reproducible for a
+///   fixed `base_seed` (provided the wall-clock budgets do not bind).
+/// * A panicking sample is isolated and reported as a sentinel result; the
+///   remaining samples still run.
+/// * When `config.shared_wall_time` is set, all samples share one deadline
+///   (see [`CampaignConfig::shared_wall_time`]).
 pub fn run_samples(config: &CampaignConfig, samples: usize, base_seed: u64) -> Vec<CampaignResult> {
-    if samples == 0 {
+    run_samples_outcomes(config, samples, base_seed)
+        .into_iter()
+        .map(|outcome| outcome.into_result(config))
+        .collect()
+}
+
+/// Like [`run_samples`], but reports panicked samples explicitly instead of
+/// folding them into sentinel [`CampaignResult`]s.
+pub fn run_samples_outcomes(
+    config: &CampaignConfig,
+    samples: usize,
+    base_seed: u64,
+) -> Vec<SampleOutcome> {
+    let workers = config.effective_parallelism(samples);
+    let budget = config
+        .shared_wall_time
+        .map_or_else(WallBudget::unlimited, WallBudget::starting_now);
+    run_pool(samples, workers, &|i| {
+        run_campaign_budgeted(config, base_seed.wrapping_add(i as u64), &budget)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, run)| match run {
+        Ok(result) => SampleOutcome::Completed(result),
+        Err(message) => SampleOutcome::Panicked {
+            seed: base_seed.wrapping_add(i as u64),
+            message,
+        },
+    })
+    .collect()
+}
+
+/// Runs `jobs` indexed jobs on a bounded pool of `workers` threads.
+///
+/// Workers claim job indices from a shared counter, so the assignment of jobs
+/// to threads is dynamic, but the returned vector is always in job order and
+/// job `i` always observes the same index regardless of scheduling.  A job
+/// that panics yields `Err(panic message)` without affecting the other jobs.
+fn run_pool<T: Send>(
+    jobs: usize,
+    workers: usize,
+    job: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<Result<T, String>> {
+    if jobs == 0 {
         return Vec::new();
     }
-    let mut results: Vec<Option<CampaignResult>> = (0..samples).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, slot) in results.iter_mut().enumerate() {
-            let config = &*config;
-            handles.push(scope.spawn(move |_| {
-                *slot = Some(run_campaign(config, base_seed + i as u64));
-            }));
+    let next_job = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, Result<T, String>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.clamp(1, jobs) {
+            let sender = sender.clone();
+            let next_job = &next_job;
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let run =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_message);
+                // The receiver outlives the worker scope, so this cannot fail.
+                sender
+                    .send((i, run))
+                    .expect("result receiver outlives the worker pool");
+            });
         }
-        for h in handles {
-            h.join().expect("campaign sample thread panicked");
-        }
-    })
-    .expect("campaign scope failed");
-    results.into_iter().map(|r| r.expect("sample ran")).collect()
+    });
+    drop(sender);
+
+    let mut results: Vec<Option<Result<T, String>>> = (0..jobs).map(|_| None).collect();
+    for (i, run) in receiver {
+        results[i] = Some(run);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every scheduled job reports a result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,5 +434,97 @@ mod tests {
         assert_eq!(results.len(), 3);
         let seeds: Vec<u64> = results.iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![10, 11, 12]);
+    }
+
+    /// The deterministic portion of a result (everything except wall time).
+    fn fingerprint(
+        r: &CampaignResult,
+    ) -> (
+        u64,
+        bool,
+        Option<String>,
+        usize,
+        Option<usize>,
+        u64,
+        u64,
+        u64,
+    ) {
+        (
+            r.seed,
+            r.found,
+            r.detail.clone(),
+            r.test_runs,
+            r.found_at_run,
+            r.simulated_cycles,
+            r.max_total_coverage.to_bits(),
+            r.final_mean_ndt.to_bits(),
+        )
+    }
+
+    #[test]
+    fn run_samples_is_deterministic_across_parallelism() {
+        let base = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso));
+        let serial: Vec<_> = run_samples(&base.clone().with_parallelism(1), 4, 7)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        for _ in 0..2 {
+            let pooled: Vec<_> = run_samples(&base.clone().with_parallelism(4), 4, 7)
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert_eq!(serial, pooled, "scheduling must not affect results");
+        }
+    }
+
+    #[test]
+    fn pool_isolates_panicking_jobs() {
+        let results = run_pool(5, 2, &|i| {
+            if i == 1 {
+                panic!("job {i} poisoned");
+            }
+            i * 10
+        });
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Err("job 1 poisoned".to_string()));
+        for (i, r) in results.iter().enumerate().skip(2) {
+            assert_eq!(r, &Ok(i * 10));
+        }
+    }
+
+    #[test]
+    fn panicked_sample_becomes_sentinel_result() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, None);
+        let outcome = SampleOutcome::Panicked {
+            seed: 9,
+            message: "boom".to_string(),
+        };
+        let result = outcome.into_result(&cfg);
+        assert!(!result.found);
+        assert_eq!(result.seed, 9);
+        assert_eq!(result.detail.as_deref(), Some("sample panicked: boom"));
+        assert_eq!(result.test_runs, 0);
+    }
+
+    #[test]
+    fn expired_shared_budget_stops_samples_immediately() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, None)
+            .with_shared_wall_time(Duration::ZERO)
+            .with_parallelism(2);
+        let results = run_samples(&cfg, 3, 1);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.test_runs, 0, "expired shared budget must stop the batch");
+            assert!(!r.found);
+        }
+    }
+
+    #[test]
+    fn effective_parallelism_is_bounded() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, None);
+        assert_eq!(cfg.clone().with_parallelism(8).effective_parallelism(3), 3);
+        assert_eq!(cfg.clone().with_parallelism(2).effective_parallelism(3), 2);
+        assert!(cfg.effective_parallelism(64) >= 1);
     }
 }

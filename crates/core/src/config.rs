@@ -25,7 +25,8 @@ impl McVerSiConfig {
     /// test memory size.
     pub fn paper_default(test_memory_bytes: u64) -> Self {
         let system = SystemConfig::paper_default();
-        let testgen = TestGenParams::paper_default(test_memory_bytes).with_threads(system.num_cores);
+        let testgen =
+            TestGenParams::paper_default(test_memory_bytes).with_threads(system.num_cores);
         McVerSiConfig {
             system,
             testgen,

@@ -15,7 +15,9 @@
 use crate::runner::TestRunResult;
 use mcversi_testgen::gp::TestId;
 use mcversi_testgen::litmus::{self, LitmusTest};
-use mcversi_testgen::{CrossoverMode, Evaluation, GpEngine, RandomTestGenerator, Test, TestGenParams};
+use mcversi_testgen::{
+    CrossoverMode, Evaluation, GpEngine, RandomTestGenerator, Test, TestGenParams,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -57,7 +59,10 @@ impl GeneratorKind {
     /// over time (the GP-based ones); the stateless ones are the subject of
     /// the paper's "10 days" extrapolation (Table 5).
     pub fn is_stateful(self) -> bool {
-        matches!(self, GeneratorKind::McVerSiAll | GeneratorKind::McVerSiStdXo)
+        matches!(
+            self,
+            GeneratorKind::McVerSiAll | GeneratorKind::McVerSiStdXo
+        )
     }
 }
 
@@ -68,7 +73,7 @@ impl fmt::Display for GeneratorKind {
 }
 
 enum SourceState {
-    Gp(GpEngine),
+    Gp(Box<GpEngine>),
     Random(RandomTestGenerator),
     Litmus { suite: Vec<LitmusTest>, next: usize },
 }
@@ -100,16 +105,16 @@ impl TestSource {
     pub fn new(kind: GeneratorKind, params: TestGenParams, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let state = match kind {
-            GeneratorKind::McVerSiAll => SourceState::Gp(GpEngine::new(
+            GeneratorKind::McVerSiAll => SourceState::Gp(Box::new(GpEngine::new(
                 params.clone(),
                 CrossoverMode::Selective,
                 &mut rng,
-            )),
-            GeneratorKind::McVerSiStdXo => SourceState::Gp(GpEngine::new(
+            ))),
+            GeneratorKind::McVerSiStdXo => SourceState::Gp(Box::new(GpEngine::new(
                 params.clone(),
                 CrossoverMode::SinglePoint,
                 &mut rng,
-            )),
+            ))),
             GeneratorKind::McVerSiRand => {
                 SourceState::Random(RandomTestGenerator::new(params.clone()))
             }
@@ -292,7 +297,10 @@ mod tests {
             let mut source = TestSource::new(kind, params.clone(), 3);
             for i in 0..params.population_size + 10 {
                 let (id, _test, _) = source.next_test();
-                source.feedback(id, &dummy_result(0.1 + (i as f64) * 0.01, 1.0 + i as f64 * 0.1));
+                source.feedback(
+                    id,
+                    &dummy_result(0.1 + (i as f64) * 0.01, 1.0 + i as f64 * 0.1),
+                );
             }
             assert!(source.population_mean_ndt() > 0.0);
         }

@@ -30,8 +30,29 @@ pub mod lowering;
 pub mod report;
 pub mod runner;
 
-pub use campaign::{run_campaign, run_samples, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_budgeted, run_samples, run_samples_outcomes, CampaignConfig,
+    CampaignResult, SampleOutcome, WallBudget,
+};
 pub use config::McVerSiConfig;
 pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};
 pub use generator::{GeneratorKind, TestSource};
 pub use runner::{RunVerdict, TestRunResult, TestRunner};
+
+#[cfg(test)]
+mod smoke {
+    use crate::lowering::lower;
+    use mcversi_testgen::{RandomTestGenerator, TestGenParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Crate-level smoke test: a generated test lowers to a valid program.
+    #[test]
+    fn program_build() {
+        let params = TestGenParams::small().with_test_size(16).with_threads(2);
+        let test = RandomTestGenerator::new(params).generate(&mut StdRng::seed_from_u64(1));
+        let program = lower(&test);
+        assert_eq!(program.total_ops(), 16);
+        assert!(program.written_values_unique());
+    }
+}

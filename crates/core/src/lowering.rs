@@ -72,20 +72,44 @@ mod tests {
         let x = Address(0x10_0000);
         let test = Test::new(
             vec![
-                Gene { pid: 0, op: Op::new(OpKind::Write, x) },
-                Gene { pid: 0, op: Op::new(OpKind::Read, x) },
-                Gene { pid: 0, op: Op::new(OpKind::ReadAddrDp, x) },
-                Gene { pid: 0, op: Op::new(OpKind::ReadModifyWrite, x) },
-                Gene { pid: 0, op: Op::new(OpKind::CacheFlush, x) },
-                Gene { pid: 0, op: Op::new(OpKind::Delay, Address(7)) },
-                Gene { pid: 0, op: Op::new(OpKind::Fence, Address(0)) },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Write, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Read, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::ReadAddrDp, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::ReadModifyWrite, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::CacheFlush, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Delay, Address(7)),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::Fence, Address(0)),
+                },
             ],
             1,
         );
         let program = lower(&test);
         let t0 = program.thread(0);
         assert_eq!(t0.len(), 7);
-        assert!(matches!(t0[0].kind, mcversi_sim::TestOpKind::Write { value: 1 }));
+        assert!(matches!(
+            t0[0].kind,
+            mcversi_sim::TestOpKind::Write { value: 1 }
+        ));
         assert!(matches!(t0[1].kind, mcversi_sim::TestOpKind::Read));
         assert!(matches!(t0[2].kind, mcversi_sim::TestOpKind::ReadAddrDp));
         assert!(matches!(
@@ -93,7 +117,10 @@ mod tests {
             mcversi_sim::TestOpKind::ReadModifyWrite { value: 2 }
         ));
         assert!(matches!(t0[4].kind, mcversi_sim::TestOpKind::CacheFlush));
-        assert!(matches!(t0[5].kind, mcversi_sim::TestOpKind::Delay { cycles: 7 }));
+        assert!(matches!(
+            t0[5].kind,
+            mcversi_sim::TestOpKind::Delay { cycles: 7 }
+        ));
         assert!(matches!(t0[6].kind, mcversi_sim::TestOpKind::Fence));
     }
 

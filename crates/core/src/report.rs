@@ -108,7 +108,13 @@ impl BugCoverageTable {
             .max()
             .unwrap_or(10)
             .max("Bug".len());
-        let col_width = self.columns.iter().map(|c| c.len()).max().unwrap_or(12).max(12);
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(12)
+            .max(12);
         let _ = write!(out, "{:<bug_width$}", "Bug");
         for c in &self.columns {
             let _ = write!(out, "  {c:>col_width$}");
@@ -237,7 +243,11 @@ mod tests {
 
     #[test]
     fn cell_aggregation_counts_and_averages() {
-        let results = vec![result(true, Some(10)), result(true, Some(30)), result(false, None)];
+        let results = vec![
+            result(true, Some(10)),
+            result(true, Some(30)),
+            result(false, None),
+        ];
         let cell = aggregate_cell(GeneratorKind::McVerSiRand, "8KB", &results, 40);
         assert_eq!(cell.found, 2);
         assert_eq!(cell.samples, 3);
@@ -272,7 +282,12 @@ mod tests {
             &[result(true, Some(10)), result(false, None)],
             40,
         );
-        let cell_never = aggregate_cell(GeneratorKind::McVerSiRand, "8KB", &[result(false, None)], 40);
+        let cell_never = aggregate_cell(
+            GeneratorKind::McVerSiRand,
+            "8KB",
+            &[result(false, None)],
+            40,
+        );
         let cells = vec![(Bug::LqNoTso, cell_found_half), (Bug::SqNoFifo, cell_never)];
         let table = budget_extrapolation(&cells, &[1, 2, 10]);
         assert!(table[&1] <= table[&2]);

@@ -8,8 +8,8 @@
 //! every [`Axiom`] of the target [`Architecture`] and reports the first
 //! violated one together with a witness cycle for debugging.
 
-use crate::execution::{CandidateExecution, WellFormednessError};
 use crate::event::EventId;
+use crate::execution::{CandidateExecution, WellFormednessError};
 use crate::model::{Architecture, Axiom};
 use serde::{Deserialize, Serialize};
 use std::fmt;

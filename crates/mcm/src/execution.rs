@@ -293,7 +293,13 @@ impl ExecutionBuilder {
         Self::default()
     }
 
-    fn alloc(&mut self, iiid: Option<Iiid>, kind: EventKind, addr: Option<Address>, value: Value) -> EventId {
+    fn alloc(
+        &mut self,
+        iiid: Option<Iiid>,
+        kind: EventKind,
+        addr: Option<Address>,
+        value: Value,
+    ) -> EventId {
         let id = EventId(self.events.len() as u32);
         self.events.push(Event {
             id,

@@ -56,3 +56,31 @@ pub use event::{Address, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId
 pub use execution::{CandidateExecution, ExecutionBuilder};
 pub use model::Architecture;
 pub use relation::Relation;
+
+#[cfg(test)]
+mod smoke {
+    use crate::checker::Checker;
+    use crate::event::{Address, ProcessorId, Value};
+    use crate::execution::ExecutionBuilder;
+    use crate::model::tso::Tso;
+
+    /// Crate-level smoke test: event insertion and one checker pass.
+    #[test]
+    fn event_insertion_and_check() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(ProcessorId(0), Address(0x100), Value(1));
+        let r = b.read(ProcessorId(1), Address(0x100), Value(1));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        let exec = b.build();
+        // Two inserted events plus the materialized initial write.
+        assert_eq!(exec.len(), 3);
+        assert_eq!(exec.writes().count(), 2);
+        assert_eq!(exec.reads().count(), 1);
+        let verdict = Checker::new(&Tso).check(&exec);
+        assert!(
+            !verdict.is_violation(),
+            "rf-only execution is TSO-consistent"
+        );
+    }
+}

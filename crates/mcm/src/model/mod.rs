@@ -143,7 +143,11 @@ pub fn rmw_atomicity_violations(exec: &CandidateExecution, fr: &Relation) -> Rel
     let mut violations = Relation::new();
     // Collect RMW pairs: same iiid, read half and write half.
     let mut rmw_pairs = Vec::new();
-    for r in exec.events().iter().filter(|e| e.kind.is_rmw() && e.is_read()) {
+    for r in exec
+        .events()
+        .iter()
+        .filter(|e| e.kind.is_rmw() && e.is_read())
+    {
         for w in exec
             .events()
             .iter()

@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn real_gem5_bugs_are_the_starred_ones() {
-        let real: Vec<Bug> = Bug::ALL.iter().copied().filter(|b| b.real_in_gem5()).collect();
+        let real: Vec<Bug> = Bug::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.real_in_gem5())
+            .collect();
         assert_eq!(
             real,
             vec![
@@ -236,10 +240,7 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(format!("{}", Bug::MesiPutxRace), "MESI+PUTX-Race");
-        assert_eq!(
-            format!("{}", BugConfig::none()),
-            "correct design (no bugs)"
-        );
+        assert_eq!(format!("{}", BugConfig::none()), "correct design (no bugs)");
         assert!(format!("{}", BugConfig::from_bugs([Bug::LqNoTso, Bug::SqNoFifo])).contains(","));
     }
 }

@@ -215,7 +215,10 @@ mod tests {
         assert!(!c.needs_eviction(line(2)));
         c.insert(line(2), 2);
         assert!(c.needs_eviction(line(4)));
-        assert!(!c.needs_eviction(line(0)), "resident line needs no eviction");
+        assert!(
+            !c.needs_eviction(line(0)),
+            "resident line needs no eviction"
+        );
         assert_eq!(c.victim_for(line(4)), Some(line(0)), "LRU is the victim");
         // Touching line 0 makes line 2 the LRU victim.
         c.get_mut(line(0));

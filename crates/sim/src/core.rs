@@ -289,15 +289,15 @@ impl CoreModel {
         while self.next_fetch < self.program.len() && self.window.len() < self.rob_entries {
             let op = self.program[self.next_fetch];
             match op.kind {
-                TestOpKind::Read | TestOpKind::ReadAddrDp => {
-                    if self.loads_in_window() >= self.lq_entries {
-                        break;
-                    }
+                TestOpKind::Read | TestOpKind::ReadAddrDp
+                    if self.loads_in_window() >= self.lq_entries =>
+                {
+                    break;
                 }
-                TestOpKind::Write { .. } => {
-                    if self.stores_in_window() + self.store_buffer.len() >= self.sq_entries {
-                        break;
-                    }
+                TestOpKind::Write { .. }
+                    if self.stores_in_window() + self.store_buffer.len() >= self.sq_entries =>
+                {
+                    break;
                 }
                 _ => {}
             }
@@ -419,7 +419,11 @@ impl CoreModel {
                 }
                 TestOpKind::ReadModifyWrite { value } => {
                     if *pos == 0 && sb_empty {
-                        new_requests.push((*pos, CoreReqKind::Rmw { write_value: value }, op.op.addr));
+                        new_requests.push((
+                            *pos,
+                            CoreReqKind::Rmw { write_value: value },
+                            op.op.addr,
+                        ));
                         issued += 1;
                     }
                 }
@@ -635,14 +639,20 @@ mod tests {
     fn store_forwarding_satisfies_younger_load_without_cache_access() {
         let cfg = cfg();
         let mut rng = rng();
-        let program = vec![TestOp::write(Address(0x100), 42), TestOp::read(Address(0x100))];
+        let program = vec![
+            TestOp::write(Address(0x100), 42),
+            TestOp::read(Address(0x100)),
+        ];
         let mut core = CoreModel::new(0, program, &cfg);
         let bugs = BugConfig::none();
         let out = core.tick(1, &bugs, &[], &[], &mut rng);
         // The only cache request is the store-buffer drain of the write; the
         // load was forwarded.
         assert_eq!(out.requests.len(), 1);
-        assert!(matches!(out.requests[0].kind, CoreReqKind::Store { value: 42 }));
+        assert!(matches!(
+            out.requests[0].kind,
+            CoreReqKind::Store { value: 42 }
+        ));
         assert!(out
             .observed
             .iter()
@@ -659,10 +669,14 @@ mod tests {
             &[],
             &mut rng,
         );
-        assert!(out
-            .observed
-            .iter()
-            .any(|o| matches!(o, ObservedOp::Store { value: 42, overwritten: 0, .. })));
+        assert!(out.observed.iter().any(|o| matches!(
+            o,
+            ObservedOp::Store {
+                value: 42,
+                overwritten: 0,
+                ..
+            }
+        )));
         assert!(core.is_finished());
     }
 
@@ -744,17 +758,21 @@ mod tests {
             &[],
             &mut rng,
         );
-        assert!(out
-            .observed
-            .iter()
-            .any(|o| matches!(o, ObservedOp::Rmw { read_value: 9, write_value: 2, .. })));
+        assert!(out.observed.iter().any(|o| matches!(
+            o,
+            ObservedOp::Rmw {
+                read_value: 9,
+                write_value: 2,
+                ..
+            }
+        )));
         assert!(core.is_finished());
     }
 
     #[test]
     fn invalidation_notice_squashes_younger_performed_load() {
         let cfg = cfg();
-        let mut rng = rng();
+        let rng = rng();
         // Older load to X (will stay unperformed), younger load to Y
         // (performed early); an invalidation for Y must squash the younger
         // load so it re-executes.

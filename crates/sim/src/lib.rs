@@ -53,3 +53,26 @@ pub use coverage::{CoverageRecorder, Transition};
 pub use program::{TestOp, TestOpKind, TestProgram, ThreadProgram};
 pub use system::{IterationOutcome, ProtocolError, System};
 pub use types::{Cycle, LineAddr, NodeId};
+
+#[cfg(test)]
+mod smoke {
+    use crate::{BugConfig, ProtocolKind, System, SystemConfig, TestOp, TestProgram};
+    use mcversi_mcm::Address;
+
+    /// Crate-level smoke test: one simulated iteration makes cycles progress.
+    #[test]
+    fn one_iteration_ticks() {
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut sys = System::new(cfg, BugConfig::none(), 1);
+        let program = TestProgram::new(vec![vec![
+            TestOp::write(Address(0x100), 1),
+            TestOp::read(Address(0x100)),
+        ]]);
+        let outcome = sys.run_iteration(&program);
+        assert!(sys.cycle() > 0, "simulation must consume cycles");
+        assert!(
+            !outcome.has_hardware_fault(),
+            "correct design must not fault"
+        );
+    }
+}

@@ -76,7 +76,11 @@ impl StoreBuffer {
     ///
     /// The correct design drains in FIFO order; with `out_of_order` set (the
     /// `SQ+no-FIFO` bug) a random entry is chosen instead.
-    pub fn begin_drain<R: Rng>(&mut self, out_of_order: bool, rng: &mut R) -> Option<StoreBufferEntry> {
+    pub fn begin_drain<R: Rng>(
+        &mut self,
+        out_of_order: bool,
+        rng: &mut R,
+    ) -> Option<StoreBufferEntry> {
         if self.entries.is_empty() {
             return None;
         }

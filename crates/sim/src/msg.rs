@@ -277,12 +277,16 @@ mod tests {
 
     #[test]
     fn payload_line_and_vnet() {
-        let p = MsgPayload::GetS { line: LineAddr(0x40) };
+        let p = MsgPayload::GetS {
+            line: LineAddr(0x40),
+        };
         assert_eq!(p.line(), LineAddr(0x40));
         assert_eq!(p.vnet(), VirtualNetwork::Request);
         assert_eq!(p.event_name(), "GetS");
 
-        let p = MsgPayload::Inv { line: LineAddr(0x80) };
+        let p = MsgPayload::Inv {
+            line: LineAddr(0x80),
+        };
         assert_eq!(p.vnet(), VirtualNetwork::Forward);
 
         let p = MsgPayload::DataS {
@@ -353,7 +357,9 @@ mod tests {
         let m = Msg::new(
             NodeId(0),
             NodeId(9),
-            MsgPayload::GetX { line: LineAddr(0x100) },
+            MsgPayload::GetX {
+                line: LineAddr(0x100),
+            },
         );
         let s = format!("{m}");
         assert!(s.contains("n0"));

@@ -156,7 +156,9 @@ mod tests {
         assert_eq!(net.in_flight(), 1);
         assert!(net.deliver_due(100).is_empty(), "not instantaneous");
         // Worst case latency: 1 + hops*link + jitter.
-        let worst = 100 + 1 + cfg.mesh_hops(NodeId(0), NodeId(8)) * cfg.latency.link_hop
+        let worst = 100
+            + 1
+            + cfg.mesh_hops(NodeId(0), NodeId(8)) * cfg.latency.link_hop
             + cfg.latency.network_jitter;
         let delivered = net.deliver_due(worst);
         assert_eq!(delivered.len(), 1);

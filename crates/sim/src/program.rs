@@ -232,7 +232,7 @@ impl TestProgram {
             .flatten()
             .filter_map(|op| op.kind.written_value())
             .collect();
-        if values.iter().any(|&v| v == 0) {
+        if values.contains(&0) {
             return false;
         }
         let before = values.len();
@@ -276,8 +276,14 @@ mod tests {
     #[test]
     fn program_accessors() {
         let prog = TestProgram::new(vec![
-            vec![TestOp::write(Address(0x100), 1), TestOp::read(Address(0x200))],
-            vec![TestOp::write(Address(0x200), 2), TestOp::read(Address(0x100))],
+            vec![
+                TestOp::write(Address(0x100), 1),
+                TestOp::read(Address(0x200)),
+            ],
+            vec![
+                TestOp::write(Address(0x200), 2),
+                TestOp::read(Address(0x100)),
+            ],
         ]);
         assert_eq!(prog.num_threads(), 2);
         assert_eq!(prog.total_ops(), 4);

@@ -23,7 +23,9 @@ use crate::cache::CacheArray;
 use crate::config::SystemConfig;
 use crate::coverage::Transition;
 use crate::msg::{Msg, MsgPayload};
-use crate::protocol::{CoreReqKind, CoreRequest, CoreRespKind, CoreResponse, L1Controller, L1Output, TickCtx};
+use crate::protocol::{
+    CoreReqKind, CoreRequest, CoreRespKind, CoreResponse, L1Controller, L1Output, TickCtx,
+};
 use crate::system::ProtocolError;
 use crate::types::{Cycle, LineAddr, LineData, NodeId};
 use std::collections::{BTreeMap, VecDeque};
@@ -160,8 +162,10 @@ impl MesiL1 {
     }
 
     fn respond(&mut self, ctx: &TickCtx<'_>, tag: u64, kind: CoreRespKind) {
-        self.ready_responses
-            .push((ctx.cycle + ctx.cfg.latency.l1_hit, CoreResponse { tag, kind }));
+        self.ready_responses.push((
+            ctx.cycle + ctx.cfg.latency.l1_hit,
+            CoreResponse { tag, kind },
+        ));
     }
 
     /// Emits an LQ notice unless the bug governing this (state, event) pair is
@@ -183,7 +187,13 @@ impl MesiL1 {
 
     /// Evicts a resident line, producing the writeback transaction if needed.
     /// Returns `true` if the line was (or is being) evicted.
-    fn evict_line(&mut self, out: &mut L1Output, ctx: &mut TickCtx<'_>, line: LineAddr, reason: &'static str) -> bool {
+    fn evict_line(
+        &mut self,
+        out: &mut L1Output,
+        ctx: &mut TickCtx<'_>,
+        line: LineAddr,
+        reason: &'static str,
+    ) -> bool {
         let Some(entry) = self.cache.get(line) else {
             return true;
         };
@@ -253,7 +263,10 @@ impl MesiL1 {
         // Attach to an existing transaction when possible.
         if let Some(mshr) = self.mshrs.get_mut(&line) {
             match (mshr.tstate, req.kind) {
-                (Transient::IS | Transient::IsI | Transient::IM | Transient::SM, CoreReqKind::Load) => {
+                (
+                    Transient::IS | Transient::IsI | Transient::IM | Transient::SM,
+                    CoreReqKind::Load,
+                ) => {
                     mshr.pending.push(PendingOp {
                         tag: req.tag,
                         word,
@@ -282,12 +295,7 @@ impl MesiL1 {
             // ---- Loads ----
             (CoreReqKind::Load, Some(state)) => {
                 ctx.coverage.record(Transition::l1(state.name(), "Load"));
-                let value = self
-                    .cache
-                    .get_mut(line)
-                    .expect("resident")
-                    .data
-                    .word(word);
+                let value = self.cache.get_mut(line).expect("resident").data.word(word);
                 self.respond(ctx, req.tag, CoreRespKind::LoadDone { value });
                 true
             }
@@ -625,11 +633,7 @@ impl MesiL1 {
                 Transient::IS | Transient::IsI | Transient::IM | Transient::SM,
             ) => {
                 ctx.coverage.record(Transition::l1(tstate.name(), event));
-                self.mshrs
-                    .get_mut(&line)
-                    .expect("mshr")
-                    .deferred
-                    .push(msg);
+                self.mshrs.get_mut(&line).expect("mshr").deferred.push(msg);
             }
 
             // ---- Data responses ----
@@ -671,8 +675,7 @@ impl MesiL1 {
                 self.replay_deferred(out, ctx, mshr.deferred);
             }
             (MsgPayload::DataX { data, .. }, Transient::IM | Transient::SM) => {
-                ctx.coverage
-                    .record(Transition::l1(tstate.name(), "DataX"));
+                ctx.coverage.record(Transition::l1(tstate.name(), "DataX"));
                 let mut mshr = self.mshrs.remove(&line).expect("mshr");
                 // Start from the freshly granted data (the SM case may still
                 // have a stale Shared copy resident; the granted data wins).

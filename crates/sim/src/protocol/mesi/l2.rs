@@ -153,7 +153,6 @@ impl MesiL2 {
         ));
     }
 
-
     /// Returns `true` if a memory fetch is already outstanding for a line in
     /// the same cache set.  Such a fetch has reserved the set's free way, so
     /// further allocations into the set must wait (otherwise the data arriving
@@ -244,11 +243,27 @@ impl MesiL2 {
                     entry.owner = Some(requestor);
                     entry.dirty_expected = false;
                     let data = entry.data.clone();
-                    self.send_response(ctx, msg.src, MsgPayload::DataE { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        msg.src,
+                        MsgPayload::DataE {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                 } else {
                     entry.sharers.insert(requestor);
                     let data = entry.data.clone();
-                    self.send_response(ctx, msg.src, MsgPayload::DataS { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        msg.src,
+                        MsgPayload::DataS {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                 }
                 true
             }
@@ -260,7 +275,15 @@ impl MesiL2 {
                     // The owner re-requesting: grant exclusive again from the
                     // L2 copy (defensive; should not occur with a correct L1).
                     let data = self.cache.get(line).expect("resident").data.clone();
-                    self.send_response(ctx, msg.src, MsgPayload::DataE { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        msg.src,
+                        MsgPayload::DataE {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                     return true;
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
@@ -296,7 +319,15 @@ impl MesiL2 {
                     entry.sharers.clear();
                     entry.dirty_expected = true;
                     let data = entry.data.clone();
-                    self.send_response(ctx, msg.src, MsgPayload::DataX { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        msg.src,
+                        MsgPayload::DataX {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                 } else {
                     for s in &others {
                         let dst = ctx.cfg.node_of_l1(*s);
@@ -318,7 +349,15 @@ impl MesiL2 {
                 let owner = self.cache.get(line).and_then(|l| l.owner).expect("owner");
                 if owner == requestor {
                     let data = self.cache.get(line).expect("resident").data.clone();
-                    self.send_response(ctx, msg.src, MsgPayload::DataX { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        msg.src,
+                        MsgPayload::DataX {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                     return true;
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
@@ -339,8 +378,7 @@ impl MesiL2 {
 
             // ---------------- PutX ----------------
             (MsgPayload::PutX { data, dirty, .. }, Some(L2State::Owned))
-                if src_core.is_some()
-                    && self.cache.get(line).and_then(|l| l.owner) == src_core =>
+                if src_core.is_some() && self.cache.get(line).and_then(|l| l.owner) == src_core =>
             {
                 ctx.coverage.record(Transition::l2("MT", "PutX"));
                 let entry = self.cache.get_mut(line).expect("resident");
@@ -457,7 +495,13 @@ impl MesiL2 {
             }
 
             // ---- Invalidation acks ----
-            (MsgPayload::InvAck { .. }, Trans::InvForX { requestor, acks_left }) => {
+            (
+                MsgPayload::InvAck { .. },
+                Trans::InvForX {
+                    requestor,
+                    acks_left,
+                },
+            ) => {
                 ctx.coverage.record(Transition::l2("SS_X_Inv", "InvAck"));
                 if acks_left > 1 {
                     self.trans.insert(
@@ -476,7 +520,15 @@ impl MesiL2 {
                     entry.dirty_expected = true;
                     let data = entry.data.clone();
                     let dst = ctx.cfg.node_of_l1(requestor);
-                    self.send_response(ctx, dst, MsgPayload::DataX { line, data, ts: None });
+                    self.send_response(
+                        ctx,
+                        dst,
+                        MsgPayload::DataX {
+                            line,
+                            data,
+                            ts: None,
+                        },
+                    );
                 }
             }
             (MsgPayload::InvAck { .. }, Trans::EvictInv { acks_left }) => {
@@ -561,8 +613,7 @@ impl MesiL2 {
                 ctx.coverage.record(Transition::l2("MT_Evict", "WbData"));
                 self.trans.remove(&line);
                 let entry = self.cache.remove(line).expect("resident during eviction");
-                let drop_dirty_data =
-                    ctx.bugs.has(Bug::MesiReplaceRace) && !entry.dirty_expected;
+                let drop_dirty_data = ctx.bugs.has(Bug::MesiReplaceRace) && !entry.dirty_expected;
                 if *dirty && !drop_dirty_data {
                     self.send_mem(
                         ctx,
@@ -829,7 +880,8 @@ mod tests {
             .collect();
         assert_eq!(invs.len(), 2, "both sharers are invalidated");
         assert!(
-            !out.iter().any(|m| matches!(m.payload, MsgPayload::DataX { .. })),
+            !out.iter()
+                .any(|m| matches!(m.payload, MsgPayload::DataX { .. })),
             "no grant before acks"
         );
         // Both sharers ack.
@@ -881,7 +933,12 @@ mod tests {
         let out = h.run(&mut l2, 200);
         let resp = out
             .iter()
-            .find(|m| matches!(m.payload, MsgPayload::DataE { .. } | MsgPayload::DataS { .. }))
+            .find(|m| {
+                matches!(
+                    m.payload,
+                    MsgPayload::DataE { .. } | MsgPayload::DataS { .. }
+                )
+            })
             .expect("data served from L2 copy");
         match &resp.payload {
             MsgPayload::DataE { data, .. } | MsgPayload::DataS { data, .. } => {
@@ -994,8 +1051,10 @@ mod tests {
         l2.push_msg(gets(&h, 1, 0x1000));
         let out = h.run(&mut l2, 50);
         assert!(
-            !out.iter()
-                .any(|m| matches!(m.payload, MsgPayload::DataS { .. } | MsgPayload::DataE { .. })),
+            !out.iter().any(|m| matches!(
+                m.payload,
+                MsgPayload::DataS { .. } | MsgPayload::DataE { .. }
+            )),
             "no grant while the line is busy"
         );
         l2.push_msg(mem_data(&h, 0x1000, 5));

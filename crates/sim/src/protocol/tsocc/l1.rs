@@ -17,7 +17,9 @@ use crate::cache::CacheArray;
 use crate::config::SystemConfig;
 use crate::coverage::Transition;
 use crate::msg::{Msg, MsgPayload, TsInfo};
-use crate::protocol::{CoreReqKind, CoreRequest, CoreRespKind, CoreResponse, L1Controller, L1Output, TickCtx};
+use crate::protocol::{
+    CoreReqKind, CoreRequest, CoreRespKind, CoreResponse, L1Controller, L1Output, TickCtx,
+};
 use crate::system::ProtocolError;
 use crate::types::{Cycle, LineAddr, LineData, NodeId};
 use std::collections::{BTreeMap, VecDeque};
@@ -156,8 +158,10 @@ impl TsoCcL1 {
     }
 
     fn respond(&mut self, ctx: &TickCtx<'_>, tag: u64, kind: CoreRespKind) {
-        self.ready_responses
-            .push((ctx.cycle + ctx.cfg.latency.l1_hit, CoreResponse { tag, kind }));
+        self.ready_responses.push((
+            ctx.cycle + ctx.cfg.latency.l1_hit,
+            CoreResponse { tag, kind },
+        ));
     }
 
     /// Advances the core's write timestamp (one write); returns the metadata
@@ -171,8 +175,7 @@ impl TsoCcL1 {
                 // Timestamp reset: a new epoch begins.
                 self.local_ts = 1;
                 self.epoch += 1;
-                ctx.coverage
-                    .record(Transition::l1("M", "TimestampReset"));
+                ctx.coverage.record(Transition::l1("M", "TimestampReset"));
             }
         }
         TsInfo {
@@ -214,7 +217,10 @@ impl TsoCcL1 {
             }
         };
         // Track the newest observation of this writer.
-        let entry = self.last_seen.entry(info.writer).or_insert((info.epoch, info.ts));
+        let entry = self
+            .last_seen
+            .entry(info.writer)
+            .or_insert((info.epoch, info.ts));
         if info.epoch != entry.0 {
             *entry = (info.epoch, info.ts);
         } else if info.ts > entry.1 {
@@ -553,7 +559,12 @@ impl TsoCcL1 {
                     out.to_network.push(Msg::new(
                         self.node,
                         msg.src,
-                        MsgPayload::WbData { line, data, dirty, ts },
+                        MsgPayload::WbData {
+                            line,
+                            data,
+                            dirty,
+                            ts,
+                        },
                     ));
                 }
                 (
@@ -563,7 +574,10 @@ impl TsoCcL1 {
                     ctx.coverage.record(Transition::l1(tstate.name(), event));
                     self.mshrs.get_mut(&line).expect("mshr").deferred.push(msg);
                 }
-                (MsgPayload::DataS { data, ts, .. } | MsgPayload::DataE { data, ts, .. }, Transient::IS) => {
+                (
+                    MsgPayload::DataS { data, ts, .. } | MsgPayload::DataE { data, ts, .. },
+                    Transient::IS,
+                ) => {
                     let exclusive = matches!(msg.payload, MsgPayload::DataE { .. });
                     ctx.coverage.record(Transition::l1(
                         "IS",
@@ -577,7 +591,12 @@ impl TsoCcL1 {
                     let mut mshr = self.mshrs.remove(&line).expect("mshr");
                     let mut data = data.clone();
                     let mut line_ts = *ts;
-                    self.serve_pending(ctx, std::mem::take(&mut mshr.pending), &mut data, &mut line_ts);
+                    self.serve_pending(
+                        ctx,
+                        std::mem::take(&mut mshr.pending),
+                        &mut data,
+                        &mut line_ts,
+                    );
                     self.install_line(
                         out,
                         ctx,
@@ -601,8 +620,12 @@ impl TsoCcL1 {
                     self.cache.remove(line);
                     let mut data = data.clone();
                     let mut line_ts = *ts;
-                    let wrote =
-                        self.serve_pending(ctx, std::mem::take(&mut mshr.pending), &mut data, &mut line_ts);
+                    let wrote = self.serve_pending(
+                        ctx,
+                        std::mem::take(&mut mshr.pending),
+                        &mut data,
+                        &mut line_ts,
+                    );
                     self.install_modified(out, ctx, line, data, wrote, line_ts);
                     self.replay_deferred(out, ctx, mshr.deferred);
                 }
@@ -650,7 +673,12 @@ impl TsoCcL1 {
                 out.to_network.push(Msg::new(
                     self.node,
                     msg.src,
-                    MsgPayload::WbData { line, data, dirty, ts },
+                    MsgPayload::WbData {
+                        line,
+                        data,
+                        dirty,
+                        ts,
+                    },
                 ));
             }
             (MsgPayload::Downgrade { .. }, Some(L1State::Shared)) => {
@@ -1238,7 +1266,10 @@ mod tests {
             });
             h.tick_until(&mut l1, 20, |o| o.responses.first().copied());
         }
-        assert!(l1.epoch() >= 1, "enough writes must trigger a timestamp reset");
+        assert!(
+            l1.epoch() >= 1,
+            "enough writes must trigger a timestamp reset"
+        );
         assert!(h.coverage.count(Transition::l1("M", "TimestampReset")) > 0);
     }
 
@@ -1282,7 +1313,9 @@ mod tests {
             .find(|m| matches!(m.payload, MsgPayload::WbData { .. }))
             .expect("WbData");
         match &wb.payload {
-            MsgPayload::WbData { data, dirty, ts, .. } => {
+            MsgPayload::WbData {
+                data, dirty, ts, ..
+            } => {
                 assert!(*dirty);
                 assert_eq!(data.word(0), 42);
                 assert!(ts.is_some(), "writebacks carry the writer timestamp");

@@ -118,7 +118,6 @@ impl TsoCcL2 {
         ));
     }
 
-
     /// Returns `true` if a memory fetch is already outstanding for a line in
     /// the same cache set (the fetch has reserved the set's free way).
     fn set_has_pending_fetch(&self, line: LineAddr) -> bool {
@@ -241,9 +240,12 @@ impl TsoCcL2 {
                 true
             }
 
-            (MsgPayload::PutX { data, dirty, ts, .. }, Some(L2State::Exclusive))
-                if self.cache.get(line).and_then(|l| l.owner) == src_core && src_core.is_some() =>
-            {
+            (
+                MsgPayload::PutX {
+                    data, dirty, ts, ..
+                },
+                Some(L2State::Exclusive),
+            ) if self.cache.get(line).and_then(|l| l.owner) == src_core && src_core.is_some() => {
                 ctx.coverage.record(Transition::l2("EX", "PutX"));
                 let entry = self.cache.get_mut(line).expect("resident");
                 if *dirty {
@@ -337,7 +339,12 @@ impl TsoCcL2 {
                     },
                 );
             }
-            (MsgPayload::WbData { data, dirty, ts, .. }, Trans::DownForS { requestor }) => {
+            (
+                MsgPayload::WbData {
+                    data, dirty, ts, ..
+                },
+                Trans::DownForS { requestor },
+            ) => {
                 ctx.coverage.record(Transition::l2("EX_S_Down", "WbData"));
                 self.trans.remove(&line);
                 let entry = self.cache.get_mut(line).expect("resident");
@@ -362,7 +369,12 @@ impl TsoCcL2 {
                     },
                 );
             }
-            (MsgPayload::WbData { data, dirty, ts, .. }, Trans::RecallForX { requestor }) => {
+            (
+                MsgPayload::WbData {
+                    data, dirty, ts, ..
+                },
+                Trans::RecallForX { requestor },
+            ) => {
                 ctx.coverage.record(Transition::l2("EX_X_Recall", "WbData"));
                 self.trans.remove(&line);
                 let entry = self.cache.get_mut(line).expect("resident");
@@ -691,9 +703,11 @@ mod tests {
             },
         ));
         let out = h.run(&mut l2, 200);
-        assert!(out
-            .iter()
-            .any(|m| matches!(m.payload, MsgPayload::DataS { .. }) && m.dst == h.cfg.node_of_l1(2)));
+        assert!(
+            out.iter()
+                .any(|m| matches!(m.payload, MsgPayload::DataS { .. })
+                    && m.dst == h.cfg.node_of_l1(2))
+        );
         assert!(h.errors.is_empty());
     }
 

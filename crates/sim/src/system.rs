@@ -370,10 +370,7 @@ mod tests {
                 TestOp::write(Address(0x1000), 1),
                 TestOp::write(Address(0x2000), 2),
             ],
-            vec![
-                TestOp::read(Address(0x2000)),
-                TestOp::read(Address(0x1000)),
-            ],
+            vec![TestOp::read(Address(0x2000)), TestOp::read(Address(0x1000))],
         ])
     }
 
@@ -556,9 +553,8 @@ mod tests {
                 .map(|i| vec![TestOp::write(Address(0x1000 + i as u64 * 8), i as u64 + 1)])
                 .collect(),
         );
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sys.run_iteration(&program)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sys.run_iteration(&program)));
         assert!(result.is_err());
     }
 }

@@ -113,7 +113,12 @@ pub fn single_point_crossover_mutate<R: Rng>(
 
 /// Mutates each gene with probability `PMUT`, randomising thread and operation
 /// but preserving the gene's position in the test.
-fn mutate<R: Rng>(test: &mut Test, params: &TestGenParams, generator: &RandomTestGenerator, rng: &mut R) {
+fn mutate<R: Rng>(
+    test: &mut Test,
+    params: &TestGenParams,
+    generator: &RandomTestGenerator,
+    rng: &mut R,
+) {
     for i in 0..test.len() {
         if random_bool(rng, params.mutation_probability) {
             let gene = generator.random_gene(rng);

@@ -167,12 +167,15 @@ impl GpEngine {
             .filter(|(_, i)| i.fitness.is_some())
             .map(|(&id, _)| id)
             .collect();
-        assert!(!evaluated.is_empty(), "tournament requires evaluated individuals");
+        assert!(
+            !evaluated.is_empty(),
+            "tournament requires evaluated individuals"
+        );
         let mut best: Option<(TestId, f64)> = None;
         for _ in 0..self.params.tournament_size.max(1) {
             let id = evaluated[rng.gen_range(0..evaluated.len())];
             let fitness = self.population[&id].fitness.expect("evaluated");
-            if best.map_or(true, |(_, bf)| fitness > bf) {
+            if best.is_none_or(|(_, bf)| fitness > bf) {
                 best = Some((id, fitness));
             }
         }
@@ -185,11 +188,7 @@ impl GpEngine {
     /// returned first; afterwards each call breeds a new child from two
     /// tournament-selected parents.
     pub fn propose<R: Rng>(&mut self, rng: &mut R) -> (TestId, Test) {
-        if let Some((&id, ind)) = self
-            .population
-            .iter()
-            .find(|(_, i)| i.fitness.is_none())
-        {
+        if let Some((&id, ind)) = self.population.iter().find(|(_, i)| i.fitness.is_none()) {
             return (id, ind.test.clone());
         }
         // Breed a child.
@@ -207,12 +206,9 @@ impl GpEngine {
                     &self.params,
                     rng,
                 ),
-                CrossoverMode::SinglePoint => single_point_crossover_mutate(
-                    &parent1.test,
-                    &parent2.test,
-                    &self.params,
-                    rng,
-                ),
+                CrossoverMode::SinglePoint => {
+                    single_point_crossover_mutate(&parent1.test, &parent2.test, &self.params, rng)
+                }
             }
         } else {
             parent1.test.clone()
@@ -338,7 +334,10 @@ mod tests {
                 picks_of_fitter += 1;
             }
         }
-        assert!(picks_of_fitter > 120, "fitter parent picked {picks_of_fitter}/200");
+        assert!(
+            picks_of_fitter > 120,
+            "fitter parent picked {picks_of_fitter}/200"
+        );
     }
 
     #[test]

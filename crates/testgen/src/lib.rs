@@ -34,3 +34,23 @@ pub use ops::{Op, OpKind};
 pub use params::{OperationBias, TestGenParams};
 pub use random::RandomTestGenerator;
 pub use test::{Gene, Test};
+
+#[cfg(test)]
+mod smoke {
+    use crate::{single_point_crossover_mutate, RandomTestGenerator, TestGenParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Crate-level smoke test: generation and one crossover.
+    #[test]
+    fn one_crossover() {
+        let params = TestGenParams::small().with_test_size(16).with_threads(2);
+        let generator = RandomTestGenerator::new(params.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = generator.generate(&mut rng);
+        let t2 = generator.generate(&mut rng);
+        let child = single_point_crossover_mutate(&t1, &t2, &params, &mut rng);
+        assert_eq!(child.len(), 16);
+        assert_eq!(child.num_threads(), t1.num_threads());
+    }
+}

@@ -87,137 +87,147 @@ fn build(name: &str, threads: &[&[A]], locations: &[Address]) -> LitmusTest {
 ///
 /// Panics if fewer than three addresses are supplied.
 pub fn x86_tso_suite(locations: &[Address]) -> Vec<LitmusTest> {
-    assert!(locations.len() >= 3, "litmus suite needs at least 3 locations");
+    assert!(
+        locations.len() >= 3,
+        "litmus suite needs at least 3 locations"
+    );
     let l = locations;
-    let mut suite = Vec::new();
-
-    // ---- Classic named two-thread shapes ----
-    suite.push(build("SB", &[&[A::W(0), A::R(1)], &[A::W(1), A::R(0)]], l));
-    suite.push(build("MP", &[&[A::W(0), A::W(1)], &[A::R(1), A::R(0)]], l));
-    suite.push(build("LB", &[&[A::R(0), A::W(1)], &[A::R(1), A::W(0)]], l));
-    suite.push(build("S", &[&[A::W(0), A::W(1)], &[A::R(1), A::W(0)]], l));
-    suite.push(build("R", &[&[A::W(0), A::W(1)], &[A::W(1), A::R(0)]], l));
-    suite.push(build("2+2W", &[&[A::W(0), A::W(1)], &[A::W(1), A::W(0)]], l));
-    suite.push(build("CoRR", &[&[A::W(0)], &[A::R(0), A::R(0)]], l));
-    suite.push(build("CoWW", &[&[A::W(0), A::W(0)]], l));
-    suite.push(build("CoRW", &[&[A::R(0), A::W(0)], &[A::W(0)]], l));
-    suite.push(build("CoWR", &[&[A::W(0), A::R(0)], &[A::W(0)]], l));
-
-    // ---- Fence / locked variants ----
-    suite.push(build(
-        "SB+mfences",
-        &[&[A::W(0), A::F, A::R(1)], &[A::W(1), A::F, A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "SB+mfence+po",
-        &[&[A::W(0), A::F, A::R(1)], &[A::W(1), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "SB+rmws",
-        &[&[A::U(0), A::R(1)], &[A::U(1), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "MP+mfences",
-        &[&[A::W(0), A::F, A::W(1)], &[A::R(1), A::F, A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "R+mfences",
-        &[&[A::W(0), A::F, A::W(1)], &[A::W(1), A::F, A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "LB+mfences",
-        &[&[A::R(0), A::F, A::W(1)], &[A::R(1), A::F, A::W(0)]],
-        l,
-    ));
-
-    // ---- Three-thread shapes ----
-    suite.push(build(
-        "WRC",
-        &[&[A::W(0)], &[A::R(0), A::W(1)], &[A::R(1), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "WRC+mfences",
-        &[&[A::W(0)], &[A::R(0), A::F, A::W(1)], &[A::R(1), A::F, A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "ISA2",
-        &[&[A::W(0), A::W(1)], &[A::R(1), A::W(2)], &[A::R(2), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "RWC",
-        &[&[A::W(0)], &[A::R(0), A::R(1)], &[A::W(1), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "WWC",
-        &[&[A::W(0)], &[A::R(0), A::W(1)], &[A::W(1), A::W(0)]],
-        l,
-    ));
-    suite.push(build(
-        "W+RWC",
-        &[&[A::W(0), A::W(2)], &[A::R(2), A::R(1)], &[A::W(1), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "Z6.3",
-        &[&[A::W(0), A::W(1)], &[A::W(1), A::W(2)], &[A::W(2), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "3.2W",
-        &[&[A::W(0), A::W(1)], &[A::W(1), A::W(2)], &[A::W(2), A::W(0)]],
-        l,
-    ));
-    suite.push(build(
-        "3.SB",
-        &[&[A::W(0), A::R(1)], &[A::W(1), A::R(2)], &[A::W(2), A::R(0)]],
-        l,
-    ));
-    suite.push(build(
-        "3.LB",
-        &[&[A::R(0), A::W(1)], &[A::R(1), A::W(2)], &[A::R(2), A::W(0)]],
-        l,
-    ));
-
-    // ---- Four-thread shapes ----
-    suite.push(build(
-        "IRIW",
-        &[
-            &[A::W(0)],
-            &[A::W(1)],
-            &[A::R(0), A::R(1)],
-            &[A::R(1), A::R(0)],
-        ],
-        l,
-    ));
-    suite.push(build(
-        "IRIW+mfences",
-        &[
-            &[A::W(0)],
-            &[A::W(1)],
-            &[A::R(0), A::F, A::R(1)],
-            &[A::R(1), A::F, A::R(0)],
-        ],
-        l,
-    ));
-    suite.push(build(
-        "IRRWIW",
-        &[
-            &[A::W(0)],
-            &[A::R(0), A::R(1)],
-            &[A::W(1)],
-            &[A::R(1), A::W(0)],
-        ],
-        l,
-    ));
+    let shapes: &[(&str, &[&[A]])] = &[
+        // ---- Classic named two-thread shapes ----
+        ("SB", &[&[A::W(0), A::R(1)], &[A::W(1), A::R(0)]]),
+        ("MP", &[&[A::W(0), A::W(1)], &[A::R(1), A::R(0)]]),
+        ("LB", &[&[A::R(0), A::W(1)], &[A::R(1), A::W(0)]]),
+        ("S", &[&[A::W(0), A::W(1)], &[A::R(1), A::W(0)]]),
+        ("R", &[&[A::W(0), A::W(1)], &[A::W(1), A::R(0)]]),
+        ("2+2W", &[&[A::W(0), A::W(1)], &[A::W(1), A::W(0)]]),
+        ("CoRR", &[&[A::W(0)], &[A::R(0), A::R(0)]]),
+        ("CoWW", &[&[A::W(0), A::W(0)]]),
+        ("CoRW", &[&[A::R(0), A::W(0)], &[A::W(0)]]),
+        ("CoWR", &[&[A::W(0), A::R(0)], &[A::W(0)]]),
+        // ---- Fence / locked variants ----
+        (
+            "SB+mfences",
+            &[&[A::W(0), A::F, A::R(1)], &[A::W(1), A::F, A::R(0)]],
+        ),
+        (
+            "SB+mfence+po",
+            &[&[A::W(0), A::F, A::R(1)], &[A::W(1), A::R(0)]],
+        ),
+        ("SB+rmws", &[&[A::U(0), A::R(1)], &[A::U(1), A::R(0)]]),
+        (
+            "MP+mfences",
+            &[&[A::W(0), A::F, A::W(1)], &[A::R(1), A::F, A::R(0)]],
+        ),
+        (
+            "R+mfences",
+            &[&[A::W(0), A::F, A::W(1)], &[A::W(1), A::F, A::R(0)]],
+        ),
+        (
+            "LB+mfences",
+            &[&[A::R(0), A::F, A::W(1)], &[A::R(1), A::F, A::W(0)]],
+        ),
+        // ---- Three-thread shapes ----
+        (
+            "WRC",
+            &[&[A::W(0)], &[A::R(0), A::W(1)], &[A::R(1), A::R(0)]],
+        ),
+        (
+            "WRC+mfences",
+            &[
+                &[A::W(0)],
+                &[A::R(0), A::F, A::W(1)],
+                &[A::R(1), A::F, A::R(0)],
+            ],
+        ),
+        (
+            "ISA2",
+            &[
+                &[A::W(0), A::W(1)],
+                &[A::R(1), A::W(2)],
+                &[A::R(2), A::R(0)],
+            ],
+        ),
+        (
+            "RWC",
+            &[&[A::W(0)], &[A::R(0), A::R(1)], &[A::W(1), A::R(0)]],
+        ),
+        (
+            "WWC",
+            &[&[A::W(0)], &[A::R(0), A::W(1)], &[A::W(1), A::W(0)]],
+        ),
+        (
+            "W+RWC",
+            &[
+                &[A::W(0), A::W(2)],
+                &[A::R(2), A::R(1)],
+                &[A::W(1), A::R(0)],
+            ],
+        ),
+        (
+            "Z6.3",
+            &[
+                &[A::W(0), A::W(1)],
+                &[A::W(1), A::W(2)],
+                &[A::W(2), A::R(0)],
+            ],
+        ),
+        (
+            "3.2W",
+            &[
+                &[A::W(0), A::W(1)],
+                &[A::W(1), A::W(2)],
+                &[A::W(2), A::W(0)],
+            ],
+        ),
+        (
+            "3.SB",
+            &[
+                &[A::W(0), A::R(1)],
+                &[A::W(1), A::R(2)],
+                &[A::W(2), A::R(0)],
+            ],
+        ),
+        (
+            "3.LB",
+            &[
+                &[A::R(0), A::W(1)],
+                &[A::R(1), A::W(2)],
+                &[A::R(2), A::W(0)],
+            ],
+        ),
+        // ---- Four-thread shapes ----
+        (
+            "IRIW",
+            &[
+                &[A::W(0)],
+                &[A::W(1)],
+                &[A::R(0), A::R(1)],
+                &[A::R(1), A::R(0)],
+            ],
+        ),
+        (
+            "IRIW+mfences",
+            &[
+                &[A::W(0)],
+                &[A::W(1)],
+                &[A::R(0), A::F, A::R(1)],
+                &[A::R(1), A::F, A::R(0)],
+            ],
+        ),
+        (
+            "IRRWIW",
+            &[
+                &[A::W(0)],
+                &[A::R(0), A::R(1)],
+                &[A::W(1)],
+                &[A::R(1), A::W(0)],
+            ],
+        ),
+    ];
+    let mut suite: Vec<LitmusTest> = shapes
+        .iter()
+        .map(|&(name, threads)| build(name, threads, l))
+        .collect();
 
     // ---- Systematic two-thread enumeration (diy-style) ----
     // Every combination of {R, W} × {R, W} per thread over two locations,
@@ -228,13 +238,7 @@ pub fn x86_tso_suite(locations: &[Address]) -> Vec<LitmusTest> {
         for &a1 in &choices2 {
             for &b1 in &choices2 {
                 for &b0 in &choices {
-                    let name = format!(
-                        "2T-{}{}-{}{}",
-                        short(a0),
-                        short(a1),
-                        short(b1),
-                        short(b0)
-                    );
+                    let name = format!("2T-{}{}-{}{}", short(a0), short(a1), short(b1), short(b0));
                     suite.push(build(&name, &[&[a0, a1], &[b1, b0]], l));
                 }
             }

@@ -201,8 +201,16 @@ mod tests {
         let mut b = ExecutionBuilder::new();
         let wx = b.write(ProcessorId(0), x, Value(1));
         let wy = b.write(ProcessorId(0), y, Value(2));
-        let ry = b.read(ProcessorId(1), y, if reads_see_writes { Value(2) } else { Value(0) });
-        let rx = b.read(ProcessorId(1), x, if reads_see_writes { Value(1) } else { Value(0) });
+        let ry = b.read(
+            ProcessorId(1),
+            y,
+            if reads_see_writes { Value(2) } else { Value(0) },
+        );
+        let rx = b.read(
+            ProcessorId(1),
+            x,
+            if reads_see_writes { Value(1) } else { Value(0) },
+        );
         if reads_see_writes {
             b.reads_from(wy, ry);
             b.reads_from(wx, rx);

@@ -142,7 +142,13 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(format!("{}", Op::new(OpKind::Read, Address(0x10))), "Read 0x10");
-        assert_eq!(format!("{}", Op::new(OpKind::Delay, Address(12))), "Delay(12)");
+        assert_eq!(
+            format!("{}", Op::new(OpKind::Read, Address(0x10))),
+            "Read 0x10"
+        );
+        assert_eq!(
+            format!("{}", Op::new(OpKind::Delay, Address(12))),
+            "Delay(12)"
+        );
     }
 }

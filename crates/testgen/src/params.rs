@@ -199,7 +199,9 @@ impl TestGenParams {
         debug_assert!(offset < self.test_memory_bytes);
         let partition = offset / self.partition_bytes;
         let within = offset % self.partition_bytes;
-        mcversi_mcm::Address(self.base_address + partition * self.partition_separation_bytes + within)
+        mcversi_mcm::Address(
+            self.base_address + partition * self.partition_separation_bytes + within,
+        )
     }
 
     /// All addressable (stride-aligned) slot addresses.

@@ -33,7 +33,8 @@ impl RandomTestGenerator {
     /// Draws a random stride-aligned address within the test memory.
     pub fn random_address<R: Rng>(&self, rng: &mut R) -> Address {
         let slot = rng.gen_range(0..self.params.num_slots());
-        self.params.offset_to_address(slot * self.params.stride_bytes)
+        self.params
+            .offset_to_address(slot * self.params.stride_bytes)
     }
 
     /// Draws a random address from `pool` (used for PBFA-biased mutation);
@@ -48,7 +49,10 @@ impl RandomTestGenerator {
 
     /// Draws a random operation according to the bias.
     pub fn random_op<R: Rng>(&self, rng: &mut R) -> Op {
-        let kind = self.params.bias.pick(rng.gen_range(0..self.params.bias.total()));
+        let kind = self
+            .params
+            .bias
+            .pick(rng.gen_range(0..self.params.bias.total()));
         let addr = if kind == OpKind::Delay {
             Address(rng.gen_range(1..=self.params.max_delay_cycles) as u64)
         } else if kind == OpKind::Fence {
@@ -103,7 +107,10 @@ mod tests {
         let t = g.generate(&mut rng);
         assert_eq!(t.len(), g.params().test_size);
         assert_eq!(t.num_threads(), g.params().num_threads);
-        assert!(t.genes().iter().all(|g2| (g2.pid as usize) < t.num_threads()));
+        assert!(t
+            .genes()
+            .iter()
+            .all(|g2| (g2.pid as usize) < t.num_threads()));
     }
 
     #[test]
@@ -144,7 +151,10 @@ mod tests {
         let read_frac = reads as f64 / n as f64;
         let write_frac = writes as f64 / n as f64;
         assert!((read_frac - 0.50).abs() < 0.03, "read fraction {read_frac}");
-        assert!((write_frac - 0.42).abs() < 0.03, "write fraction {write_frac}");
+        assert!(
+            (write_frac - 0.42).abs() < 0.03,
+            "write fraction {write_frac}"
+        );
     }
 
     #[test]

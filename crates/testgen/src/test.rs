@@ -148,7 +148,12 @@ impl Test {
 
 impl fmt::Display for Test {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "test with {} genes, {} threads:", self.len(), self.num_threads)?;
+        writeln!(
+            f,
+            "test with {} genes, {} threads:",
+            self.len(),
+            self.num_threads
+        )?;
         for (pid, ops) in self.threads().iter().enumerate() {
             write!(f, "  P{pid}:")?;
             for op in ops {
@@ -212,7 +217,11 @@ mod tests {
     fn addresses_are_deduplicated() {
         let t = sample();
         let addrs = t.addresses();
-        assert_eq!(addrs.len(), 3, "0x100, 0x200 and 0x300; the delay is not a memory op");
+        assert_eq!(
+            addrs.len(),
+            3,
+            "0x100, 0x200 and 0x300; the delay is not a memory op"
+        );
     }
 
     #[test]

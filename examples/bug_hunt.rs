@@ -24,7 +24,11 @@ fn main() {
         Duration::from_secs(120),
     );
 
-    println!("hunting for {} with {} ...\n", Bug::LqNoTso, GeneratorKind::McVerSiAll);
+    println!(
+        "hunting for {} with {} ...\n",
+        Bug::LqNoTso,
+        GeneratorKind::McVerSiAll
+    );
     let result = run_campaign(&campaign, 7);
 
     if result.found {
@@ -45,8 +49,5 @@ fn main() {
         "maximum total transition coverage reached: {:.1}%",
         result.max_total_coverage * 100.0
     );
-    println!(
-        "final mean population NDT: {:.2}",
-        result.final_mean_ndt
-    );
+    println!("final mean population NDT: {:.2}", result.final_mean_ndt);
 }

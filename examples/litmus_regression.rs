@@ -15,7 +15,10 @@ use mcversi::testgen::litmus;
 
 fn main() {
     let suite = litmus::default_suite();
-    println!("running {} litmus shapes on both protocols...\n", suite.len());
+    println!(
+        "running {} litmus shapes on both protocols...\n",
+        suite.len()
+    );
 
     for protocol in [ProtocolKind::Mesi, ProtocolKind::TsoCc] {
         let config = McVerSiConfig::small()

@@ -4,7 +4,9 @@
 //! simulation → observation → checking → fitness → campaign — the way a user
 //! of the framework would.
 
-use mcversi::core::{run_campaign, run_samples, CampaignConfig, GeneratorKind, McVerSiConfig, TestRunner};
+use mcversi::core::{
+    run_campaign, run_samples, CampaignConfig, GeneratorKind, McVerSiConfig, TestRunner,
+};
 use mcversi::sim::{Bug, BugConfig, ProtocolKind};
 use std::time::Duration;
 
@@ -37,7 +39,10 @@ fn pipeline_bugs_are_found_by_the_gp_generator() {
     // well under an hour by every McVerSi generator); the GP generator must
     // find them within a small budget here.
     for bug in [Bug::LqNoTso, Bug::SqNoFifo] {
-        let result = run_campaign(&quick_campaign(GeneratorKind::McVerSiAll, Some(bug), 120), 11);
+        let result = run_campaign(
+            &quick_campaign(GeneratorKind::McVerSiAll, Some(bug), 120),
+            11,
+        );
         assert!(result.found, "{bug} not found by McVerSi-ALL: {result:?}");
     }
 }

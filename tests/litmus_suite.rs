@@ -27,7 +27,10 @@ fn run_suite(protocol: ProtocolKind, repeats: usize, seed: u64) {
             result.verdict
         );
     }
-    assert!(runner.total_coverage() > 0.2, "suite exercised little of the protocol");
+    assert!(
+        runner.total_coverage() > 0.2,
+        "suite exercised little of the protocol"
+    );
 }
 
 #[test]

@@ -25,7 +25,9 @@ use rand::SeedableRng;
 use std::collections::BTreeSet;
 
 fn small_params(test_size: usize) -> TestGenParams {
-    TestGenParams::small().with_test_size(test_size).with_threads(4)
+    TestGenParams::small()
+        .with_test_size(test_size)
+        .with_threads(4)
 }
 
 proptest! {
@@ -141,5 +143,8 @@ fn different_seeds_perturb_executions() {
         let result = runner.run_test(&test);
         cycle_counts.insert(result.cycles);
     }
-    assert!(cycle_counts.len() > 1, "different seeds should give different timings");
+    assert!(
+        cycle_counts.len() > 1,
+        "different seeds should give different timings"
+    );
 }

@@ -1,0 +1,268 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`; the
+//! build environment is offline).  Supports the shapes the workspace actually
+//! uses: non-generic structs (named, tuple, unit) and enums (unit, tuple and
+//! struct variants).  Generic types are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, b: U }` — field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `enum E { A, B(T), C { x: T } }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skips attributes (`#[...]` / doc comments) at the current position.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Splits the tokens of a brace/paren group at top-level commas, treating
+/// `<`/`>` as nesting (so `BTreeMap<K, V>` does not split).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extracts the field name from one `vis name: Type` chunk of a named-fields
+/// group (attributes already inside the chunk are skipped).
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = skip_attrs(chunk, 0);
+    // Skip visibility: `pub` optionally followed by `(crate)` etc.
+    if let Some(TokenTree::Ident(id)) = chunk.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses the names of a `{ a: T, b: U }` named-fields group.
+fn named_field_names(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter_map(|chunk| field_name(chunk))
+        .collect()
+}
+
+/// Parses the derive input down to `(type_name, shape)`.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    // Skip visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported; type `{name}`");
+        }
+    }
+    // Skip a `where` clause if present (none expected for non-generic types).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let shape = if kind == "enum" {
+                    Shape::Enum(parse_variants(&body))
+                } else {
+                    Shape::NamedStruct(named_field_names(&body))
+                };
+                return (name, shape);
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+                let count =
+                    split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                return (name, Shape::TupleStruct(count));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                return (name, Shape::UnitStruct);
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("serde_derive: could not find body of `{name}`");
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(body) {
+        let i = skip_attrs(&chunk, 0);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => panic!("serde_derive: expected enum variant name, found {other:?}"),
+        };
+        let fields = match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantFields::Tuple(
+                    split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>()).len(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantFields::Named(
+                named_field_names(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            _ => VariantFields::Unit, // unit variant (a `= discr` is ignored)
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(count) => {
+            let entries: Vec<String> = (0..count)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            if count == 1 {
+                entries.into_iter().next().unwrap()
+            } else {
+                format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(count) => {
+                            let binders: Vec<String> =
+                                (0..*count).map(|i| format!("__f{i}")).collect();
+                            let values: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let payload = if *count == 1 {
+                                values[0].clone()
+                            } else {
+                                format!("::serde::Value::Array(vec![{}])", values.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binders}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binders = binders.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {fields} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_input(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
