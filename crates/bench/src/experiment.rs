@@ -15,12 +15,14 @@
 //! | `MCVERSI_CORES`        | simulated cores / test threads         | 4      |
 //! | `MCVERSI_WALL_SECS`    | wall-clock cap per sample (seconds)    | 120    |
 //! | `MCVERSI_FULL`         | if set, use the paper-scale parameters  | unset  |
+//! | `MCVERSI_MODELS`       | comma-separated target models, or `all` | `SC,TSO,ARMish,RMO` |
 //!
 //! Results are printed as plain-text tables and also written as JSON under
 //! `target/experiments/` so EXPERIMENTS.md can reference machine-readable
 //! artifacts.
 
 use mcversi_core::{CampaignConfig, GeneratorKind, McVerSiConfig};
+use mcversi_mcm::ModelKind;
 use mcversi_sim::{ProtocolKind, SystemConfig};
 use mcversi_testgen::TestGenParams;
 use serde::Serialize;
@@ -44,6 +46,8 @@ pub struct Scale {
     pub wall_time: Duration,
     /// Whether the full paper-scale system (Table 2) is used.
     pub full: bool,
+    /// The target consistency models campaigns are run against.
+    pub models: Vec<ModelKind>,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -51,6 +55,38 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses `MCVERSI_MODELS`: a comma-separated model list, or `all`.
+///
+/// Unknown names are reported and skipped; an empty result falls back to the
+/// default four-architecture comparison.
+fn env_models() -> Vec<ModelKind> {
+    let default = vec![
+        ModelKind::Sc,
+        ModelKind::Tso,
+        ModelKind::Armish,
+        ModelKind::Rmo,
+    ];
+    let Ok(raw) = std::env::var("MCVERSI_MODELS") else {
+        return default;
+    };
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return ModelKind::ALL.to_vec();
+    }
+    let mut models = Vec::new();
+    for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+        match ModelKind::parse(part) {
+            Some(model) if !models.contains(&model) => models.push(model),
+            Some(_) => {}
+            None => eprintln!("warning: MCVERSI_MODELS: unknown model '{part}' skipped"),
+        }
+    }
+    if models.is_empty() {
+        default
+    } else {
+        models
+    }
 }
 
 impl Scale {
@@ -66,6 +102,7 @@ impl Scale {
                 cores: env_usize("MCVERSI_CORES", 8),
                 wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 24 * 3600) as u64),
                 full,
+                models: env_models(),
             }
         } else {
             Scale {
@@ -76,6 +113,7 @@ impl Scale {
                 cores: env_usize("MCVERSI_CORES", 4),
                 wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 120) as u64),
                 full,
+                models: env_models(),
             }
         }
     }
@@ -101,18 +139,30 @@ impl Scale {
             system,
             testgen,
             adaptive: Default::default(),
+            model: ModelKind::Tso,
             seed: 1,
         };
         cfg.testgen.iterations = self.iterations;
         cfg
     }
 
-    /// Builds a campaign configuration.
+    /// Builds a campaign configuration (targeting x86-TSO).
     pub fn campaign(
         &self,
         generator: GeneratorKind,
         bug: Option<mcversi_sim::Bug>,
         test_memory_bytes: u64,
+    ) -> CampaignConfig {
+        self.campaign_for_model(generator, bug, test_memory_bytes, ModelKind::Tso)
+    }
+
+    /// Builds a campaign configuration targeting the given model.
+    pub fn campaign_for_model(
+        &self,
+        generator: GeneratorKind,
+        bug: Option<mcversi_sim::Bug>,
+        test_memory_bytes: u64,
+        model: ModelKind,
     ) -> CampaignConfig {
         CampaignConfig::new(
             generator,
@@ -121,6 +171,7 @@ impl Scale {
             self.test_runs,
             self.wall_time,
         )
+        .with_model(model)
     }
 }
 
@@ -194,6 +245,26 @@ mod tests {
         let cols = table_columns();
         assert_eq!(cols.len(), 7);
         assert!(cols.iter().any(|(_, _, label)| label == "diy-litmus"));
+    }
+
+    #[test]
+    fn default_models_cover_at_least_four_architectures() {
+        if std::env::var("MCVERSI_MODELS").is_ok() {
+            return; // respect an explicit override in the environment
+        }
+        let scale = Scale::from_env();
+        assert!(scale.models.len() >= 4);
+        for model in [
+            ModelKind::Sc,
+            ModelKind::Tso,
+            ModelKind::Armish,
+            ModelKind::Rmo,
+        ] {
+            assert!(scale.models.contains(&model), "{model} missing");
+        }
+        let campaign =
+            scale.campaign_for_model(GeneratorKind::McVerSiRand, None, 1024, ModelKind::Armish);
+        assert_eq!(campaign.model(), ModelKind::Armish);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! or figure of the paper's evaluation (see DESIGN.md for the index).
 
 pub mod experiment;
+pub mod matrix;
 
 pub use experiment::{banner, table_columns, write_artifact, Scale};
+pub use matrix::{render_matrix, shape_expectations};
 
 #[cfg(test)]
 mod smoke {

@@ -11,6 +11,7 @@
 use crate::config::McVerSiConfig;
 use crate::generator::{GeneratorKind, TestSource};
 use crate::runner::{RunVerdict, TestRunner};
+use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, BugConfig};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
@@ -77,6 +78,18 @@ impl CampaignConfig {
         self
     }
 
+    /// Retargets the campaign at a different consistency model (checker and
+    /// litmus-suite selection; see [`McVerSiConfig::with_model`]).
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.mcversi = self.mcversi.with_model(model);
+        self
+    }
+
+    /// The campaign's target consistency model.
+    pub fn model(&self) -> ModelKind {
+        self.mcversi.model
+    }
+
     /// The effective number of worker threads for a batch of `samples`.
     fn effective_parallelism(&self, samples: usize) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -113,6 +126,8 @@ pub struct CampaignResult {
     pub generator: GeneratorKind,
     /// The targeted bug, if any.
     pub bug: Option<Bug>,
+    /// The consistency model the checker verified against.
+    pub model: ModelKind,
     /// Sample seed.
     pub seed: u64,
     /// Whether the bug was found within the budget.
@@ -189,9 +204,15 @@ pub fn run_campaign_budgeted(
     budget: &WallBudget,
 ) -> CampaignResult {
     let mcversi = config.effective_mcversi().with_seed(seed);
+    let model = mcversi.model;
     let params = mcversi.testgen.clone();
     let mut runner = TestRunner::new(mcversi, config.bug_config());
-    let mut source = TestSource::new(config.generator, params, seed.wrapping_add(0x9e37_79b9));
+    let mut source = TestSource::for_model(
+        config.generator,
+        params,
+        seed.wrapping_add(0x9e37_79b9),
+        model,
+    );
     let start = Instant::now();
 
     let mut found = false;
@@ -226,6 +247,7 @@ pub fn run_campaign_budgeted(
     CampaignResult {
         generator: config.generator,
         bug: config.bug,
+        model,
         seed,
         found,
         detail,
@@ -271,6 +293,7 @@ impl SampleOutcome {
                 CampaignResult {
                     generator: config.generator,
                     bug: config.bug,
+                    model: config.model(),
                     seed,
                     found: false,
                     detail: Some(format!("sample panicked: {message}")),
@@ -425,6 +448,46 @@ mod tests {
         assert_eq!(cfg.effective_mcversi().system.protocol, ProtocolKind::TsoCc);
         let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::MesiLqEInv));
         assert_eq!(cfg.effective_mcversi().system.protocol, ProtocolKind::Mesi);
+    }
+
+    /// Cross-model bug coverage: the LQ+no-TSO bug produces read→read
+    /// reorderings that TSO forbids, but a relaxed model with no dependency
+    /// chains in play accepts the same executions — the bug hides when the
+    /// target model is weak enough.
+    #[test]
+    fn lq_no_tso_hides_under_the_relaxed_models() {
+        let tso = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso));
+        assert_eq!(tso.model(), ModelKind::Tso);
+        let found_tso = run_campaign(&tso, 3).found;
+        assert!(found_tso, "TSO campaign must find LQ+no-TSO");
+
+        // Same budget and seed, weakest model: plain-read reorderings are
+        // architecturally allowed, so the verdict machinery must stay quiet
+        // unless a dependency chain is violated (which the correct-by-
+        // construction dependency stalls in the core prevent).
+        let rmo =
+            quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso)).with_model(ModelKind::Rmo);
+        assert_eq!(rmo.model(), ModelKind::Rmo);
+        let result = run_campaign(&rmo, 3);
+        assert!(
+            !result.found,
+            "RMO accepts the TSO-buggy executions: {result:?}"
+        );
+        assert_eq!(result.model, ModelKind::Rmo);
+        assert_eq!(result.test_runs, 40, "budget exhausted without a find");
+    }
+
+    #[test]
+    fn with_model_switches_bias_and_result_records_model() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, None).with_model(ModelKind::Armish);
+        assert_eq!(cfg.model(), ModelKind::Armish);
+        assert!(
+            cfg.mcversi.testgen.bias.write_data_dp > 0,
+            "relaxed targets default to the relaxed operation bias"
+        );
+        let result = run_campaign(&cfg, 1);
+        assert_eq!(result.model, ModelKind::Armish);
+        assert!(!result.found, "correct design under a weaker model");
     }
 
     #[test]

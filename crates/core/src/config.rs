@@ -1,12 +1,14 @@
 //! Top-level framework configuration.
 
 use crate::coverage::AdaptiveCoverageConfig;
+use mcversi_mcm::ModelKind;
 use mcversi_sim::SystemConfig;
 use mcversi_testgen::TestGenParams;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one McVerSi verification run: the simulated system, the
-/// test generation parameters, and the adaptive-coverage fitness parameters.
+/// test generation parameters, the adaptive-coverage fitness parameters and
+/// the target consistency model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct McVerSiConfig {
     /// The simulated system (paper Table 2).
@@ -15,6 +17,10 @@ pub struct McVerSiConfig {
     pub testgen: TestGenParams,
     /// Adaptive coverage fitness parameters (paper §3.2).
     pub adaptive: AdaptiveCoverageConfig,
+    /// The target memory consistency model the checker verifies against
+    /// (x86-TSO in the paper's evaluation; the relaxed models enable
+    /// cross-model campaigns).
+    pub model: ModelKind,
     /// RNG seed (each sample of an experiment uses a different seed for both
     /// simulation and test generation, as in §5.1).
     pub seed: u64,
@@ -31,6 +37,7 @@ impl McVerSiConfig {
             system,
             testgen,
             adaptive: AdaptiveCoverageConfig::default(),
+            model: ModelKind::Tso,
             seed: 1,
         }
     }
@@ -45,6 +52,7 @@ impl McVerSiConfig {
             system,
             testgen,
             adaptive: AdaptiveCoverageConfig::default(),
+            model: ModelKind::Tso,
             seed: 1,
         }
     }
@@ -52,6 +60,28 @@ impl McVerSiConfig {
     /// Replaces the protocol of the simulated system, returning a modified copy.
     pub fn with_protocol(mut self, protocol: mcversi_sim::ProtocolKind) -> Self {
         self.system.protocol = protocol;
+        self
+    }
+
+    /// Replaces the target consistency model, returning a modified copy.
+    ///
+    /// The operation bias follows the target unless the caller customised it:
+    /// relaxed targets get the relaxed mix (dependency-carrying ops and weak
+    /// fence flavours with non-zero weight), strong targets get the paper's
+    /// Table 3 mix back — so retargeting is symmetric and a TSO campaign
+    /// never silently keeps a relaxed bias.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        use mcversi_testgen::OperationBias;
+        let relaxed_target = matches!(
+            model,
+            ModelKind::Armish | ModelKind::Powerish | ModelKind::Rmo
+        );
+        if relaxed_target && self.testgen.bias == OperationBias::paper_default() {
+            self.testgen.bias = OperationBias::relaxed_default();
+        } else if !relaxed_target && self.testgen.bias == OperationBias::relaxed_default() {
+            self.testgen.bias = OperationBias::paper_default();
+        }
+        self.model = model;
         self
     }
 
@@ -90,6 +120,25 @@ mod tests {
         let cfg = McVerSiConfig::paper_default(1024);
         assert_eq!(cfg.testgen.num_threads, cfg.system.num_cores);
         assert_eq!(cfg.testgen.test_memory_bytes, 1024);
+    }
+
+    #[test]
+    fn with_model_bias_swap_is_symmetric() {
+        use mcversi_mcm::ModelKind;
+        use mcversi_testgen::OperationBias;
+        let cfg = McVerSiConfig::small().with_model(ModelKind::Armish);
+        assert_eq!(cfg.testgen.bias, OperationBias::relaxed_default());
+        let back = cfg.with_model(ModelKind::Tso);
+        assert_eq!(
+            back.testgen.bias,
+            OperationBias::paper_default(),
+            "retargeting to TSO must restore the Table 3 mix"
+        );
+        // A customised bias is never touched in either direction.
+        let mut custom = McVerSiConfig::small();
+        custom.testgen.bias.read = 60;
+        let custom = custom.with_model(ModelKind::Rmo).with_model(ModelKind::Sc);
+        assert_eq!(custom.testgen.bias.read, 60);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! comparison the paper makes.
 
 use crate::runner::TestRunResult;
+use mcversi_mcm::ModelKind;
 use mcversi_testgen::gp::TestId;
 use mcversi_testgen::litmus::{self, LitmusTest};
 use mcversi_testgen::{
@@ -101,8 +102,21 @@ pub struct TestSource {
 }
 
 impl TestSource {
-    /// Creates a test source of the given kind.
+    /// Creates a test source of the given kind, with the x86-TSO litmus suite
+    /// for the litmus baseline.
     pub fn new(kind: GeneratorKind, params: TestGenParams, seed: u64) -> Self {
+        Self::for_model(kind, params, seed, ModelKind::Tso)
+    }
+
+    /// Creates a test source tuned to a target model: the litmus baseline
+    /// uses the model's default suite (weak-model shapes with the appropriate
+    /// fence/dependency flavours when the model is relaxed).
+    pub fn for_model(
+        kind: GeneratorKind,
+        params: TestGenParams,
+        seed: u64,
+        model: ModelKind,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let state = match kind {
             GeneratorKind::McVerSiAll => SourceState::Gp(Box::new(GpEngine::new(
@@ -119,12 +133,13 @@ impl TestSource {
                 SourceState::Random(RandomTestGenerator::new(params.clone()))
             }
             GeneratorKind::DiyLitmus => {
-                // Three well-separated locations from the test memory.
+                // Three well-separated locations from the test memory; the
+                // shape set follows the target model.
                 let slots = params.all_slot_addresses();
                 let pick = |i: usize| slots[i * slots.len() / 3].to_owned();
                 let locations = [pick(0), pick(1), pick(2)];
                 SourceState::Litmus {
-                    suite: litmus::x86_tso_suite(&locations),
+                    suite: litmus::suite_for(model, &locations),
                     next: 0,
                 }
             }

@@ -12,8 +12,7 @@
 
 use crate::lowering::lower;
 use mcversi_mcm::checker::{Checker, Verdict};
-use mcversi_mcm::model::tso::Tso;
-use mcversi_mcm::Address;
+use mcversi_mcm::{Address, ModelKind};
 use mcversi_sim::{BugConfig, IterationOutcome, System, TestProgram};
 use mcversi_testgen::Test;
 
@@ -59,16 +58,34 @@ pub struct SimHost {
     system: System,
     staged: Option<TestProgram>,
     test_mem_range: Option<(Address, Address)>,
+    model: ModelKind,
 }
 
 impl SimHost {
-    /// Creates a host around a freshly constructed system.
+    /// Creates a host around a freshly constructed system, verifying against
+    /// x86-TSO (the paper's target model).
     pub fn new(cfg: mcversi_sim::SystemConfig, bugs: BugConfig, seed: u64) -> Self {
+        Self::with_model(cfg, bugs, seed, ModelKind::Tso)
+    }
+
+    /// Creates a host verifying executions against the given target model.
+    pub fn with_model(
+        cfg: mcversi_sim::SystemConfig,
+        bugs: BugConfig,
+        seed: u64,
+        model: ModelKind,
+    ) -> Self {
         SimHost {
             system: System::new(cfg, bugs, seed),
             staged: None,
             test_mem_range: None,
+            model,
         }
+    }
+
+    /// The target consistency model this host checks against.
+    pub fn model(&self) -> ModelKind {
+        self.model
     }
 
     /// Access to the underlying system (coverage, statistics).
@@ -87,8 +104,7 @@ impl SimHost {
     }
 
     fn checker(&self) -> Checker<'static> {
-        static TSO: Tso = Tso;
-        Checker::new(&TSO)
+        Checker::new(self.model.instance())
     }
 }
 

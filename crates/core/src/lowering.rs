@@ -28,6 +28,16 @@ pub fn lower(test: &Test) -> TestProgram {
                     next_value += 1;
                     TestOp::write(op.addr, v)
                 }
+                OpKind::WriteDataDp => {
+                    let v = next_value;
+                    next_value += 1;
+                    TestOp::write_data_dp(op.addr, v)
+                }
+                OpKind::WriteCtrlDp => {
+                    let v = next_value;
+                    next_value += 1;
+                    TestOp::write_ctrl_dp(op.addr, v)
+                }
                 OpKind::ReadModifyWrite => {
                     let v = next_value;
                     next_value += 1;
@@ -35,7 +45,9 @@ pub fn lower(test: &Test) -> TestProgram {
                 }
                 OpKind::CacheFlush => TestOp::flush(op.addr),
                 OpKind::Delay => TestOp::delay((op.addr.0 as u32).max(1)),
-                OpKind::Fence => TestOp::fence(),
+                OpKind::Fence | OpKind::FenceAcquire | OpKind::FenceRelease | OpKind::FenceLw => {
+                    TestOp::fence_of(op.kind.fence_kind().expect("fence ops have fence kinds"))
+                }
             };
             program.push(lowered);
         }
@@ -100,12 +112,32 @@ mod tests {
                     pid: 0,
                     op: Op::new(OpKind::Fence, Address(0)),
                 },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::WriteDataDp, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::WriteCtrlDp, x),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::FenceAcquire, Address(0)),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::FenceRelease, Address(0)),
+                },
+                Gene {
+                    pid: 0,
+                    op: Op::new(OpKind::FenceLw, Address(0)),
+                },
             ],
             1,
         );
         let program = lower(&test);
         let t0 = program.thread(0);
-        assert_eq!(t0.len(), 7);
+        assert_eq!(t0.len(), 12);
         assert!(matches!(
             t0[0].kind,
             mcversi_sim::TestOpKind::Write { value: 1 }
@@ -121,7 +153,40 @@ mod tests {
             t0[5].kind,
             mcversi_sim::TestOpKind::Delay { cycles: 7 }
         ));
-        assert!(matches!(t0[6].kind, mcversi_sim::TestOpKind::Fence));
+        use mcversi_mcm::FenceKind;
+        assert!(matches!(
+            t0[6].kind,
+            mcversi_sim::TestOpKind::Fence {
+                kind: FenceKind::Full
+            }
+        ));
+        assert!(matches!(
+            t0[7].kind,
+            mcversi_sim::TestOpKind::WriteDataDp { value: 3 }
+        ));
+        assert!(matches!(
+            t0[8].kind,
+            mcversi_sim::TestOpKind::WriteCtrlDp { value: 4 }
+        ));
+        assert!(matches!(
+            t0[9].kind,
+            mcversi_sim::TestOpKind::Fence {
+                kind: FenceKind::Acquire
+            }
+        ));
+        assert!(matches!(
+            t0[10].kind,
+            mcversi_sim::TestOpKind::Fence {
+                kind: FenceKind::Release
+            }
+        ));
+        assert!(matches!(
+            t0[11].kind,
+            mcversi_sim::TestOpKind::Fence {
+                kind: FenceKind::LightweightSync
+            }
+        ));
+        assert!(program.written_values_unique());
     }
 
     #[test]

@@ -229,6 +229,7 @@ mod tests {
         CampaignResult {
             generator: GeneratorKind::McVerSiRand,
             bug: Some(Bug::LqNoTso),
+            model: mcversi_mcm::ModelKind::Tso,
             seed: 0,
             found,
             detail: None,

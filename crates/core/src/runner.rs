@@ -3,7 +3,9 @@
 //! A *test-run* executes one test for several iterations.  Per iteration the
 //! runner resets the test memory, executes the staged code on all threads in
 //! lock step, verifies the observed candidate execution against the target
-//! MCM (x86-TSO) and accumulates the conflict orders for the NDT analysis.
+//! MCM (x86-TSO by default; any [`ModelKind`](mcversi_mcm::ModelKind) via
+//! [`McVerSiConfig::model`]) and accumulates the conflict orders for the NDT
+//! analysis.
 //! After the last iteration the per-run coverage is turned into the adaptive
 //! fitness.  The correspondence with Algorithm 2 is one-to-one:
 //!
@@ -82,9 +84,10 @@ pub struct TestRunner {
 }
 
 impl TestRunner {
-    /// Creates a runner for the given configuration and injected bugs.
+    /// Creates a runner for the given configuration and injected bugs; the
+    /// checker verifies against `config.model`.
     pub fn new(config: McVerSiConfig, bugs: BugConfig) -> Self {
-        let host = SimHost::new(config.system.clone(), bugs, config.seed);
+        let host = SimHost::with_model(config.system.clone(), bugs, config.seed, config.model);
         let adaptive = AdaptiveCoverage::new(config.adaptive);
         TestRunner {
             host,

@@ -136,14 +136,41 @@ impl fmt::Display for EventId {
 }
 
 /// Kinds of memory fences that can appear in a test.
+///
+/// The first three are the x86 flavours the original evaluation uses; the
+/// remaining three exist for the relaxed (ARM/Power-style) target models:
+/// acquire/release-style one-directional fences and a Power `lwsync`-style
+/// lightweight fence that orders everything except write→read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FenceKind {
-    /// A full fence ordering all memory operations across it (x86 `MFENCE`).
+    /// A full fence ordering all memory operations across it (x86 `MFENCE`,
+    /// ARM `DMB SY`, Power `sync`).  Cumulative under the relaxed models.
     Full,
-    /// A store-store fence (x86 `SFENCE`; a no-op for ordering under TSO).
+    /// A store-store fence (x86 `SFENCE`, ARM `DMB ST`).
     StoreStore,
-    /// A load-load fence (x86 `LFENCE`).
+    /// A load-load fence (x86 `LFENCE`, ARM `DMB LD` restricted to loads).
     LoadLoad,
+    /// An acquire-style fence: program-order-earlier *reads* are ordered
+    /// against everything after the fence (ARM `LDAR`-like, C11 acquire).
+    Acquire,
+    /// A release-style fence: everything before the fence is ordered against
+    /// program-order-later *writes* (ARM `STLR`-like, C11 release).
+    Release,
+    /// A Power `lwsync`-style lightweight fence: orders all pairs except
+    /// write→read, cumulatively.
+    LightweightSync,
+}
+
+impl FenceKind {
+    /// Every fence kind, strongest first.
+    pub const ALL: [FenceKind; 6] = [
+        FenceKind::Full,
+        FenceKind::LightweightSync,
+        FenceKind::Acquire,
+        FenceKind::Release,
+        FenceKind::StoreStore,
+        FenceKind::LoadLoad,
+    ];
 }
 
 impl fmt::Display for FenceKind {
@@ -152,6 +179,42 @@ impl fmt::Display for FenceKind {
             FenceKind::Full => write!(f, "mfence"),
             FenceKind::StoreStore => write!(f, "sfence"),
             FenceKind::LoadLoad => write!(f, "lfence"),
+            FenceKind::Acquire => write!(f, "acq"),
+            FenceKind::Release => write!(f, "rel"),
+            FenceKind::LightweightSync => write!(f, "lwsync"),
+        }
+    }
+}
+
+/// The syntactic dependency kinds a test can carry between a read and a
+/// program-order-later access (paper §5.2.1: targeting MCMs weaker than TSO
+/// requires growing the operation set with dependencies).
+///
+/// A dependency edge always goes from a read to a program-order-later access
+/// of the *same* thread; relaxed models include these edges in their
+/// preserved program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// The address of the target access is computed from the read's value.
+    Addr,
+    /// The data written by the target write is computed from the read's value.
+    Data,
+    /// The target access is control-dependent on the read (a branch on the
+    /// read's value precedes it).
+    Ctrl,
+}
+
+impl DepKind {
+    /// All dependency kinds.
+    pub const ALL: [DepKind; 3] = [DepKind::Addr, DepKind::Data, DepKind::Ctrl];
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Addr => write!(f, "addr"),
+            DepKind::Data => write!(f, "data"),
+            DepKind::Ctrl => write!(f, "ctrl"),
         }
     }
 }
@@ -334,6 +397,18 @@ mod tests {
         };
         assert!(init.is_initial());
         assert_eq!(init.pid(), None);
+    }
+
+    #[test]
+    fn fence_and_dep_kinds_display_uniquely() {
+        let mut names: Vec<String> = FenceKind::ALL.iter().map(|k| k.to_string()).collect();
+        names.extend(DepKind::ALL.iter().map(|k| k.to_string()));
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "fence/dep display names collide");
+        assert_eq!(FenceKind::ALL.len(), 6);
+        assert_eq!(DepKind::ALL.len(), 3);
     }
 
     #[test]

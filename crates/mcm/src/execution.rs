@@ -8,12 +8,74 @@
 //! orders are fully visible, so the execution object is complete and the
 //! from-reads relation (`fr`) can be derived exactly.
 
-use crate::event::{Address, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value};
+use crate::event::{
+    Address, DepKind, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value,
+};
 use crate::program;
 use crate::relation::Relation;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The syntactic dependencies of an execution, one relation per [`DepKind`].
+///
+/// Every edge goes from a read event to a program-order-later event of the
+/// same thread (the builder's [`dependency`](ExecutionBuilder::dependency)
+/// documents this contract).  Relaxed models fold these into their preserved
+/// program order; SC and TSO already order every dependency pair through plain
+/// program order, so they ignore this structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencySet {
+    /// Address dependencies (read value feeds a later access's address).
+    pub addr: Relation,
+    /// Data dependencies (read value feeds a later write's data).
+    pub data: Relation,
+    /// Control dependencies (a branch on the read value precedes the target).
+    pub ctrl: Relation,
+}
+
+impl DependencySet {
+    /// Creates an empty dependency set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relation for one dependency kind.
+    pub fn of(&self, kind: DepKind) -> &Relation {
+        match kind {
+            DepKind::Addr => &self.addr,
+            DepKind::Data => &self.data,
+            DepKind::Ctrl => &self.ctrl,
+        }
+    }
+
+    /// Mutable access to the relation for one dependency kind.
+    pub fn of_mut(&mut self, kind: DepKind) -> &mut Relation {
+        match kind {
+            DepKind::Addr => &mut self.addr,
+            DepKind::Data => &mut self.data,
+            DepKind::Ctrl => &mut self.ctrl,
+        }
+    }
+
+    /// The union of all three dependency relations.
+    pub fn union_all(&self) -> Relation {
+        let mut out = self.addr.clone();
+        out.union_with(&self.data);
+        out.union_with(&self.ctrl);
+        out
+    }
+
+    /// Total number of dependency edges.
+    pub fn len(&self) -> usize {
+        self.addr.len() + self.data.len() + self.ctrl.len()
+    }
+
+    /// Returns `true` if no dependencies are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty() && self.data.is_empty() && self.ctrl.is_empty()
+    }
+}
 
 /// Errors produced when an execution object is not well formed.
 ///
@@ -36,6 +98,9 @@ pub enum WellFormednessError {
     MalformedCo(EventId, EventId),
     /// The coherence order for one address contains a cycle.
     CyclicCoherence(Address),
+    /// A dependency pair whose source is not a read, or that is not ordered by
+    /// program order (dependencies are intra-thread, read → later access).
+    MalformedDependency(EventId, EventId),
 }
 
 impl fmt::Display for WellFormednessError {
@@ -62,6 +127,12 @@ impl fmt::Display for WellFormednessError {
             WellFormednessError::CyclicCoherence(a) => {
                 write!(f, "coherence order for {a} is cyclic")
             }
+            WellFormednessError::MalformedDependency(a, b) => {
+                write!(
+                    f,
+                    "dependency pair ({a},{b}) is not read -> po-later access"
+                )
+            }
         }
     }
 }
@@ -76,14 +147,26 @@ pub struct CandidateExecution {
     rf: Relation,
     co: Relation,
     co_observed: Relation,
+    deps: DependencySet,
 }
 
 impl CandidateExecution {
-    /// Constructs an execution from raw parts.
+    /// Constructs an execution from raw parts (no dependencies).
     ///
     /// Prefer [`ExecutionBuilder`] which also derives `po` and keeps event ids
     /// dense; this constructor exists for deserialisation and tests.
     pub fn from_parts(events: Vec<Event>, po: Relation, rf: Relation, co: Relation) -> Self {
+        Self::from_parts_with_deps(events, po, rf, co, DependencySet::default())
+    }
+
+    /// Constructs an execution from raw parts including its dependency set.
+    pub fn from_parts_with_deps(
+        events: Vec<Event>,
+        po: Relation,
+        rf: Relation,
+        co: Relation,
+        deps: DependencySet,
+    ) -> Self {
         let co_observed = co.clone();
         let co = co.transitive_closure();
         CandidateExecution {
@@ -92,6 +175,7 @@ impl CandidateExecution {
             rf,
             co,
             co_observed,
+            deps,
         }
     }
 
@@ -128,6 +212,11 @@ impl CandidateExecution {
     /// The reads-from relation (write → read).
     pub fn rf(&self) -> &Relation {
         &self.rf
+    }
+
+    /// The syntactic dependencies recorded for this execution.
+    pub fn deps(&self) -> &DependencySet {
+        &self.deps
     }
 
     /// The coherence order (write → write, same address), transitively closed.
@@ -269,6 +358,12 @@ impl CandidateExecution {
                 return Err(WellFormednessError::CyclicCoherence(addr));
             }
         }
+        // Dependency shape checks: read source, program-order before target.
+        for (a, b) in self.deps.union_all().iter() {
+            if !self.event(a).is_read() || !self.po.contains(a, b) {
+                return Err(WellFormednessError::MalformedDependency(a, b));
+            }
+        }
         Ok(())
     }
 }
@@ -283,6 +378,7 @@ pub struct ExecutionBuilder {
     events: Vec<Event>,
     rf: Relation,
     co: Relation,
+    deps: DependencySet,
     next_poi: BTreeMap<ProcessorId, u32>,
     init_writes: BTreeMap<Address, EventId>,
 }
@@ -445,6 +541,16 @@ impl ExecutionBuilder {
         self.co.insert(before, after);
     }
 
+    /// Records a syntactic dependency from read `source` to the program-order
+    /// later event `target` of the same thread.
+    ///
+    /// The caller must uphold the dependency contract (`source` is a read and
+    /// precedes `target` in its thread's program order);
+    /// [`CandidateExecution::validate`] rejects executions that break it.
+    pub fn dependency(&mut self, kind: DepKind, source: EventId, target: EventId) {
+        self.deps.of_mut(kind).insert(source, target);
+    }
+
     /// Records that the initial write of `write`'s address is coherence-ordered
     /// before `write`.
     ///
@@ -505,6 +611,7 @@ impl ExecutionBuilder {
             rf: self.rf,
             co,
             co_observed,
+            deps: self.deps,
         }
     }
 }
@@ -679,6 +786,58 @@ mod tests {
         let exec = b.build();
         assert_eq!(exec.addresses(), vec![Address(0x10), Address(0x20)]);
         assert_eq!(exec.processors(), vec![p(0), p(1)]);
+    }
+
+    #[test]
+    fn dependencies_are_recorded_per_kind_and_validated() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read(p(0), Address(0x10), Value(0));
+        let r2 = b.read(p(0), Address(0x20), Value(0));
+        let w = b.write(p(0), Address(0x30), Value(1));
+        b.reads_from_initial(r);
+        b.reads_from_initial(r2);
+        b.coherence_after_initial(w);
+        b.dependency(DepKind::Addr, r, r2);
+        b.dependency(DepKind::Data, r2, w);
+        let exec = b.build();
+        assert!(exec.validate().is_ok());
+        assert!(exec.deps().of(DepKind::Addr).contains(r, r2));
+        assert!(exec.deps().of(DepKind::Data).contains(r2, w));
+        assert!(exec.deps().of(DepKind::Ctrl).is_empty());
+        assert_eq!(exec.deps().len(), 2);
+        assert!(!exec.deps().is_empty());
+        let all = exec.deps().union_all();
+        assert!(all.contains(r, r2) && all.contains(r2, w));
+    }
+
+    #[test]
+    fn validate_rejects_dependency_from_write() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(p(0), Address(0x10), Value(1));
+        let r = b.read(p(0), Address(0x20), Value(0));
+        b.reads_from_initial(r);
+        b.coherence_after_initial(w);
+        b.dependency(DepKind::Addr, w, r);
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::MalformedDependency(w, r))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_cross_thread_dependency() {
+        let mut b = ExecutionBuilder::new();
+        let r0 = b.read(p(0), Address(0x10), Value(0));
+        let r1 = b.read(p(1), Address(0x20), Value(0));
+        b.reads_from_initial(r0);
+        b.reads_from_initial(r1);
+        b.dependency(DepKind::Ctrl, r0, r1);
+        let exec = b.build();
+        assert_eq!(
+            exec.validate(),
+            Err(WellFormednessError::MalformedDependency(r0, r1))
+        );
     }
 
     #[test]

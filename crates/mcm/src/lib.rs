@@ -52,9 +52,9 @@ pub mod program;
 pub mod relation;
 
 pub use checker::{Checker, Verdict, Violation};
-pub use event::{Address, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value};
-pub use execution::{CandidateExecution, ExecutionBuilder};
-pub use model::Architecture;
+pub use event::{Address, DepKind, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value};
+pub use execution::{CandidateExecution, DependencySet, ExecutionBuilder};
+pub use model::{Architecture, ModelKind};
 pub use relation::Relation;
 
 #[cfg(test)]

@@ -17,19 +17,125 @@
 //! 1. **sc-per-location** (a.k.a. uniproc / coherence): `po-loc ∪ com` acyclic;
 //! 2. **ghb** (global happens-before): `ppo ∪ fence ∪ grf ∪ co ∪ fr` acyclic;
 //! 3. **rmw-atomicity**: no write intervenes (in coherence order) between the
-//!    read and write halves of an atomic read-modify-write.
+//!    read and write halves of an atomic read-modify-write;
+//! 4. optionally, model-specific [`Architecture::extra_axioms`] — the relaxed
+//!    models add a **no-thin-air** axiom (`deps ∪ fence ∪ rfe` acyclic) so
+//!    that load-buffering cycles through dependencies stay forbidden even when
+//!    reads-from is not globally ordering.
 //!
-//! Models provided: [`sc::Sc`], [`tso::Tso`] and the deliberately weak
-//! [`relaxed::Rmo`] (used to demonstrate how a more permissive target model
-//! changes checker verdicts).
+//! Models provided, strongest first: [`sc::Sc`], [`tso::Tso`], the
+//! ARMv8-flavoured [`armish::Armish`], the Power-flavoured
+//! [`powerish::Powerish`] and the deliberately weakest [`relaxed::Rmo`].
+//! [`ModelKind`] enumerates them for configuration plumbing.  The suite forms
+//! a strength chain — every execution accepted by a stronger model is accepted
+//! by the weaker ones (`SC ⇒ TSO ⇒ {ARMish, POWERish} ⇒ RMO`) — which the
+//! workspace-level property tests exercise on random executions.
+//!
+//! # Adding a model
+//!
+//! 1. Create `model/<name>.rs` with a unit struct implementing
+//!    [`Architecture`]: provide `name`, `ppo`, `fence_order` and `global_rf`,
+//!    and override `extra_axioms` if the model needs constraints beyond the
+//!    standard three (see [`no_thin_air_axiom`] for the relaxed-model pattern).
+//!    Build the relations from the shared combinators below ([`po_mem`],
+//!    [`po_loc_preserved`], [`dependency_order`], [`fence_separated`],
+//!    [`cumulative`]) so behaviour stays consistent across models.
+//! 2. Register the model in [`ModelKind`] (variant, `ALL`, `instance`,
+//!    `parse`) so campaigns, litmus suites and the experiment binaries can
+//!    select it.
+//! 3. Keep the strength chain honest: if the model slots between two existing
+//!    ones, every relation it feeds into `ghb` must be contained in the
+//!    transitive closure of the stronger neighbour's `ghb` (and vice versa for
+//!    the weaker neighbour).  Add it to the monotonicity property test and pin
+//!    its litmus verdicts in the differential tests.
+//! 4. Give the model a `default_suite` in `mcversi-testgen`'s litmus module if
+//!    it benefits from dedicated fence/dependency flavours.
 
+pub mod armish;
+pub mod powerish;
 pub mod relaxed;
 pub mod sc;
 pub mod tso;
 
 use crate::execution::CandidateExecution;
 use crate::relation::Relation;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Enumeration of the built-in models, strongest first.
+///
+/// This is the configuration-level handle used to select the target model of
+/// a verification campaign; [`instance`](ModelKind::instance) yields the
+/// actual [`Architecture`] implementation.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ModelKind {
+    /// Sequential Consistency ([`sc::Sc`]).
+    Sc,
+    /// x86 Total Store Order ([`tso::Tso`]), the paper's target model.
+    #[default]
+    Tso,
+    /// ARMv8-flavoured relaxed model ([`armish::Armish`]).
+    Armish,
+    /// Power-flavoured relaxed model ([`powerish::Powerish`]).
+    Powerish,
+    /// The weakest model in the suite ([`relaxed::Rmo`]).
+    Rmo,
+}
+
+impl ModelKind {
+    /// Every built-in model, strongest first.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Sc,
+        ModelKind::Tso,
+        ModelKind::Armish,
+        ModelKind::Powerish,
+        ModelKind::Rmo,
+    ];
+
+    /// The shared instance implementing this model.
+    pub fn instance(self) -> &'static dyn Architecture {
+        static SC: sc::Sc = sc::Sc;
+        static TSO: tso::Tso = tso::Tso;
+        static ARMISH: armish::Armish = armish::Armish;
+        static POWERISH: powerish::Powerish = powerish::Powerish;
+        static RMO: relaxed::Rmo = relaxed::Rmo;
+        match self {
+            ModelKind::Sc => &SC,
+            ModelKind::Tso => &TSO,
+            ModelKind::Armish => &ARMISH,
+            ModelKind::Powerish => &POWERISH,
+            ModelKind::Rmo => &RMO,
+        }
+    }
+
+    /// The model's display name (same as [`Architecture::name`]).
+    pub fn name(self) -> &'static str {
+        self.instance().name()
+    }
+
+    /// Parses a model name case-insensitively (e.g. `"tso"`, `"ARMish"`).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        ModelKind::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::parse(s).ok_or_else(|| format!("unknown model '{s}'"))
+    }
+}
 
 /// A single named constraint over derived relations of an execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,8 +200,22 @@ pub trait Architecture: fmt::Debug + Send + Sync {
     fn fence_order(&self, exec: &CandidateExecution) -> Relation;
 
     /// The reads-from edges that are globally ordering (for store-atomic
-    /// models all of `rf`; for TSO-like models only external `rf`).
+    /// models all of `rf`; for TSO-like models only external `rf`; for
+    /// non-multi-copy-atomic models none).
     fn global_rf(&self, exec: &CandidateExecution) -> Relation;
+
+    /// Additional model-specific axioms appended to the standard three.
+    ///
+    /// `fence_order` is the relation [`axioms`](Architecture::axioms) already
+    /// derived via [`fence_order`](Architecture::fence_order), passed in so
+    /// implementations do not recompute it (fence derivation is the most
+    /// expensive part of a relaxed model's check).  The default is none; the
+    /// relaxed models add the no-thin-air axiom here (see
+    /// [`no_thin_air_axiom`]).
+    fn extra_axioms(&self, exec: &CandidateExecution, fence_order: &Relation) -> Vec<Axiom> {
+        let _ = (exec, fence_order);
+        Vec::new()
+    }
 
     /// Assembles the axioms to check for `exec`.
     fn axioms(&self, exec: &CandidateExecution) -> Vec<Axiom> {
@@ -106,9 +226,12 @@ pub trait Architecture: fmt::Debug + Send + Sync {
         let mut sc_per_loc = exec.po_loc();
         sc_per_loc.union_with(&com);
 
-        // 2. Global happens-before.
+        // 2. Global happens-before.  The fence order is derived once and also
+        //    handed to `extra_axioms` (the relaxed models reuse it for the
+        //    no-thin-air axiom).
+        let fence_order = self.fence_order(exec);
         let mut ghb = self.ppo(exec);
-        ghb.union_with(&self.fence_order(exec));
+        ghb.union_with(&fence_order);
         ghb.union_with(&self.global_rf(exec));
         ghb.union_with(exec.co());
         ghb.union_with(&fr);
@@ -117,7 +240,7 @@ pub trait Architecture: fmt::Debug + Send + Sync {
         //    satisfy fr(r, w') and co(w', w).
         let atomicity_violations = rmw_atomicity_violations(exec, &fr);
 
-        vec![
+        let mut axioms = vec![
             Axiom::Acyclic {
                 name: "sc-per-location",
                 relation: sc_per_loc,
@@ -130,7 +253,9 @@ pub trait Architecture: fmt::Debug + Send + Sync {
                 name: "rmw-atomicity",
                 relation: atomicity_violations,
             },
-        ]
+        ];
+        axioms.extend(self.extra_axioms(exec, &fence_order));
+        axioms
     }
 }
 
@@ -170,17 +295,71 @@ pub fn rmw_atomicity_violations(exec: &CandidateExecution, fr: &Relation) -> Rel
     violations
 }
 
-/// Helper shared by models: program order restricted to memory accesses
-/// (fences removed), as a relation between memory events only.
-pub(crate) fn po_mem(exec: &CandidateExecution) -> Relation {
+/// Combinator: program order restricted to memory accesses (fences removed),
+/// as a relation between memory events only.
+pub fn po_mem(exec: &CandidateExecution) -> Relation {
     exec.po().filter(|a, b| {
         exec.event(a).kind.is_memory_access() && exec.event(b).kind.is_memory_access()
     })
 }
 
-/// Helper shared by models: pairs of memory accesses separated (in program
-/// order) by a fence satisfying `matches`, or by a fence-implying RMW.
-pub(crate) fn fence_separated<F>(exec: &CandidateExecution, matches: F) -> Relation
+/// Combinator: same-address program order minus write→read pairs — the
+/// portion of `po-loc` the relaxed models preserve in `ppo`.
+///
+/// Same-address write→read ordering is deliberately excluded: it is already
+/// enforced (together with value agreement) by the **sc-per-location** axiom,
+/// and excluding it from `ppo` keeps every relaxed model's `ghb` inside TSO's,
+/// which is what makes model strength monotone (TSO's `ppo` drops all W→R
+/// pairs, same-address or not).
+pub fn po_loc_preserved(exec: &CandidateExecution) -> Relation {
+    exec.po_loc()
+        .filter(|a, b| !(exec.event(a).is_write() && exec.event(b).is_read()))
+}
+
+/// Combinator: the union of all recorded syntactic dependencies
+/// (address, data and control edges), i.e. the dependency-ordered part of the
+/// preserved program order of the relaxed models.
+pub fn dependency_order(exec: &CandidateExecution) -> Relation {
+    exec.deps().union_all()
+}
+
+/// Combinator: closes a fence order cumulatively with external reads-from.
+///
+/// Returns `base ∪ (rfe ; base) ∪ (base ; rfe) ∪ (rfe ; base ; rfe)`: writes
+/// propagated to a thread before its fence (A-cumulativity) and reads that
+/// observe a write ordered by the fence (B-cumulativity) inherit the fence's
+/// ordering.  This is what makes `MP+sync+addr`-style shapes forbidden under
+/// the non-multi-copy-atomic models, where `rfe` itself is not global.
+pub fn cumulative(exec: &CandidateExecution, base: &Relation) -> Relation {
+    let rfe = exec.rf_external();
+    let mut out = base.clone();
+    let before = rfe.compose(base);
+    out.union_with(&before.compose(&rfe));
+    out.union_with(&before);
+    out.union_with(&base.compose(&rfe));
+    out
+}
+
+/// Builds the relaxed models' **no-thin-air** axiom: `deps ∪ fence ∪ rfe`
+/// must be acyclic.
+///
+/// Without reads-from in the global happens-before, a load-buffering cycle
+/// through dependencies (`LB+deps`) would go unnoticed; this axiom restores
+/// the causality requirement without making the model multi-copy-atomic
+/// (IRIW-style shapes stay allowed because `co`/`fr` are not part of it).
+pub fn no_thin_air_axiom(exec: &CandidateExecution, fence_order: &Relation) -> Axiom {
+    let mut hb = dependency_order(exec);
+    hb.union_with(fence_order);
+    hb.union_with(&exec.rf_external());
+    Axiom::Acyclic {
+        name: "no-thin-air",
+        relation: hb,
+    }
+}
+
+/// Combinator: pairs of memory accesses separated (in program order) by a
+/// fence satisfying `matches`, or by a fence-implying RMW.
+pub fn fence_separated<F>(exec: &CandidateExecution, matches: F) -> Relation
 where
     F: Fn(crate::event::FenceKind) -> bool,
 {
@@ -294,6 +473,88 @@ mod tests {
         let exec = b.build();
         let fo = fence_separated(&exec, |k| k == FenceKind::Full);
         assert!(fo.contains(w, r), "W -> RMW -> R must be ordered");
+    }
+
+    #[test]
+    fn model_kind_registry_is_consistent() {
+        assert_eq!(ModelKind::ALL.len(), 5);
+        let mut names: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5, "model names must be unique");
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(
+                ModelKind::parse(&kind.name().to_lowercase()),
+                Some(kind),
+                "parsing is case-insensitive"
+            );
+            assert_eq!(format!("{kind}"), kind.instance().name());
+        }
+        assert_eq!(ModelKind::parse("no-such-model"), None);
+        assert_eq!(ModelKind::default(), ModelKind::Tso);
+        assert!("tso".parse::<ModelKind>().is_ok());
+        assert!("bogus".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn po_loc_preserved_drops_write_read_pairs() {
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let x = Address(0x10);
+        let w = b.write(p0, x, Value(1));
+        let r = b.read(p0, x, Value(1));
+        let w2 = b.write(p0, x, Value(2));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        b.coherence(w, w2);
+        let exec = b.build();
+        let ppo = po_loc_preserved(&exec);
+        assert!(!ppo.contains(w, r), "W->R same-address is not in ppo");
+        assert!(ppo.contains(r, w2), "R->W same-address is preserved");
+        assert!(ppo.contains(w, w2), "W->W same-address is preserved");
+    }
+
+    #[test]
+    fn cumulative_closes_fence_order_with_rfe() {
+        // P0: W x; F; W y.  P1: R y (reads wy).
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let p1 = ProcessorId(1);
+        let wx = b.write(p0, Address(0x10), Value(1));
+        b.fence(p0, FenceKind::Full);
+        let wy = b.write(p0, Address(0x20), Value(2));
+        let ry = b.read(p1, Address(0x20), Value(2));
+        b.reads_from(wy, ry);
+        b.coherence_after_initial(wx);
+        b.coherence_after_initial(wy);
+        let exec = b.build();
+        let base = fence_separated(&exec, |k| k == FenceKind::Full);
+        let cum = cumulative(&exec, &base);
+        assert!(base.contains(wx, wy));
+        assert!(!base.contains(wx, ry));
+        assert!(cum.contains(wx, wy), "cumulative contains the base");
+        assert!(cum.contains(wx, ry), "B-cumulativity: fence ; rfe");
+    }
+
+    #[test]
+    fn dependency_order_unions_all_kinds() {
+        use crate::event::DepKind;
+        let mut b = ExecutionBuilder::new();
+        let p0 = ProcessorId(0);
+        let r = b.read(p0, Address(0x10), Value(0));
+        let r2 = b.read(p0, Address(0x20), Value(0));
+        let w = b.write(p0, Address(0x30), Value(1));
+        b.reads_from_initial(r);
+        b.reads_from_initial(r2);
+        b.coherence_after_initial(w);
+        b.dependency(DepKind::Addr, r, r2);
+        b.dependency(DepKind::Ctrl, r2, w);
+        let exec = b.build();
+        let deps = dependency_order(&exec);
+        assert!(deps.contains(r, r2));
+        assert!(deps.contains(r2, w));
+        assert_eq!(deps.len(), 2);
     }
 
     #[test]

@@ -11,13 +11,14 @@
 //! * **coherence order** (`co`): the value a store *overwrote* maps to the
 //!   write that is coherence-ordered immediately before it.
 //!
-//! Program order and the static event set are derived from the test program
-//! itself before execution.
+//! Program order, the static event set and the syntactic dependency edges
+//! (address/data/control; paper §5.2.1's dependency-carrying operations) are
+//! derived from the test program itself before execution.
 
 use crate::core::ObservedOp;
 use crate::program::{TestOpKind, TestProgram};
 use mcversi_mcm::execution::{CandidateExecution, ExecutionBuilder};
-use mcversi_mcm::{EventId, FenceKind, Iiid, ProcessorId, Value};
+use mcversi_mcm::{DepKind, EventId, Iiid, ProcessorId, Value};
 use std::collections::BTreeMap;
 
 /// Records performed operations of one test iteration and builds the
@@ -48,20 +49,30 @@ impl ExecObserver {
         let mut expected_count = 0usize;
         for (t, thread) in program.threads().iter().enumerate() {
             let pid = ProcessorId(t as u32);
+            // The most recent load event of this thread, the source of any
+            // dependency carried by a later op (mirrors the core model, which
+            // stalls dependent ops on the youngest prior *load*).
+            let mut last_load: Option<EventId> = None;
             for (poi, op) in thread.iter().enumerate() {
                 let iiid = Iiid {
                     pid,
                     poi: poi as u32,
                 };
+                let dep = op.kind.dep_kind();
                 match op.kind {
                     TestOpKind::Read | TestOpKind::ReadAddrDp => {
                         // The value is filled in when the load retires.
                         let id = builder.read_at(iiid, op.addr, Value(0));
+                        Self::record_dep(&mut builder, dep, last_load, id);
                         reads.insert((t, poi as u32), id);
+                        last_load = Some(id);
                         expected_count += 1;
                     }
-                    TestOpKind::Write { value } => {
+                    TestOpKind::Write { value }
+                    | TestOpKind::WriteDataDp { value }
+                    | TestOpKind::WriteCtrlDp { value } => {
                         let id = builder.write_at(iiid, op.addr, Value(value));
+                        Self::record_dep(&mut builder, dep, last_load, id);
                         writes_by_value.insert(value, id);
                         expected_count += 1;
                     }
@@ -71,8 +82,8 @@ impl ExecObserver {
                         writes_by_value.insert(value, w);
                         expected_count += 1;
                     }
-                    TestOpKind::Fence => {
-                        builder.fence_at(iiid, FenceKind::Full);
+                    TestOpKind::Fence { kind } => {
+                        builder.fence_at(iiid, kind);
                         expected_count += 1;
                     }
                     TestOpKind::CacheFlush | TestOpKind::Delay { .. } => {}
@@ -87,6 +98,20 @@ impl ExecObserver {
             observed_writes: Vec::new(),
             observed_count: 0,
             expected_count,
+        }
+    }
+
+    /// Records a dependency edge if the op carries one and a source load
+    /// exists (a dependent op with no prior read degrades to a plain access,
+    /// matching the core model's execution semantics).
+    fn record_dep(
+        builder: &mut ExecutionBuilder,
+        dep: Option<DepKind>,
+        last_load: Option<EventId>,
+        target: EventId,
+    ) {
+        if let (Some(kind), Some(source)) = (dep, last_load) {
+            builder.dependency(kind, source, target);
         }
     }
 
@@ -379,6 +404,95 @@ mod tests {
         );
         assert!(!obs.is_complete());
         assert_eq!(obs.observed_count(), 1);
+    }
+
+    #[test]
+    fn dependencies_and_fence_flavours_reach_the_execution() {
+        use mcversi_mcm::{DepKind, EventKind, FenceKind};
+        // T0: R x; Rdep y; Wdata z; lwsync; Wctrl x.
+        let program = TestProgram::new(vec![vec![
+            TestOp::read(Address(0x100)),
+            TestOp::read_addr_dp(Address(0x200)),
+            TestOp::write_data_dp(Address(0x300), 7),
+            TestOp::fence_of(FenceKind::LightweightSync),
+            TestOp::write_ctrl_dp(Address(0x100), 8),
+        ]]);
+        let mut obs = ExecObserver::new(&program);
+        assert_eq!(obs.expected_count(), 5);
+        obs.record(
+            0,
+            ObservedOp::Load {
+                poi: 0,
+                addr: Address(0x100),
+                value: 0,
+            },
+        );
+        obs.record(
+            0,
+            ObservedOp::Load {
+                poi: 1,
+                addr: Address(0x200),
+                value: 0,
+            },
+        );
+        obs.record(
+            0,
+            ObservedOp::Store {
+                poi: 2,
+                addr: Address(0x300),
+                value: 7,
+                overwritten: 0,
+            },
+        );
+        obs.record(0, ObservedOp::Fence { poi: 3 });
+        obs.record(
+            0,
+            ObservedOp::Store {
+                poi: 4,
+                addr: Address(0x100),
+                value: 8,
+                overwritten: 0,
+            },
+        );
+        assert!(obs.is_complete());
+        let exec = obs.finish();
+        assert!(exec.validate().is_ok(), "{:?}", exec.validate());
+        let events = exec.events();
+        let ev = |poi: u32| {
+            events
+                .iter()
+                .find(|e| e.iiid.map(|i| i.poi) == Some(poi))
+                .expect("event exists")
+                .id
+        };
+        // Rdep y depends (addr) on R x; Wdata z on Rdep y; Wctrl x also on
+        // Rdep y (the most recent load, despite the fence in between).
+        assert!(exec.deps().of(DepKind::Addr).contains(ev(0), ev(1)));
+        assert!(exec.deps().of(DepKind::Data).contains(ev(1), ev(2)));
+        assert!(exec.deps().of(DepKind::Ctrl).contains(ev(1), ev(4)));
+        assert_eq!(exec.deps().len(), 3);
+        // The fence keeps its flavour.
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Fence(FenceKind::LightweightSync)));
+    }
+
+    #[test]
+    fn leading_dependent_op_degrades_to_plain_access() {
+        // A dependent read with no prior load records no dependency.
+        let program = TestProgram::new(vec![vec![TestOp::read_addr_dp(Address(0x100))]]);
+        let mut obs = ExecObserver::new(&program);
+        obs.record(
+            0,
+            ObservedOp::Load {
+                poi: 0,
+                addr: Address(0x100),
+                value: 0,
+            },
+        );
+        let exec = obs.finish();
+        assert!(exec.validate().is_ok());
+        assert!(exec.deps().is_empty());
     }
 
     #[test]

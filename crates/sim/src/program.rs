@@ -11,7 +11,7 @@
 //! scheme of §4.1) so the observer can map any read value back to exactly one
 //! producing write.
 
-use mcversi_mcm::{Address, EventKind, FenceKind};
+use mcversi_mcm::{Address, DepKind, EventKind, FenceKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -31,6 +31,23 @@ pub enum TestOpKind {
         /// The globally unique value written.
         value: u64,
     },
+    /// Write whose data is computed from the previous read's value.
+    ///
+    /// The written value is still the statically assigned unique value (the
+    /// dependency is modelled as an issue dependency on the previous read's
+    /// completion, like [`TestOpKind::ReadAddrDp`]), so the observer's
+    /// value-based conflict-order reconstruction is unaffected.
+    WriteDataDp {
+        /// The globally unique value written.
+        value: u64,
+    },
+    /// Write control-dependent on the previous read (a branch on the read's
+    /// value precedes it); execution-wise identical to
+    /// [`TestOpKind::WriteDataDp`] but recorded as a control dependency.
+    WriteCtrlDp {
+        /// The globally unique value written.
+        value: u64,
+    },
     /// Atomic read-modify-write writing the given unique value (on x86 this
     /// also implies a full fence).
     ReadModifyWrite {
@@ -44,9 +61,15 @@ pub enum TestOpKind {
         /// Number of cycles to stall.
         cycles: u32,
     },
-    /// A full memory fence (`mfence`).  Not part of the default Table 3 mix
-    /// (RMWs already imply fences on x86) but available to litmus tests.
-    Fence,
+    /// A memory fence of the given flavour.  Not part of the default Table 3
+    /// mix (RMWs already imply fences on x86) but available to litmus tests
+    /// and relaxed-model campaigns.  The simulated core conservatively treats
+    /// every flavour like a full fence — legal for any weaker fence — while
+    /// the observer records the precise flavour for the checker.
+    Fence {
+        /// The fence flavour.
+        kind: FenceKind,
+    },
 }
 
 impl TestOpKind {
@@ -62,7 +85,10 @@ impl TestOpKind {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            TestOpKind::Write { .. } | TestOpKind::ReadModifyWrite { .. }
+            TestOpKind::Write { .. }
+                | TestOpKind::WriteDataDp { .. }
+                | TestOpKind::WriteCtrlDp { .. }
+                | TestOpKind::ReadModifyWrite { .. }
         )
     }
 
@@ -74,7 +100,20 @@ impl TestOpKind {
     /// The value written by the operation, if it writes.
     pub fn written_value(self) -> Option<u64> {
         match self {
-            TestOpKind::Write { value } | TestOpKind::ReadModifyWrite { value } => Some(value),
+            TestOpKind::Write { value }
+            | TestOpKind::WriteDataDp { value }
+            | TestOpKind::WriteCtrlDp { value }
+            | TestOpKind::ReadModifyWrite { value } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The dependency the operation carries on the previous read, if any.
+    pub fn dep_kind(self) -> Option<DepKind> {
+        match self {
+            TestOpKind::ReadAddrDp => Some(DepKind::Addr),
+            TestOpKind::WriteDataDp { .. } => Some(DepKind::Data),
+            TestOpKind::WriteCtrlDp { .. } => Some(DepKind::Ctrl),
             _ => None,
         }
     }
@@ -114,6 +153,22 @@ impl TestOp {
         }
     }
 
+    /// Creates a data-dependent write operation.
+    pub fn write_data_dp(addr: Address, value: u64) -> Self {
+        TestOp {
+            kind: TestOpKind::WriteDataDp { value },
+            addr,
+        }
+    }
+
+    /// Creates a control-dependent write operation.
+    pub fn write_ctrl_dp(addr: Address, value: u64) -> Self {
+        TestOp {
+            kind: TestOpKind::WriteCtrlDp { value },
+            addr,
+        }
+    }
+
     /// Creates an atomic read-modify-write operation.
     pub fn rmw(addr: Address, value: u64) -> Self {
         TestOp {
@@ -140,8 +195,13 @@ impl TestOp {
 
     /// Creates a full-fence operation.
     pub fn fence() -> Self {
+        Self::fence_of(FenceKind::Full)
+    }
+
+    /// Creates a fence operation of the given flavour.
+    pub fn fence_of(kind: FenceKind) -> Self {
         TestOp {
-            kind: TestOpKind::Fence,
+            kind: TestOpKind::Fence { kind },
             addr: Address(0),
         }
     }
@@ -150,9 +210,11 @@ impl TestOp {
     pub fn event_kinds(&self) -> Vec<EventKind> {
         match self.kind {
             TestOpKind::Read | TestOpKind::ReadAddrDp => vec![EventKind::Read],
-            TestOpKind::Write { .. } => vec![EventKind::Write],
+            TestOpKind::Write { .. }
+            | TestOpKind::WriteDataDp { .. }
+            | TestOpKind::WriteCtrlDp { .. } => vec![EventKind::Write],
             TestOpKind::ReadModifyWrite { .. } => vec![EventKind::RmwRead, EventKind::RmwWrite],
-            TestOpKind::Fence => vec![EventKind::Fence(FenceKind::Full)],
+            TestOpKind::Fence { kind } => vec![EventKind::Fence(kind)],
             TestOpKind::CacheFlush | TestOpKind::Delay { .. } => vec![],
         }
     }
@@ -164,10 +226,12 @@ impl fmt::Display for TestOp {
             TestOpKind::Read => write!(f, "R {}", self.addr),
             TestOpKind::ReadAddrDp => write!(f, "Rdep {}", self.addr),
             TestOpKind::Write { value } => write!(f, "W {} = {}", self.addr, value),
+            TestOpKind::WriteDataDp { value } => write!(f, "Wdata {} = {}", self.addr, value),
+            TestOpKind::WriteCtrlDp { value } => write!(f, "Wctrl {} = {}", self.addr, value),
             TestOpKind::ReadModifyWrite { value } => write!(f, "RMW {} = {}", self.addr, value),
             TestOpKind::CacheFlush => write!(f, "FLUSH {}", self.addr),
             TestOpKind::Delay { cycles } => write!(f, "DELAY {cycles}"),
-            TestOpKind::Fence => write!(f, "MFENCE"),
+            TestOpKind::Fence { kind } => write!(f, "FENCE[{kind}]"),
         }
     }
 }
@@ -257,6 +321,40 @@ mod tests {
         assert!(!TestOpKind::Delay { cycles: 5 }.is_memory_access());
         assert_eq!(TestOpKind::Write { value: 3 }.written_value(), Some(3));
         assert_eq!(TestOpKind::Read.written_value(), None);
+        assert!(TestOpKind::WriteDataDp { value: 4 }.is_write());
+        assert!(TestOpKind::WriteCtrlDp { value: 5 }.is_write());
+        assert_eq!(
+            TestOpKind::WriteDataDp { value: 4 }.written_value(),
+            Some(4)
+        );
+        assert_eq!(TestOpKind::ReadAddrDp.dep_kind(), Some(DepKind::Addr));
+        assert_eq!(
+            TestOpKind::WriteDataDp { value: 4 }.dep_kind(),
+            Some(DepKind::Data)
+        );
+        assert_eq!(
+            TestOpKind::WriteCtrlDp { value: 5 }.dep_kind(),
+            Some(DepKind::Ctrl)
+        );
+        assert_eq!(TestOpKind::Write { value: 3 }.dep_kind(), None);
+    }
+
+    #[test]
+    fn fence_flavours_map_to_event_kinds() {
+        for kind in FenceKind::ALL {
+            assert_eq!(
+                TestOp::fence_of(kind).event_kinds(),
+                vec![EventKind::Fence(kind)]
+            );
+        }
+        assert_eq!(
+            TestOp::write_data_dp(Address(8), 1).event_kinds(),
+            vec![EventKind::Write]
+        );
+        assert_eq!(
+            TestOp::write_ctrl_dp(Address(8), 2).event_kinds(),
+            vec![EventKind::Write]
+        );
     }
 
     #[test]
@@ -307,6 +405,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(format!("{}", TestOp::read(Address(0x8))), "R 0x8");
         assert_eq!(format!("{}", TestOp::write(Address(0x8), 5)), "W 0x8 = 5");
-        assert_eq!(format!("{}", TestOp::fence()), "MFENCE");
+        assert_eq!(format!("{}", TestOp::fence()), "FENCE[mfence]");
+        assert_eq!(
+            format!("{}", TestOp::fence_of(FenceKind::LightweightSync)),
+            "FENCE[lwsync]"
+        );
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::ops::{Op, OpKind};
 use crate::test::{Gene, Test};
-use mcversi_mcm::Address;
+use mcversi_mcm::{Address, DepKind, FenceKind, ModelKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -39,12 +39,33 @@ impl fmt::Display for LitmusTest {
 enum A {
     /// Read location `usize`.
     R(usize),
+    /// Read location `usize` with an address dependency on the previous read.
+    D(usize),
     /// Write location `usize`.
     W(usize),
+    /// Write location `usize` with a data dependency on the previous read.
+    Wd(usize),
+    /// Write location `usize` with a control dependency on the previous read.
+    Wc(usize),
     /// Atomic RMW on location `usize`.
     U(usize),
     /// Full fence.
     F,
+    /// A fence of the given flavour.
+    Fl(FenceKind),
+}
+
+impl A {
+    /// The dependent-write shorthand for a dependency flavour (`Data` and
+    /// `Ctrl` are write-borne; `Addr` has no write form and is rejected by
+    /// [`weak_suite_flavoured`] before this is reached).
+    fn dep_write(dep: DepKind, loc: usize) -> A {
+        match dep {
+            DepKind::Data => A::Wd(loc),
+            DepKind::Ctrl => A::Wc(loc),
+            DepKind::Addr => unreachable!("write-borne dependencies are data or ctrl"),
+        }
+    }
 }
 
 /// Builds a litmus test from per-thread access lists over numbered locations.
@@ -60,9 +81,16 @@ fn build(name: &str, threads: &[&[A]], locations: &[Address]) -> LitmusTest {
             if let Some(access) = thread.get(slot) {
                 let op = match access {
                     A::R(l) => Op::new(OpKind::Read, locations[*l]),
+                    A::D(l) => Op::new(OpKind::ReadAddrDp, locations[*l]),
                     A::W(l) => Op::new(OpKind::Write, locations[*l]),
+                    A::Wd(l) => Op::new(OpKind::WriteDataDp, locations[*l]),
+                    A::Wc(l) => Op::new(OpKind::WriteCtrlDp, locations[*l]),
                     A::U(l) => Op::new(OpKind::ReadModifyWrite, locations[*l]),
                     A::F => Op::new(OpKind::Fence, Address(0)),
+                    A::Fl(kind) => Op::new(
+                        OpKind::for_fence(*kind).expect("litmus fences have op kinds"),
+                        Address(0),
+                    ),
                 };
                 genes.push(Gene {
                     pid: pid as u32,
@@ -251,10 +279,236 @@ pub fn x86_tso_suite(locations: &[Address]) -> Vec<LitmusTest> {
 fn short(a: A) -> String {
     match a {
         A::R(l) => format!("R{l}"),
+        A::D(l) => format!("D{l}"),
         A::W(l) => format!("W{l}"),
+        A::Wd(l) => format!("Wd{l}"),
+        A::Wc(l) => format!("Wc{l}"),
         A::U(l) => format!("U{l}"),
         A::F => "F".to_string(),
+        A::Fl(k) => format!("F[{k}]"),
     }
+}
+
+/// The classic weak-model litmus shapes (`MP`, `LB`, `SB`, `WRC`, `IRIW`,
+/// `S`), parameterized by the fence flavour used at the "strong" sites and
+/// the dependency flavour carried by the dependent writes.
+///
+/// Dependent *reads* always use address dependencies (the only read-borne
+/// flavour); `write_dep` selects between data and control dependencies for
+/// the dependent writes (`LB+deps`, `WRC`, `S`).  Names follow the herd
+/// convention, with the fence's display name inline (e.g. `MP+lwsync+addr`).
+///
+/// # Panics
+///
+/// Panics if fewer than three locations are supplied, if `fence` has no
+/// operation form ([`FenceKind::StoreStore`] / [`FenceKind::LoadLoad`] exist
+/// only as checker-level event kinds), or if `write_dep` is
+/// [`DepKind::Addr`] (address dependencies are read-borne; pick `Data` or
+/// `Ctrl` for the dependent writes).
+pub fn weak_suite_flavoured(
+    locations: &[Address],
+    fence: FenceKind,
+    write_dep: DepKind,
+) -> Vec<LitmusTest> {
+    assert!(
+        locations.len() >= 3,
+        "litmus suite needs at least 3 locations"
+    );
+    assert!(
+        OpKind::for_fence(fence).is_some(),
+        "fence flavour {fence} has no test-operation form"
+    );
+    assert!(
+        write_dep != DepKind::Addr,
+        "write-borne dependencies are data or ctrl"
+    );
+    let l = locations;
+    let f = A::Fl(fence);
+    let wd = |loc: usize| A::dep_write(write_dep, loc);
+    let fname = fence.to_string();
+    let dname = write_dep.to_string();
+    let named = |shape: &str, parts: &[&str]| -> String {
+        let mut name = shape.to_string();
+        for part in parts {
+            name.push('+');
+            name.push_str(part);
+        }
+        name
+    };
+
+    let shapes: Vec<(String, Vec<Vec<A>>)> = vec![
+        // ---- Message passing ----
+        (
+            "MP".into(),
+            vec![vec![A::W(0), A::W(1)], vec![A::R(1), A::R(0)]],
+        ),
+        (
+            named("MP", &["addr"]),
+            vec![vec![A::W(0), A::W(1)], vec![A::R(1), A::D(0)]],
+        ),
+        (
+            named("MP", &[&fname, "addr"]),
+            vec![vec![A::W(0), f, A::W(1)], vec![A::R(1), A::D(0)]],
+        ),
+        (
+            named("MP", &[&format!("{fname}s")]),
+            vec![vec![A::W(0), f, A::W(1)], vec![A::R(1), f, A::R(0)]],
+        ),
+        // ---- Load buffering ----
+        (
+            "LB".into(),
+            vec![vec![A::R(0), A::W(1)], vec![A::R(1), A::W(0)]],
+        ),
+        (
+            named("LB", &[&format!("{dname}s")]),
+            vec![vec![A::R(0), wd(1)], vec![A::R(1), wd(0)]],
+        ),
+        (
+            named("LB", &[&format!("{fname}s")]),
+            vec![vec![A::R(0), f, A::W(1)], vec![A::R(1), f, A::W(0)]],
+        ),
+        // ---- Store buffering ----
+        (
+            "SB".into(),
+            vec![vec![A::W(0), A::R(1)], vec![A::W(1), A::R(0)]],
+        ),
+        (
+            named("SB", &[&format!("{fname}s")]),
+            vec![vec![A::W(0), f, A::R(1)], vec![A::W(1), f, A::R(0)]],
+        ),
+        // ---- Write-to-read causality ----
+        (
+            "WRC".into(),
+            vec![
+                vec![A::W(0)],
+                vec![A::R(0), A::W(1)],
+                vec![A::R(1), A::R(0)],
+            ],
+        ),
+        (
+            named("WRC", &[&dname, "addr"]),
+            vec![vec![A::W(0)], vec![A::R(0), wd(1)], vec![A::R(1), A::D(0)]],
+        ),
+        (
+            named("WRC", &[&fname, "addr"]),
+            vec![
+                vec![A::W(0)],
+                vec![A::R(0), f, A::W(1)],
+                vec![A::R(1), A::D(0)],
+            ],
+        ),
+        // ---- Independent reads of independent writes ----
+        (
+            "IRIW".into(),
+            vec![
+                vec![A::W(0)],
+                vec![A::W(1)],
+                vec![A::R(0), A::R(1)],
+                vec![A::R(1), A::R(0)],
+            ],
+        ),
+        (
+            named("IRIW", &["addrs"]),
+            vec![
+                vec![A::W(0)],
+                vec![A::W(1)],
+                vec![A::R(0), A::D(1)],
+                vec![A::R(1), A::D(0)],
+            ],
+        ),
+        (
+            named("IRIW", &[&format!("{fname}s")]),
+            vec![
+                vec![A::W(0)],
+                vec![A::W(1)],
+                vec![A::R(0), f, A::R(1)],
+                vec![A::R(1), f, A::R(0)],
+            ],
+        ),
+        // ---- Store-to-read causality (S) ----
+        (
+            "S".into(),
+            vec![vec![A::W(0), A::W(1)], vec![A::R(1), A::W(0)]],
+        ),
+        (
+            named("S", &[&fname, &dname]),
+            vec![vec![A::W(0), f, A::W(1)], vec![A::R(1), wd(0)]],
+        ),
+    ];
+
+    shapes
+        .into_iter()
+        .map(|(name, threads)| {
+            let views: Vec<&[A]> = threads.iter().map(|t| t.as_slice()).collect();
+            build(&name, &views, l)
+        })
+        .collect()
+}
+
+/// The combined weak-model corpus: the flavoured shapes instantiated for the
+/// full fence with data-dependent writes, the `lwsync` flavour, and the
+/// release flavour with control-dependent writes, deduplicated by name.
+pub fn weak_suite(locations: &[Address]) -> Vec<LitmusTest> {
+    let mut suite = weak_suite_flavoured(locations, FenceKind::Full, DepKind::Data);
+    suite.extend(weak_suite_flavoured(
+        locations,
+        FenceKind::LightweightSync,
+        DepKind::Data,
+    ));
+    suite.extend(weak_suite_flavoured(
+        locations,
+        FenceKind::Release,
+        DepKind::Ctrl,
+    ));
+    dedup_by_name(suite)
+}
+
+/// The fence/dependency flavours a relaxed model's suite instantiates the
+/// weak shapes with (empty for the strong models).
+pub fn model_flavours(model: ModelKind) -> &'static [(FenceKind, DepKind)] {
+    match model {
+        ModelKind::Sc | ModelKind::Tso => &[],
+        ModelKind::Armish => &[
+            (FenceKind::Full, DepKind::Data),
+            (FenceKind::Release, DepKind::Ctrl),
+        ],
+        ModelKind::Powerish => &[
+            (FenceKind::Full, DepKind::Data),
+            (FenceKind::LightweightSync, DepKind::Data),
+        ],
+        ModelKind::Rmo => &[
+            (FenceKind::Full, DepKind::Data),
+            (FenceKind::Full, DepKind::Ctrl),
+        ],
+    }
+}
+
+/// The litmus corpus for a target model over the given locations: the x86-TSO
+/// suite for the strong models, extended with the model's natural weak-shape
+/// flavours (see [`model_flavours`]) for the relaxed ones.
+pub fn suite_for(model: ModelKind, locations: &[Address]) -> Vec<LitmusTest> {
+    let mut suite = x86_tso_suite(locations);
+    for &(fence, dep) in model_flavours(model) {
+        suite.extend(weak_suite_flavoured(locations, fence, dep));
+    }
+    dedup_by_name(suite)
+}
+
+/// [`suite_for`] over the three default line-separated addresses.
+pub fn default_suite_for(model: ModelKind) -> Vec<LitmusTest> {
+    suite_for(
+        model,
+        &[Address(0x10_0000), Address(0x10_0040), Address(0x10_0080)],
+    )
+}
+
+/// Removes tests whose name already appeared earlier in the list.
+fn dedup_by_name(suite: Vec<LitmusTest>) -> Vec<LitmusTest> {
+    let mut seen = std::collections::BTreeSet::new();
+    suite
+        .into_iter()
+        .filter(|t| seen.insert(t.name.clone()))
+        .collect()
 }
 
 /// Repeats a test's per-thread programs `times` times (concatenation).
@@ -372,6 +626,113 @@ mod tests {
         // Repeating once (or zero times) is the identity.
         assert_eq!(repeat_test(&mp.test, 1).genes(), mp.test.genes());
         assert_eq!(repeat_test(&mp.test, 0).genes(), mp.test.genes());
+    }
+
+    #[test]
+    fn weak_suite_contains_the_classic_shapes_with_flavours() {
+        let locs = [Address(0x1000), Address(0x2000), Address(0x3000)];
+        let suite = weak_suite(&locs);
+        for name in [
+            "MP",
+            "MP+addr",
+            "MP+mfence+addr",
+            "MP+lwsync+addr",
+            "MP+mfences",
+            "LB+datas",
+            "LB+ctrls",
+            "SB+mfences",
+            "SB+lwsyncs",
+            "WRC+data+addr",
+            "IRIW+addrs",
+            "IRIW+mfences",
+            "S+mfence+data",
+        ] {
+            assert!(
+                suite.iter().any(|t| t.name == name),
+                "weak suite missing {name}"
+            );
+        }
+        // Names are unique after deduplication.
+        let mut names: Vec<&str> = suite.iter().map(|t| t.name.as_str()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn dependent_variants_carry_dependency_ops() {
+        let locs = [Address(0x1000), Address(0x2000), Address(0x3000)];
+        let suite = weak_suite_flavoured(&locs, FenceKind::LightweightSync, DepKind::Data);
+        let mp_dep = suite.iter().find(|t| t.name == "MP+addr").unwrap();
+        assert!(mp_dep
+            .test
+            .genes()
+            .iter()
+            .any(|g| g.op.kind == OpKind::ReadAddrDp));
+        let lb_dep = suite.iter().find(|t| t.name == "LB+datas").unwrap();
+        assert_eq!(
+            lb_dep
+                .test
+                .genes()
+                .iter()
+                .filter(|g| g.op.kind == OpKind::WriteDataDp)
+                .count(),
+            2
+        );
+        let mp_lw = suite.iter().find(|t| t.name == "MP+lwsync+addr").unwrap();
+        assert!(mp_lw
+            .test
+            .genes()
+            .iter()
+            .any(|g| g.op.kind == OpKind::FenceLw));
+        let ctrl = weak_suite_flavoured(&locs, FenceKind::Full, DepKind::Ctrl);
+        let lb_ctrl = ctrl.iter().find(|t| t.name == "LB+ctrls").unwrap();
+        assert!(lb_ctrl
+            .test
+            .genes()
+            .iter()
+            .any(|g| g.op.kind == OpKind::WriteCtrlDp));
+    }
+
+    #[test]
+    #[should_panic(expected = "no test-operation form")]
+    fn weak_suite_rejects_event_only_fence_flavours() {
+        let locs = [Address(0x1000), Address(0x2000), Address(0x3000)];
+        weak_suite_flavoured(&locs, FenceKind::StoreStore, DepKind::Data);
+    }
+
+    #[test]
+    #[should_panic(expected = "data or ctrl")]
+    fn weak_suite_rejects_addr_write_deps() {
+        let locs = [Address(0x1000), Address(0x2000), Address(0x3000)];
+        weak_suite_flavoured(&locs, FenceKind::Full, DepKind::Addr);
+    }
+
+    #[test]
+    fn per_model_default_suites_grow_with_weakness() {
+        let strong = default_suite_for(ModelKind::Tso);
+        assert_eq!(strong.len(), default_suite().len());
+        for model in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+            let suite = default_suite_for(model);
+            assert!(
+                suite.len() > strong.len(),
+                "{model} suite should add weak shapes"
+            );
+            let mut names: Vec<&str> = suite.iter().map(|t| t.name.as_str()).collect();
+            let before = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), before, "{model} suite has duplicate names");
+            assert!(suite.iter().any(|t| t.name == "MP+mfence+addr"));
+        }
+        // The Power flavour uses lwsync, the ARM flavour release fences.
+        assert!(default_suite_for(ModelKind::Powerish)
+            .iter()
+            .any(|t| t.name == "SB+lwsyncs"));
+        assert!(default_suite_for(ModelKind::Armish)
+            .iter()
+            .any(|t| t.name == "MP+rel+addr"));
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! program, because the unique-value scheme is a property of execution, not of
 //! the chromosome.
 
-use mcversi_mcm::Address;
+use mcversi_mcm::{Address, DepKind, FenceKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The kind of a high-level test operation (paper Table 3).
+/// The kind of a high-level test operation (paper Table 3, grown with the
+/// dependency-carrying ops and fence flavours that targeting MCMs weaker than
+/// TSO requires — §5.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Read into a register.
@@ -20,21 +22,34 @@ pub enum OpKind {
     ReadAddrDp,
     /// Write from a register.
     Write,
+    /// Write whose data is computed from the previous read's value (a data
+    /// dependency; relevant for relaxed target models).
+    WriteDataDp,
+    /// Write guarded by a branch on the previous read's value (a control
+    /// dependency).
+    WriteCtrlDp,
     /// Atomic read-modify-write (also an implicit fence on x86).
     ReadModifyWrite,
     /// Cache-line flush (`clflush`).
     CacheFlush,
     /// Constant delay (NOPs).
     Delay,
-    /// A full memory fence (`mfence`).  Not part of the default Table 3 mix
-    /// (x86 RMWs already imply fences) but used by litmus tests and useful
-    /// when targeting more relaxed models.
+    /// A full memory fence (`mfence` / `dmb` / `sync`).  Not part of the
+    /// default Table 3 mix (x86 RMWs already imply fences) but used by litmus
+    /// tests and when targeting more relaxed models.
     Fence,
+    /// An acquire-style fence (relaxed-model targets).
+    FenceAcquire,
+    /// A release-style fence (relaxed-model targets).
+    FenceRelease,
+    /// A Power `lwsync`-style lightweight fence (relaxed-model targets).
+    FenceLw,
 }
 
 impl OpKind {
-    /// All operation kinds (Table 3 order, plus the explicit fence).
-    pub const ALL: [OpKind; 7] = [
+    /// All operation kinds (Table 3 order, then the explicit fences and
+    /// dependency ops appended).
+    pub const ALL: [OpKind; 12] = [
         OpKind::Read,
         OpKind::ReadAddrDp,
         OpKind::Write,
@@ -42,12 +57,17 @@ impl OpKind {
         OpKind::CacheFlush,
         OpKind::Delay,
         OpKind::Fence,
+        OpKind::WriteDataDp,
+        OpKind::WriteCtrlDp,
+        OpKind::FenceAcquire,
+        OpKind::FenceRelease,
+        OpKind::FenceLw,
     ];
 
     /// Returns `true` if the operation accesses memory (has a meaningful
     /// address attribute).
     pub fn is_memory_op(self) -> bool {
-        !matches!(self, OpKind::Delay | OpKind::Fence)
+        !matches!(self, OpKind::Delay) && self.fence_kind().is_none()
     }
 
     /// Returns `true` if the operation reads memory.
@@ -60,7 +80,42 @@ impl OpKind {
 
     /// Returns `true` if the operation writes memory.
     pub fn is_write(self) -> bool {
-        matches!(self, OpKind::Write | OpKind::ReadModifyWrite)
+        matches!(
+            self,
+            OpKind::Write | OpKind::WriteDataDp | OpKind::WriteCtrlDp | OpKind::ReadModifyWrite
+        )
+    }
+
+    /// The dependency this operation carries on the previous read, if any.
+    pub fn dep_kind(self) -> Option<DepKind> {
+        match self {
+            OpKind::ReadAddrDp => Some(DepKind::Addr),
+            OpKind::WriteDataDp => Some(DepKind::Data),
+            OpKind::WriteCtrlDp => Some(DepKind::Ctrl),
+            _ => None,
+        }
+    }
+
+    /// The fence flavour for fence operations, `None` otherwise.
+    pub fn fence_kind(self) -> Option<FenceKind> {
+        match self {
+            OpKind::Fence => Some(FenceKind::Full),
+            OpKind::FenceAcquire => Some(FenceKind::Acquire),
+            OpKind::FenceRelease => Some(FenceKind::Release),
+            OpKind::FenceLw => Some(FenceKind::LightweightSync),
+            _ => None,
+        }
+    }
+
+    /// The operation kind emitting the given fence flavour, if one exists.
+    pub fn for_fence(kind: FenceKind) -> Option<OpKind> {
+        match kind {
+            FenceKind::Full => Some(OpKind::Fence),
+            FenceKind::Acquire => Some(OpKind::FenceAcquire),
+            FenceKind::Release => Some(OpKind::FenceRelease),
+            FenceKind::LightweightSync => Some(OpKind::FenceLw),
+            FenceKind::StoreStore | FenceKind::LoadLoad => None,
+        }
     }
 }
 
@@ -70,10 +125,15 @@ impl fmt::Display for OpKind {
             OpKind::Read => "Read",
             OpKind::ReadAddrDp => "ReadAddrDp",
             OpKind::Write => "Write",
+            OpKind::WriteDataDp => "WriteDataDp",
+            OpKind::WriteCtrlDp => "WriteCtrlDp",
             OpKind::ReadModifyWrite => "ReadModifyWrite",
             OpKind::CacheFlush => "CacheFlush",
             OpKind::Delay => "Delay",
             OpKind::Fence => "Fence",
+            OpKind::FenceAcquire => "FenceAcquire",
+            OpKind::FenceRelease => "FenceRelease",
+            OpKind::FenceLw => "FenceLw",
         };
         f.write_str(s)
     }
@@ -131,7 +191,38 @@ mod tests {
         assert!(!OpKind::Delay.is_memory_op());
         assert!(!OpKind::Fence.is_memory_op());
         assert!(!OpKind::Fence.is_read());
-        assert_eq!(OpKind::ALL.len(), 7);
+        assert!(OpKind::WriteDataDp.is_write());
+        assert!(OpKind::WriteCtrlDp.is_write());
+        assert!(!OpKind::WriteDataDp.is_read());
+        assert!(OpKind::WriteDataDp.is_memory_op());
+        assert!(!OpKind::FenceLw.is_memory_op());
+        assert_eq!(OpKind::ALL.len(), 12);
+    }
+
+    #[test]
+    fn dep_and_fence_kind_mappings() {
+        use mcversi_mcm::{DepKind, FenceKind};
+        assert_eq!(OpKind::ReadAddrDp.dep_kind(), Some(DepKind::Addr));
+        assert_eq!(OpKind::WriteDataDp.dep_kind(), Some(DepKind::Data));
+        assert_eq!(OpKind::WriteCtrlDp.dep_kind(), Some(DepKind::Ctrl));
+        assert_eq!(OpKind::Read.dep_kind(), None);
+        assert_eq!(OpKind::Fence.fence_kind(), Some(FenceKind::Full));
+        assert_eq!(OpKind::FenceAcquire.fence_kind(), Some(FenceKind::Acquire));
+        assert_eq!(OpKind::FenceRelease.fence_kind(), Some(FenceKind::Release));
+        assert_eq!(
+            OpKind::FenceLw.fence_kind(),
+            Some(FenceKind::LightweightSync)
+        );
+        assert_eq!(OpKind::Write.fence_kind(), None);
+        for kind in [
+            FenceKind::Full,
+            FenceKind::Acquire,
+            FenceKind::Release,
+            FenceKind::LightweightSync,
+        ] {
+            assert_eq!(OpKind::for_fence(kind).unwrap().fence_kind(), Some(kind));
+        }
+        assert_eq!(OpKind::for_fence(FenceKind::StoreStore), None);
     }
 
     #[test]

@@ -21,13 +21,25 @@ pub struct OperationBias {
     pub cache_flush: u32,
     /// Weight of delays.
     pub delay: u32,
-    /// Weight of explicit fences (0 in the paper's Table 3 mix; RMWs already
-    /// imply fences on x86).
+    /// Weight of explicit full fences (0 in the paper's Table 3 mix; RMWs
+    /// already imply fences on x86).
     pub fence: u32,
+    /// Weight of data-dependent writes (0 in the Table 3 mix; used when
+    /// targeting relaxed models).
+    pub write_data_dp: u32,
+    /// Weight of control-dependent writes (0 in the Table 3 mix).
+    pub write_ctrl_dp: u32,
+    /// Weight of acquire fences (0 in the Table 3 mix).
+    pub fence_acquire: u32,
+    /// Weight of release fences (0 in the Table 3 mix).
+    pub fence_release: u32,
+    /// Weight of lightweight (`lwsync`-style) fences (0 in the Table 3 mix).
+    pub fence_lw: u32,
 }
 
 impl OperationBias {
-    /// The paper's Table 3 bias.
+    /// The paper's Table 3 bias (the relaxed-model-only operations get zero
+    /// weight: x86-TSO neither needs nor benefits from them).
     pub fn paper_default() -> Self {
         OperationBias {
             read: 50,
@@ -37,18 +49,36 @@ impl OperationBias {
             cache_flush: 1,
             delay: 1,
             fence: 0,
+            write_data_dp: 0,
+            write_ctrl_dp: 0,
+            fence_acquire: 0,
+            fence_release: 0,
+            fence_lw: 0,
+        }
+    }
+
+    /// A bias tilted towards the dependency-carrying operations and relaxed
+    /// fence flavours, for campaigns targeting models weaker than TSO.
+    pub fn relaxed_default() -> Self {
+        OperationBias {
+            read: 34,
+            read_addr_dp: 10,
+            write: 32,
+            read_modify_write: 1,
+            cache_flush: 1,
+            delay: 1,
+            fence: 3,
+            write_data_dp: 6,
+            write_ctrl_dp: 4,
+            fence_acquire: 2,
+            fence_release: 2,
+            fence_lw: 4,
         }
     }
 
     /// Total weight (must be positive).
     pub fn total(&self) -> u32 {
-        self.read
-            + self.read_addr_dp
-            + self.write
-            + self.read_modify_write
-            + self.cache_flush
-            + self.delay
-            + self.fence
+        OpKind::ALL.iter().map(|&k| self.weight(k)).sum()
     }
 
     /// Weight of one kind.
@@ -57,10 +87,15 @@ impl OperationBias {
             OpKind::Read => self.read,
             OpKind::ReadAddrDp => self.read_addr_dp,
             OpKind::Write => self.write,
+            OpKind::WriteDataDp => self.write_data_dp,
+            OpKind::WriteCtrlDp => self.write_ctrl_dp,
             OpKind::ReadModifyWrite => self.read_modify_write,
             OpKind::CacheFlush => self.cache_flush,
             OpKind::Delay => self.delay,
             OpKind::Fence => self.fence,
+            OpKind::FenceAcquire => self.fence_acquire,
+            OpKind::FenceRelease => self.fence_release,
+            OpKind::FenceLw => self.fence_lw,
         }
     }
 
@@ -253,6 +288,33 @@ mod tests {
         assert_eq!(b.pick(97), OpKind::ReadModifyWrite);
         assert_eq!(b.pick(98), OpKind::CacheFlush);
         assert_eq!(b.pick(99), OpKind::Delay);
+    }
+
+    #[test]
+    fn relaxed_bias_reaches_dependency_ops_and_fences() {
+        let b = OperationBias::relaxed_default();
+        assert_eq!(b.total(), 100);
+        for kind in [
+            OpKind::WriteDataDp,
+            OpKind::WriteCtrlDp,
+            OpKind::FenceAcquire,
+            OpKind::FenceRelease,
+            OpKind::FenceLw,
+        ] {
+            assert!(b.weight(kind) > 0, "{kind} has zero weight");
+        }
+        // Every kind with weight is reachable through pick().
+        let mut seen = std::collections::BTreeSet::new();
+        for roll in 0..b.total() {
+            seen.insert(format!("{}", b.pick(roll)));
+        }
+        for kind in OpKind::ALL {
+            assert_eq!(
+                seen.contains(&format!("{kind}")),
+                b.weight(kind) > 0,
+                "{kind} reachability mismatch"
+            );
+        }
     }
 
     #[test]

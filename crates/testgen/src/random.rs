@@ -55,7 +55,7 @@ impl RandomTestGenerator {
             .pick(rng.gen_range(0..self.params.bias.total()));
         let addr = if kind == OpKind::Delay {
             Address(rng.gen_range(1..=self.params.max_delay_cycles) as u64)
-        } else if kind == OpKind::Fence {
+        } else if kind.fence_kind().is_some() {
             Address(0)
         } else {
             self.random_address(rng)

@@ -108,9 +108,18 @@ impl Test {
         self.genes
             .iter()
             .map(|g| match g.op.kind {
-                OpKind::Read | OpKind::ReadAddrDp | OpKind::Write => 1,
+                OpKind::Read
+                | OpKind::ReadAddrDp
+                | OpKind::Write
+                | OpKind::WriteDataDp
+                | OpKind::WriteCtrlDp => 1,
                 OpKind::ReadModifyWrite => 2,
-                OpKind::CacheFlush | OpKind::Delay | OpKind::Fence => 0,
+                OpKind::CacheFlush
+                | OpKind::Delay
+                | OpKind::Fence
+                | OpKind::FenceAcquire
+                | OpKind::FenceRelease
+                | OpKind::FenceLw => 0,
             })
             .sum()
     }

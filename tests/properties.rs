@@ -8,12 +8,19 @@
 //! * the simulator is deterministic per seed and the correct design never
 //!   produces a TSO violation, for arbitrary generated tests;
 //! * relation algebra: transitive closure is idempotent and topological sort
-//!   exists exactly for acyclic relations.
+//!   exists exactly for acyclic relations;
+//! * model strength is monotone: on arbitrary well-formed candidate
+//!   executions (with dependencies and every fence flavour), acceptance
+//!   implies acceptance down the chain `SC ⇒ TSO ⇒ {ARMish, POWERish} ⇒ RMO`.
 
 use mcversi::core::lowering::lower;
 use mcversi::core::{McVerSiConfig, TestRunner};
+use mcversi::mcm::checker::Checker;
+use mcversi::mcm::execution::ExecutionBuilder;
 use mcversi::mcm::relation::Relation;
-use mcversi::mcm::EventId;
+use mcversi::mcm::{
+    Address, CandidateExecution, DepKind, EventId, FenceKind, ModelKind, ProcessorId, Value,
+};
 use mcversi::sim::BugConfig;
 use mcversi::testgen::ndt::NdtAnalysis;
 use mcversi::testgen::{
@@ -21,13 +28,115 @@ use mcversi::testgen::{
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 fn small_params(test_size: usize) -> TestGenParams {
     TestGenParams::small()
         .with_test_size(test_size)
         .with_threads(4)
+}
+
+/// Generates an arbitrary *well-formed* candidate execution: random threads
+/// of reads, writes, dependency-carrying ops, RMWs and fences of every
+/// flavour; each read observes a randomly chosen same-address write (or the
+/// initial value) and the per-address coherence orders are random
+/// permutations.  Most of these executions are wildly weak — exactly the
+/// input the monotonicity property needs.
+fn random_execution(seed: u64) -> CandidateExecution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ExecutionBuilder::new();
+    let threads = rng.gen_range(2..5u32);
+    let num_addrs = rng.gen_range(2..4u64);
+    let addr = |i: u64| Address(0x1000 + i * 0x40);
+    let mut reads: Vec<(EventId, Address)> = Vec::new();
+    let mut writes: Vec<(EventId, Address, Value)> = Vec::new();
+    let mut next_value = 1u64;
+
+    for t in 0..threads {
+        let pid = ProcessorId(t);
+        let mut last_load: Option<EventId> = None;
+        for _ in 0..rng.gen_range(2..7usize) {
+            let a = addr(rng.gen_range(0..num_addrs));
+            match rng.gen_range(0..100u32) {
+                0..=29 => {
+                    let r = b.read(pid, a, Value(0));
+                    if rng.gen_bool(0.4) {
+                        if let Some(src) = last_load {
+                            b.dependency(DepKind::Addr, src, r);
+                        }
+                    }
+                    reads.push((r, a));
+                    last_load = Some(r);
+                }
+                30..=64 => {
+                    let w = b.write(pid, a, Value(next_value));
+                    if rng.gen_bool(0.4) {
+                        if let Some(src) = last_load {
+                            let kind = if rng.gen_bool(0.5) {
+                                DepKind::Data
+                            } else {
+                                DepKind::Ctrl
+                            };
+                            b.dependency(kind, src, w);
+                        }
+                    }
+                    writes.push((w, a, Value(next_value)));
+                    next_value += 1;
+                }
+                65..=79 => {
+                    let kind = FenceKind::ALL[rng.gen_range(0..FenceKind::ALL.len())];
+                    b.fence(pid, kind);
+                }
+                _ => {
+                    let (r, w) = b.rmw(pid, a, Value(0), Value(next_value));
+                    reads.push((r, a));
+                    writes.push((w, a, Value(next_value)));
+                    next_value += 1;
+                    last_load = None; // RMW reads are not forwarding sources here
+                }
+            }
+        }
+    }
+
+    // Reads-from: every read picks a random same-address write or the
+    // initial value; the read's value is patched to match.
+    for &(r, a) in &reads {
+        let candidates: Vec<(EventId, Value)> = writes
+            .iter()
+            .filter(|&&(_, wa, _)| wa == a)
+            .map(|&(w, _, v)| (w, v))
+            .collect();
+        if candidates.is_empty() || rng.gen_bool(0.25) {
+            b.reads_from_initial(r);
+        } else {
+            let (w, v) = candidates[rng.gen_range(0..candidates.len())];
+            b.set_event_value(r, v);
+            b.reads_from(w, r);
+        }
+    }
+
+    // Coherence: a random permutation per address, chained.
+    for i in 0..num_addrs {
+        let a = addr(i);
+        let mut order: Vec<EventId> = writes
+            .iter()
+            .filter(|&&(_, wa, _)| wa == a)
+            .map(|&(w, _, _)| w)
+            .collect();
+        // Fisher–Yates with the test's RNG.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        if let Some(&first) = order.first() {
+            b.coherence_after_initial(first);
+        }
+        for pair in order.windows(2) {
+            b.coherence(pair[0], pair[1]);
+        }
+    }
+    b.build()
 }
 
 proptest! {
@@ -68,6 +177,31 @@ proptest! {
         let child = single_point_crossover_mutate(&t1, &t2, &params, &mut rng);
         prop_assert_eq!(child.len(), size);
         prop_assert!(child.genes().iter().all(|g| (g.pid as usize) < child.num_threads()));
+    }
+
+    /// Model strength is monotone: on arbitrary well-formed executions, an
+    /// execution accepted by a stronger model is accepted by every weaker
+    /// model in the chain `SC ⇒ TSO ⇒ {ARMish, POWERish} ⇒ RMO`.
+    #[test]
+    fn model_strength_is_monotone_on_random_executions(seed in 0u64..2000) {
+        let exec = random_execution(seed);
+        prop_assert!(exec.validate().is_ok(), "malformed: {:?}", exec.validate());
+        let accepted = |model: ModelKind| Checker::new(model.instance()).check(&exec).is_valid();
+        let chain: &[(ModelKind, ModelKind)] = &[
+            (ModelKind::Sc, ModelKind::Tso),
+            (ModelKind::Tso, ModelKind::Armish),
+            (ModelKind::Tso, ModelKind::Powerish),
+            (ModelKind::Armish, ModelKind::Rmo),
+            (ModelKind::Powerish, ModelKind::Rmo),
+        ];
+        for &(stronger, weaker) in chain {
+            if accepted(stronger) {
+                prop_assert!(
+                    accepted(weaker),
+                    "seed {seed}: accepted by {stronger} but rejected by {weaker}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -124,6 +258,50 @@ proptest! {
         let b = run(seed);
         prop_assert_eq!(a, b, "same seed must reproduce the same run");
     }
+}
+
+/// Deterministic wide sweep backing the sampled monotonicity property: 500
+/// random executions, every chain pair checked.
+#[test]
+fn model_strength_monotone_wide_sweep() {
+    let chain: &[(ModelKind, ModelKind)] = &[
+        (ModelKind::Sc, ModelKind::Tso),
+        (ModelKind::Tso, ModelKind::Armish),
+        (ModelKind::Tso, ModelKind::Powerish),
+        (ModelKind::Armish, ModelKind::Rmo),
+        (ModelKind::Powerish, ModelKind::Rmo),
+    ];
+    let mut accepted_counts = vec![0usize; ModelKind::ALL.len()];
+    for seed in 10_000..10_500u64 {
+        let exec = random_execution(seed);
+        assert!(exec.validate().is_ok(), "seed {seed} malformed");
+        let accepted = |model: ModelKind| Checker::new(model.instance()).check(&exec).is_valid();
+        for (i, model) in ModelKind::ALL.into_iter().enumerate() {
+            if accepted(model) {
+                accepted_counts[i] += 1;
+            }
+        }
+        for &(stronger, weaker) in chain {
+            if accepted(stronger) {
+                assert!(
+                    accepted(weaker),
+                    "seed {seed}: accepted by {stronger} but rejected by {weaker}"
+                );
+            }
+        }
+    }
+    // The sweep must actually discriminate: weaker models accept strictly
+    // more of the random executions than SC does, and some executions are
+    // rejected even by RMO (coherence violations), otherwise the property
+    // would be vacuous.
+    assert!(
+        accepted_counts[4] > accepted_counts[0],
+        "RMO should accept more executions than SC: {accepted_counts:?}"
+    );
+    assert!(
+        accepted_counts[4] < 500,
+        "some executions must violate even RMO: {accepted_counts:?}"
+    );
 }
 
 #[test]
