@@ -1,32 +1,42 @@
 //! Regenerates paper Table 4 — bug coverage per generator configuration —
-//! across target consistency models.
+//! across target consistency models and simulated core strengths.
 //!
-//! For every target model (`MCVERSI_MODELS`, default `SC,TSO,ARMish,RMO`),
-//! every studied bug and every generator configuration (McVerSi-ALL,
-//! McVerSi-Std.XO and McVerSi-RAND at 1 KB and 8 KB test memory, plus
-//! diy-litmus), the binary runs `MCVERSI_SAMPLES` campaign samples and reports
-//! how many found the bug and the mean normalised time to find it (fraction
-//! of the test-run budget; the paper reports wall-clock hours of a 24-hour
-//! budget).  See `crates/bench/src/experiment.rs` for the scaling knobs and
-//! EXPERIMENTS.md for the comparison against the paper's numbers.
+//! For every core strength (`MCVERSI_CORES`, default `strong`; pass
+//! `strong,relaxed` or `all` to sweep both), every target model
+//! (`MCVERSI_MODELS`, default `SC,TSO,ARMish,RMO`), every studied bug and
+//! every generator configuration (McVerSi-ALL, McVerSi-Std.XO and
+//! McVerSi-RAND at 1 KB and 8 KB test memory, plus diy-litmus), the binary
+//! runs `MCVERSI_SAMPLES` campaign samples and reports how many found the bug
+//! and the mean normalised time to find it (fraction of the test-run budget;
+//! the paper reports wall-clock hours of a 24-hour budget).  See
+//! `crates/bench/src/experiment.rs` for the scaling knobs and EXPERIMENTS.md
+//! for the comparison against the paper's numbers.
 //!
-//! The per-model sweep is the cross-model extension of the paper's TSO-only
-//! table: under SC the (TSO-correct) design itself is flagged immediately —
-//! the hardware is weaker than the model — while under the relaxed models the
-//! TSO bugs progressively disappear, because the weak executions they produce
-//! become architecturally allowed.  The run starts with the litmus verdict
-//! matrix, which pins that model-relativity at the checker level (e.g. `MP`
-//! without fences: forbidden under TSO, allowed under the ARM-ish model).
+//! The (model × core) sweep is the cross-model extension of the paper's
+//! TSO-only table: under SC the (TSO-correct) design itself is flagged
+//! immediately — the hardware is weaker than the model — while under the
+//! relaxed models the TSO bugs progressively disappear, because the weak
+//! executions they produce become architecturally allowed.  Sweeping the
+//! *relaxed* core adds the other half of the picture: the dependency-ordering
+//! bug corpus (`Bug::DEPENDENCY`) only exists in the relaxed pipeline's
+//! stalls, so those rows light up under ARMish/POWERish/RMO on the relaxed
+//! core and are provably invisible on the strong one.  The run starts with
+//! two pinned matrices: the checker-level litmus verdict matrix
+//! (`crates/bench/src/matrix.rs`) and the end-to-end (core × model)
+//! bug-detectability matrix (`crates/bench/src/core_matrix.rs`).
 
+use mcversi_bench::core_matrix::run_core_matrix;
 use mcversi_bench::matrix::render_matrix;
 use mcversi_bench::{banner, table_columns, write_artifact, Scale};
 use mcversi_core::campaign::run_samples;
 use mcversi_core::report::{aggregate_cell, BugCoverageTable};
-use mcversi_sim::Bug;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Table 4: bug coverage (per model)", &scale);
+    banner(
+        "Table 4: bug coverage (per model and core strength)",
+        &scale,
+    );
 
     println!("Cross-model litmus verdict matrix (canonical weak outcomes):");
     let (matrix, mismatches) = render_matrix();
@@ -37,44 +47,64 @@ fn main() {
     }
     println!("all verdicts match the pinned expectations\n");
 
+    println!("(core strength × model) bug-detectability matrix (directed probes):");
+    let (core_matrix, core_mismatches) = run_core_matrix(24);
+    println!("{core_matrix}");
+    if core_mismatches > 0 {
+        eprintln!("error: {core_mismatches} cells deviate from the pinned expectations");
+        std::process::exit(1);
+    }
+    println!("all cells match the pinned expectations\n");
+
     let columns = table_columns();
     let mut all_raw = Vec::new();
 
-    for (model_idx, &model) in scale.models.iter().enumerate() {
-        println!("=== target model: {model} ===");
-        let mut table = BugCoverageTable::new(columns.iter().map(|(_, _, l)| l.clone()).collect());
+    for (core_idx, &core) in scale.core_strengths.iter().enumerate() {
+        let bugs = Scale::bugs_for_core(core);
+        for (model_idx, &model) in scale.models.iter().enumerate() {
+            println!("=== core: {core}, target model: {model} ===");
+            let mut table =
+                BugCoverageTable::new(columns.iter().map(|(_, _, l)| l.clone()).collect());
 
-        for &bug in Bug::ALL.iter() {
-            println!("bug {bug} ...");
-            for (generator, memory, label) in &columns {
-                let cfg = scale.campaign_for_model(*generator, Some(bug), *memory, model);
-                let base_seed = 1000 + bug as u64 * 100 + model_idx as u64 * 10_000;
-                let results = run_samples(&cfg, scale.samples, base_seed);
-                let cell = aggregate_cell(*generator, label, &results, scale.test_runs);
-                println!(
-                    "  {:<22} found {}/{} (mean time {:.2})",
-                    label, cell.found, cell.samples, cell.mean_time
-                );
-                all_raw.extend(results);
-                table.insert(bug, label, cell);
+            for &bug in &bugs {
+                println!("bug {bug} ...");
+                for (generator, memory, label) in &columns {
+                    let cfg = scale.campaign_cell(*generator, Some(bug), *memory, model, core);
+                    let base_seed = 1000
+                        + bug as u64 * 100
+                        + model_idx as u64 * 10_000
+                        + core_idx as u64 * 100_000;
+                    let results = run_samples(&cfg, scale.samples, base_seed);
+                    let cell = aggregate_cell(*generator, label, &results, scale.test_runs);
+                    println!(
+                        "  {:<22} found {}/{} (mean time {:.2})",
+                        label, cell.found, cell.samples, cell.mean_time
+                    );
+                    all_raw.extend(results);
+                    table.insert(bug, label, cell);
+                }
             }
-        }
 
-        println!();
-        println!("{}", table.render());
-        println!(
-            "'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget."
-        );
-        let summary = table.summary();
-        println!("\n[{model}] all-bugs summary (found samples, mean normalised time):");
-        for (col, (found, time)) in &summary {
-            println!("  {col:<22} {found:>3} ({time:.2})");
-        }
-        println!();
+            println!();
+            println!("{}", table.render());
+            println!(
+                "'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget."
+            );
+            let summary = table.summary();
+            println!("\n[{core}/{model}] all-bugs summary (found samples, mean normalised time):");
+            for (col, (found, time)) in &summary {
+                println!("  {col:<22} {found:>3} ({time:.2})");
+            }
+            println!();
 
-        let artifact = format!("table4_bug_coverage_{}.json", model.name().to_lowercase());
-        if let Ok(path) = write_artifact(&artifact, &table) {
-            println!("artifact: {}", path.display());
+            let artifact = format!(
+                "table4_bug_coverage_{}_{}.json",
+                core.name(),
+                model.name().to_lowercase()
+            );
+            if let Ok(path) = write_artifact(&artifact, &table) {
+                println!("artifact: {}", path.display());
+            }
         }
     }
 

@@ -12,10 +12,15 @@
 //! | `MCVERSI_TEST_RUNS`    | test-run budget per sample             | 60     |
 //! | `MCVERSI_TEST_SIZE`    | operations per test                    | 96     |
 //! | `MCVERSI_ITERATIONS`   | executions per test-run                | 4      |
-//! | `MCVERSI_CORES`        | simulated cores / test threads         | 4      |
+//! | `MCVERSI_CORES`        | core *count* (a number) and/or core *strengths* (`strong`/`relaxed`/`all`), comma-separated | 4, `strong` |
 //! | `MCVERSI_WALL_SECS`    | wall-clock cap per sample (seconds)    | 120    |
 //! | `MCVERSI_FULL`         | if set, use the paper-scale parameters  | unset  |
 //! | `MCVERSI_MODELS`       | comma-separated target models, or `all` | `SC,TSO,ARMish,RMO` |
+//!
+//! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
+//! set the simulated core count, named parts select the pipeline strengths to
+//! sweep (e.g. `MCVERSI_CORES=8,strong,relaxed` or just
+//! `MCVERSI_CORES=strong,relaxed`).
 //!
 //! Results are printed as plain-text tables and also written as JSON under
 //! `target/experiments/` so EXPERIMENTS.md can reference machine-readable
@@ -23,7 +28,7 @@
 
 use mcversi_core::{CampaignConfig, GeneratorKind, McVerSiConfig};
 use mcversi_mcm::ModelKind;
-use mcversi_sim::{ProtocolKind, SystemConfig};
+use mcversi_sim::{CoreStrength, ProtocolKind, SystemConfig};
 use mcversi_testgen::TestGenParams;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -48,6 +53,8 @@ pub struct Scale {
     pub full: bool,
     /// The target consistency models campaigns are run against.
     pub models: Vec<ModelKind>,
+    /// The core pipeline strengths campaigns are swept across.
+    pub core_strengths: Vec<CoreStrength>,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -55,6 +62,40 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parses `MCVERSI_CORES`, which carries both axes of the core configuration:
+/// numeric parts are the simulated core count, named parts
+/// (`strong`/`relaxed`, or `all`) are the pipeline strengths to sweep.
+/// Returns `(core count, strengths)` with the given count default; the
+/// strength list defaults to `[Strong]`.
+fn env_cores(default_count: usize) -> (usize, Vec<CoreStrength>) {
+    let mut count = default_count;
+    let mut strengths: Vec<CoreStrength> = Vec::new();
+    if let Ok(raw) = std::env::var("MCVERSI_CORES") {
+        for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            if let Ok(n) = part.parse::<usize>() {
+                count = n.max(1);
+            } else if part.eq_ignore_ascii_case("all") {
+                for s in CoreStrength::ALL {
+                    if !strengths.contains(&s) {
+                        strengths.push(s);
+                    }
+                }
+            } else if let Some(strength) = CoreStrength::parse(part) {
+                if !strengths.contains(&strength) {
+                    strengths.push(strength);
+                }
+            } else {
+                eprintln!("warning: MCVERSI_CORES: unknown entry '{part}' skipped");
+            }
+        }
+    }
+    if strengths.is_empty() {
+        strengths.push(CoreStrength::Strong);
+    }
+    (count, strengths)
 }
 
 /// Parses `MCVERSI_MODELS`: a comma-separated model list, or `all`.
@@ -94,26 +135,30 @@ impl Scale {
     pub fn from_env() -> Self {
         let full = std::env::var("MCVERSI_FULL").is_ok();
         if full {
+            let (cores, core_strengths) = env_cores(8);
             Scale {
                 samples: env_usize("MCVERSI_SAMPLES", 10),
                 test_runs: env_usize("MCVERSI_TEST_RUNS", 2000),
                 test_size: env_usize("MCVERSI_TEST_SIZE", 1000),
                 iterations: env_usize("MCVERSI_ITERATIONS", 10),
-                cores: env_usize("MCVERSI_CORES", 8),
+                cores,
                 wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 24 * 3600) as u64),
                 full,
                 models: env_models(),
+                core_strengths,
             }
         } else {
+            let (cores, core_strengths) = env_cores(4);
             Scale {
                 samples: env_usize("MCVERSI_SAMPLES", 2),
                 test_runs: env_usize("MCVERSI_TEST_RUNS", 60),
                 test_size: env_usize("MCVERSI_TEST_SIZE", 96),
                 iterations: env_usize("MCVERSI_ITERATIONS", 4),
-                cores: env_usize("MCVERSI_CORES", 4),
+                cores,
                 wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 120) as u64),
                 full,
                 models: env_models(),
+                core_strengths,
             }
         }
     }
@@ -164,6 +209,24 @@ impl Scale {
         test_memory_bytes: u64,
         model: ModelKind,
     ) -> CampaignConfig {
+        self.campaign_cell(
+            generator,
+            bug,
+            test_memory_bytes,
+            model,
+            CoreStrength::Strong,
+        )
+    }
+
+    /// Builds a campaign configuration for one (model × core strength) cell.
+    pub fn campaign_cell(
+        &self,
+        generator: GeneratorKind,
+        bug: Option<mcversi_sim::Bug>,
+        test_memory_bytes: u64,
+        model: ModelKind,
+        core: CoreStrength,
+    ) -> CampaignConfig {
         CampaignConfig::new(
             generator,
             bug,
@@ -172,6 +235,19 @@ impl Scale {
             self.wall_time,
         )
         .with_model(model)
+        .with_core_strength(core)
+    }
+
+    /// The bugs swept for a given core strength: everything in the extended
+    /// corpus that is observable on that pipeline ([`mcversi_sim::Bug::required_core`]).
+    /// Sweeping an unobservable bug would burn a full campaign cell on a
+    /// provable no-op (e.g. `LQ+no-TSO` suppresses a squash the relaxed
+    /// pipeline does not have).
+    pub fn bugs_for_core(core: CoreStrength) -> Vec<mcversi_sim::Bug> {
+        mcversi_sim::Bug::ALL_EXTENDED
+            .into_iter()
+            .filter(|b| b.required_core().is_none_or(|c| c == core))
+            .collect()
     }
 }
 
@@ -265,6 +341,43 @@ mod tests {
         let campaign =
             scale.campaign_for_model(GeneratorKind::McVerSiRand, None, 1024, ModelKind::Armish);
         assert_eq!(campaign.model(), ModelKind::Armish);
+    }
+
+    #[test]
+    fn default_core_strength_is_strong_and_cells_compose() {
+        if std::env::var("MCVERSI_CORES").is_ok() {
+            return; // respect an explicit override in the environment
+        }
+        let scale = Scale::from_env();
+        assert_eq!(scale.core_strengths, vec![CoreStrength::Strong]);
+        let cell = scale.campaign_cell(
+            GeneratorKind::McVerSiRand,
+            None,
+            1024,
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        );
+        assert_eq!(cell.core_strength(), CoreStrength::Relaxed);
+        assert_eq!(cell.model(), ModelKind::Armish);
+    }
+
+    #[test]
+    fn bugs_for_core_sweeps_only_observable_bugs() {
+        let strong = Scale::bugs_for_core(CoreStrength::Strong);
+        let relaxed = Scale::bugs_for_core(CoreStrength::Relaxed);
+        assert_eq!(strong.len(), 11, "the paper's Table 4 sweep is pinned");
+        assert_eq!(relaxed.len(), 14);
+        for bug in mcversi_sim::Bug::DEPENDENCY {
+            assert!(!strong.contains(&bug), "{bug} swept on the strong core");
+            assert!(
+                relaxed.contains(&bug),
+                "{bug} missing from the relaxed sweep"
+            );
+        }
+        assert!(
+            !relaxed.contains(&mcversi_sim::Bug::LqNoTso),
+            "LQ+no-TSO is a no-op on the relaxed core and must not be swept there"
+        );
     }
 
     #[test]

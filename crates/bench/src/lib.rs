@@ -5,9 +5,11 @@
 //! fitness, litmus end-to-end), and `src/bin/` contains one binary per table
 //! or figure of the paper's evaluation (see DESIGN.md for the index).
 
+pub mod core_matrix;
 pub mod experiment;
 pub mod matrix;
 
+pub use core_matrix::{core_matrix_rows, run_core_matrix};
 pub use experiment::{banner, table_columns, write_artifact, Scale};
 pub use matrix::{render_matrix, shape_expectations};
 

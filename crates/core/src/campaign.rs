@@ -12,7 +12,7 @@ use crate::config::McVerSiConfig;
 use crate::generator::{GeneratorKind, TestSource};
 use crate::runner::{RunVerdict, TestRunner};
 use mcversi_mcm::ModelKind;
-use mcversi_sim::{Bug, BugConfig};
+use mcversi_sim::{Bug, BugConfig, CoreStrength};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -90,6 +90,19 @@ impl CampaignConfig {
         self.mcversi.model
     }
 
+    /// Selects the pipeline strength of the simulated cores (see
+    /// [`McVerSiConfig::with_core_strength`]).
+    pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
+        self.mcversi = self.mcversi.with_core_strength(strength);
+        self
+    }
+
+    /// The campaign's core pipeline strength (before any per-bug override;
+    /// see [`CampaignConfig::effective_mcversi`]).
+    pub fn core_strength(&self) -> CoreStrength {
+        self.mcversi.system.core_strength
+    }
+
     /// The effective number of worker threads for a batch of `samples`.
     fn effective_parallelism(&self, samples: usize) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -110,6 +123,13 @@ impl CampaignConfig {
 
     /// Adjusts the system protocol to the one the bug requires (if any),
     /// returning the effective framework configuration.
+    ///
+    /// The core strength is deliberately *not* forced from
+    /// [`Bug::required_core`]: a protocol bug does not exist in the other
+    /// protocol's logic, but a dependency-ordering bug's hook is present in
+    /// both pipelines — the strong core merely masks it.  Running such a bug
+    /// on the strong core is exactly the (model × core) cell that
+    /// demonstrates the gap, so the caller's choice stands.
     pub fn effective_mcversi(&self) -> McVerSiConfig {
         let mut cfg = self.mcversi.clone();
         if let Some(protocol) = self.bug.and_then(|b| b.required_protocol()) {
@@ -128,6 +148,9 @@ pub struct CampaignResult {
     pub bug: Option<Bug>,
     /// The consistency model the checker verified against.
     pub model: ModelKind,
+    /// The core pipeline strength the simulated system ran with (after any
+    /// per-bug override).
+    pub core: CoreStrength,
     /// Sample seed.
     pub seed: u64,
     /// Whether the bug was found within the budget.
@@ -205,6 +228,7 @@ pub fn run_campaign_budgeted(
 ) -> CampaignResult {
     let mcversi = config.effective_mcversi().with_seed(seed);
     let model = mcversi.model;
+    let core = mcversi.system.core_strength;
     let params = mcversi.testgen.clone();
     let mut runner = TestRunner::new(mcversi, config.bug_config());
     let mut source = TestSource::for_model(
@@ -248,6 +272,7 @@ pub fn run_campaign_budgeted(
         generator: config.generator,
         bug: config.bug,
         model,
+        core,
         seed,
         found,
         detail,
@@ -294,6 +319,7 @@ impl SampleOutcome {
                     generator: config.generator,
                     bug: config.bug,
                     model: config.model(),
+                    core: config.effective_mcversi().system.core_strength,
                     seed,
                     found: false,
                     detail: Some(format!("sample panicked: {message}")),
@@ -475,6 +501,64 @@ mod tests {
         );
         assert_eq!(result.model, ModelKind::Rmo);
         assert_eq!(result.test_runs, 40, "budget exhausted without a find");
+    }
+
+    /// The headline (model × core) differential: a dependency-ordering bug is
+    /// found by the litmus baseline when a *relaxed* core runs an ARM-ish
+    /// campaign, and the identical campaign on the *strong* core exhausts its
+    /// budget without a verdict change — the strong pipeline's squash and
+    /// in-order retirement mask the injection entirely.
+    #[test]
+    fn dependency_bug_detectable_on_relaxed_core_only() {
+        let base = quick_config(GeneratorKind::DiyLitmus, Some(Bug::SqNoDataDep))
+            .with_model(ModelKind::Armish);
+        assert_eq!(
+            Bug::SqNoDataDep.required_core(),
+            Some(CoreStrength::Relaxed)
+        );
+
+        let relaxed = base.clone().with_core_strength(CoreStrength::Relaxed);
+        assert_eq!(relaxed.core_strength(), CoreStrength::Relaxed);
+        let result = run_campaign(&relaxed, 3);
+        assert!(
+            result.found,
+            "SQ+no-data-dep must be found on the relaxed core: {result:?}"
+        );
+        assert_eq!(result.core, CoreStrength::Relaxed);
+        assert_eq!(result.model, ModelKind::Armish);
+
+        let strong = base.with_core_strength(CoreStrength::Strong);
+        let result = run_campaign(&strong, 3);
+        assert!(
+            !result.found,
+            "the strong core must mask SQ+no-data-dep: {result:?}"
+        );
+        assert_eq!(result.core, CoreStrength::Strong);
+        assert_eq!(result.test_runs, 40, "budget exhausted without a find");
+    }
+
+    /// The correct relaxed-core design passes a weak-model campaign (no false
+    /// positives from the reordering pipeline) but is flagged under TSO, where
+    /// the hardware is weaker than the model.
+    #[test]
+    fn relaxed_core_correct_design_is_model_relative() {
+        let armish = quick_config(GeneratorKind::DiyLitmus, None)
+            .with_model(ModelKind::Armish)
+            .with_core_strength(CoreStrength::Relaxed);
+        let result = run_campaign(&armish, 2);
+        assert!(
+            !result.found,
+            "correct relaxed design flagged under ARMish: {result:?}"
+        );
+
+        let tso =
+            quick_config(GeneratorKind::DiyLitmus, None).with_core_strength(CoreStrength::Relaxed);
+        assert_eq!(tso.model(), ModelKind::Tso);
+        let result = run_campaign(&tso, 2);
+        assert!(
+            result.found,
+            "a relaxed core must be flagged by a TSO campaign: {result:?}"
+        );
     }
 
     #[test]

@@ -63,6 +63,18 @@ impl McVerSiConfig {
         self
     }
 
+    /// Replaces the pipeline strength of the simulated cores, returning a
+    /// modified copy.
+    ///
+    /// Campaigns pairing a relaxed core with a *stronger* target model
+    /// (SC/TSO) flag the correct design itself — the hardware reorders more
+    /// than the model admits — so relaxed cores are normally paired with the
+    /// dependency-ordered models (ARMish/POWERish/RMO).
+    pub fn with_core_strength(mut self, strength: mcversi_sim::CoreStrength) -> Self {
+        self.system.core_strength = strength;
+        self
+    }
+
     /// Replaces the target consistency model, returning a modified copy.
     ///
     /// The operation bias follows the target unless the caller customised it:

@@ -88,6 +88,11 @@ impl SimHost {
         self.model
     }
 
+    /// The pipeline strength of the simulated cores behind this host.
+    pub fn core_strength(&self) -> mcversi_sim::CoreStrength {
+        self.system.config().core_strength
+    }
+
     /// Access to the underlying system (coverage, statistics).
     pub fn system(&self) -> &System {
         &self.system

@@ -6,6 +6,12 @@
 //! [`TestOp`] language; lowering assigns every dynamic write its globally
 //! unique, non-zero value (the write-unique-ID scheme of §4.1) and preserves
 //! the per-thread program order of the chromosome.
+//!
+//! Lowering is core-strength-agnostic: the same lowered program runs on the
+//! strong and the relaxed pipeline (`mcversi_sim::CoreStrength`), and the
+//! dependency-carrying operation kinds survive lowering so both the relaxed
+//! core's stalls and the observer's dependency edges see them.  See
+//! `ARCHITECTURE.md` for the full chromosome → checker pipeline walkthrough.
 
 use mcversi_sim::{TestOp, TestProgram};
 use mcversi_testgen::{OpKind, Test};

@@ -230,6 +230,7 @@ mod tests {
             generator: GeneratorKind::McVerSiRand,
             bug: Some(Bug::LqNoTso),
             model: mcversi_mcm::ModelKind::Tso,
+            core: mcversi_sim::CoreStrength::Strong,
             seed: 0,
             found,
             detail: None,

@@ -22,6 +22,61 @@ impl ProtocolKind {
     }
 }
 
+/// How aggressively the simulated cores reorder memory operations.
+///
+/// The strength selects between the two pipeline implementations in
+/// [`crate::core`]:
+///
+/// * [`CoreStrength::Strong`] — the x86-ish pipeline: loads issue
+///   speculatively but the Peekaboo invalidation squash restores load→load
+///   ordering, the store buffer drains in FIFO order, and every fence flavour
+///   is executed like a full fence.  Its executions satisfy x86-TSO.
+/// * [`CoreStrength::Relaxed`] — an ARM/Power-ish pipeline: loads issue and
+///   *perform* out of order past older loads and stores to different
+///   addresses (with dependency-respecting stalls and fence-kind-aware
+///   flushes), stores may commit into the store buffer past incomplete older
+///   loads, and the store buffer drains out of program order unless fenced.
+///   Its executions satisfy the dependency-ordered relaxed models
+///   (ARMish/POWERish/RMO) but generally violate SC and TSO.
+///
+/// See `ARCHITECTURE.md` for the core-strength × model support matrix.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum CoreStrength {
+    /// The x86-ish strong pipeline (the paper's configuration).
+    #[default]
+    Strong,
+    /// The weakly-ordered pipeline that actually reorders.
+    Relaxed,
+}
+
+impl CoreStrength {
+    /// Both strengths, strongest first.
+    pub const ALL: [CoreStrength; 2] = [CoreStrength::Strong, CoreStrength::Relaxed];
+
+    /// Short display name used in experiment tables (`strong` / `relaxed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreStrength::Strong => "strong",
+            CoreStrength::Relaxed => "relaxed",
+        }
+    }
+
+    /// Parses a strength name case-insensitively.
+    pub fn parse(s: &str) -> Option<CoreStrength> {
+        CoreStrength::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+impl std::fmt::Display for CoreStrength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Latency parameters, all in core cycles.
 ///
 /// Latencies with a `min`/`max` range are drawn per access from the seeded
@@ -90,6 +145,8 @@ pub struct SystemConfig {
     pub latency: LatencyConfig,
     /// Coherence protocol.
     pub protocol: ProtocolKind,
+    /// Pipeline strength of the simulated cores (see [`CoreStrength`]).
+    pub core_strength: CoreStrength,
     /// TSO-CC: number of writes sharing one timestamp (timestamp group size).
     pub tsocc_ts_group: u64,
     /// TSO-CC: maximum timestamp value before a reset (kept small so resets —
@@ -125,6 +182,7 @@ impl SystemConfig {
             mesh_rows: 2,
             latency: LatencyConfig::default(),
             protocol: ProtocolKind::Mesi,
+            core_strength: CoreStrength::Strong,
             tsocc_ts_group: 4,
             tsocc_ts_max: 48,
             tsocc_max_accesses: 16,
@@ -151,6 +209,7 @@ impl SystemConfig {
             mesh_rows: 2,
             latency: LatencyConfig::default(),
             protocol,
+            core_strength: CoreStrength::Strong,
             tsocc_ts_group: 2,
             tsocc_ts_max: 16,
             tsocc_max_accesses: 8,
@@ -168,6 +227,12 @@ impl SystemConfig {
     /// Selects the number of cores, returning a modified copy.
     pub fn with_cores(mut self, num_cores: usize) -> Self {
         self.num_cores = num_cores;
+        self
+    }
+
+    /// Selects the core pipeline strength, returning a modified copy.
+    pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
+        self.core_strength = strength;
         self
     }
 
@@ -319,5 +384,25 @@ mod tests {
     fn protocol_names() {
         assert_eq!(ProtocolKind::Mesi.name(), "MESI");
         assert_eq!(ProtocolKind::TsoCc.name(), "TSO-CC");
+    }
+
+    #[test]
+    fn core_strength_registry_and_builder() {
+        assert_eq!(CoreStrength::default(), CoreStrength::Strong);
+        assert_eq!(CoreStrength::ALL.len(), 2);
+        for strength in CoreStrength::ALL {
+            assert_eq!(CoreStrength::parse(strength.name()), Some(strength));
+            assert_eq!(
+                CoreStrength::parse(&strength.name().to_uppercase()),
+                Some(strength),
+                "parsing is case-insensitive"
+            );
+            assert_eq!(format!("{strength}"), strength.name());
+        }
+        assert_eq!(CoreStrength::parse("bogus"), None);
+        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        assert_eq!(cfg.core_strength, CoreStrength::Strong);
+        let cfg = cfg.with_core_strength(CoreStrength::Relaxed);
+        assert_eq!(cfg.core_strength, CoreStrength::Relaxed);
     }
 }

@@ -1,8 +1,10 @@
-//! The out-of-order core model (load queue, store queue, store buffer).
+//! The out-of-order core models (load queue, store queue, store buffer).
 //!
-//! Each simulated core executes one thread of the test program.  The model is
-//! deliberately focused on the memory-ordering-relevant behaviour of an
-//! out-of-order x86 core:
+//! Each simulated core executes one thread of the test program.  Two pipeline
+//! strengths share one engine, selected by
+//! [`SystemConfig::core_strength`](crate::config::SystemConfig::core_strength):
+//!
+//! The **strong** (x86-ish) pipeline:
 //!
 //! * loads issue speculatively and out of order (hit-under-miss), bounded by
 //!   the load-queue size;
@@ -14,21 +16,69 @@
 //!   at a time, with store→load forwarding; [`Bug::SqNoFifo`] drains the
 //!   buffer out of order;
 //! * atomic read-modify-writes and fences drain the store buffer and execute
-//!   at the head of the window (x86 locked-instruction semantics).
+//!   at the head of the window (x86 locked-instruction semantics); every
+//!   fence flavour is conservatively treated like a full fence.
+//!
+//! The **relaxed** (ARM/Power-ish) pipeline keeps the structural pieces but
+//! actually reorders, bounded only by what the dependency-ordered relaxed
+//! models ([`ModelKind::Armish`]/[`ModelKind::Powerish`]/[`ModelKind::Rmo`])
+//! require:
+//!
+//! * loads issue *and perform* out of order past older loads and stores to
+//!   different addresses — there is no invalidation squash; same-address
+//!   ordering (coherence) is preserved by an issue stall instead;
+//! * dependency-carrying operations stall until their source load performs
+//!   ([`Bug::LqNoAddrDep`], [`Bug::SqNoDataDep`] and [`Bug::SqNoCtrlDep`]
+//!   remove exactly one of these stalls each);
+//! * fences are executed by *kind*: only flavours that order loads
+//!   (full/acquire/load-load/lwsync) stall younger loads
+//!   ([`Bug::FenceNoAcquire`] lets loads issue past a pending acquire
+//!   fence), and only flavours that order stores (full/release/lwsync/
+//!   store-store) act as store-buffer barriers;
+//! * completed stores may commit into the store buffer past incomplete older
+//!   loads to different addresses (making load→store reordering observable),
+//!   and the buffer drains out of program order within a fence epoch
+//!   ([`StoreBuffer::begin_drain_relaxed`]).
 //!
 //! [`Bug::LqNoTso`]: crate::bugs::Bug::LqNoTso
 //! [`Bug::SqNoFifo`]: crate::bugs::Bug::SqNoFifo
+//! [`Bug::LqNoAddrDep`]: crate::bugs::Bug::LqNoAddrDep
+//! [`Bug::SqNoDataDep`]: crate::bugs::Bug::SqNoDataDep
+//! [`Bug::SqNoCtrlDep`]: crate::bugs::Bug::SqNoCtrlDep
+//! [`Bug::FenceNoAcquire`]: crate::bugs::Bug::FenceNoAcquire
+//! [`ModelKind::Armish`]: mcversi_mcm::ModelKind::Armish
+//! [`ModelKind::Powerish`]: mcversi_mcm::ModelKind::Powerish
+//! [`ModelKind::Rmo`]: mcversi_mcm::ModelKind::Rmo
 
 use crate::bugs::{Bug, BugConfig};
-use crate::config::SystemConfig;
+use crate::config::{CoreStrength, SystemConfig};
 use crate::lsq::{StoreBuffer, StoreBufferEntry};
 use crate::program::{TestOp, TestOpKind, ThreadProgram};
 use crate::protocol::{CoreReqKind, CoreRequest, CoreRespKind, CoreResponse};
 use crate::types::{Cycle, LineAddr};
-use mcversi_mcm::Address;
+use mcversi_mcm::{Address, FenceKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Returns `true` if a fence of `kind` orders program-order-later *loads*
+/// (so the relaxed core must not let younger loads issue past it while it is
+/// incomplete).
+fn fence_orders_later_loads(kind: FenceKind) -> bool {
+    matches!(
+        kind,
+        FenceKind::Full | FenceKind::Acquire | FenceKind::LoadLoad | FenceKind::LightweightSync
+    )
+}
+
+/// Returns `true` if a fence of `kind` orders *stores* across it (so the
+/// relaxed core must bump the store-buffer epoch when it retires).
+fn fence_orders_stores(kind: FenceKind) -> bool {
+    matches!(
+        kind,
+        FenceKind::Full | FenceKind::Release | FenceKind::StoreStore | FenceKind::LightweightSync
+    )
+}
 
 /// An architecturally performed operation, reported to the observer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +162,7 @@ impl InflightOp {
 #[derive(Debug)]
 pub struct CoreModel {
     core_id: usize,
+    strength: CoreStrength,
     program: ThreadProgram,
     next_fetch: usize,
     window: VecDeque<InflightOp>,
@@ -124,6 +175,10 @@ pub struct CoreModel {
     rob_entries: usize,
     issue_jitter: u16,
     squashes: u64,
+    /// Current store-ordering epoch (relaxed core): bumped whenever a
+    /// store-ordering fence retires; committed stores carry it into the
+    /// store buffer.
+    store_epoch: u32,
     finished_reported: bool,
 }
 
@@ -132,6 +187,7 @@ impl CoreModel {
     pub fn new(core_id: usize, program: ThreadProgram, cfg: &SystemConfig) -> Self {
         CoreModel {
             core_id,
+            strength: cfg.core_strength,
             program,
             next_fetch: 0,
             window: VecDeque::new(),
@@ -144,6 +200,7 @@ impl CoreModel {
             rob_entries: cfg.rob_entries.max(1),
             issue_jitter: cfg.issue_jitter,
             squashes: 0,
+            store_epoch: 0,
             finished_reported: false,
         }
     }
@@ -151,6 +208,15 @@ impl CoreModel {
     /// The core's index.
     pub fn core_id(&self) -> usize {
         self.core_id
+    }
+
+    /// The pipeline strength this core runs with.
+    pub fn strength(&self) -> CoreStrength {
+        self.strength
+    }
+
+    fn is_relaxed(&self) -> bool {
+        self.strength == CoreStrength::Relaxed
     }
 
     /// Returns `true` once every operation has retired and all stores have
@@ -198,7 +264,10 @@ impl CoreModel {
     // ---- 1. Invalidation notices (Peekaboo squash) ----
 
     fn process_notices(&mut self, notices: &[LineAddr], bugs: &BugConfig) {
-        if notices.is_empty() || bugs.has(Bug::LqNoTso) {
+        // The relaxed core keeps no load→load ordering across addresses, so
+        // it has nothing to repair on an invalidation; coherence (same-address
+        // ordering) is preserved by issue stalls instead of squashes.
+        if notices.is_empty() || bugs.has(Bug::LqNoTso) || self.is_relaxed() {
             return;
         }
         for &line in notices {
@@ -326,8 +395,14 @@ impl CoreModel {
     }
 
     /// The newest program-order-earlier store value for `addr`, searching the
-    /// window first (youngest first), then the in-flight drain, then the store
-    /// buffer.
+    /// window first (youngest first), then the store buffer and the in-flight
+    /// drain (newest program-order match wins).
+    ///
+    /// Every committed-store lookup is bounded by the load's program-order
+    /// index: the relaxed core commits stores into the buffer past incomplete
+    /// older loads, so the buffer may hold stores *younger* than the load,
+    /// which must not be forwarded.  (Under the strong core's in-order commit
+    /// the bound is vacuous.)
     fn forwarded_value(&self, addr: Address, before_idx: usize) -> Option<u64> {
         for op in self.window.iter().rev() {
             if op.idx >= before_idx {
@@ -339,23 +414,110 @@ impl CoreModel {
                 }
             }
         }
+        let poi = before_idx as u32;
+        let mut best: Option<(u32, u64)> = self
+            .store_buffer
+            .forward_entry_before(addr, poi)
+            .map(|e| (e.poi, e.value));
         if let Some((_, entry)) = &self.outstanding_store {
-            // The outstanding store is older than anything in the buffer only
-            // under FIFO drain; checking the buffer first keeps "newest wins".
-            if let Some(v) = self.store_buffer.forward_value(addr) {
-                return Some(v);
+            if entry.addr == addr
+                && entry.poi < poi
+                && best.is_none_or(|(best_poi, _)| entry.poi > best_poi)
+            {
+                best = Some((entry.poi, entry.value));
             }
-            if entry.addr == addr {
-                return Some(entry.value);
-            }
-            return None;
         }
-        self.store_buffer.forward_value(addr)
+        best.map(|(_, value)| value)
     }
 
     // ---- 4. Issue ----
 
-    fn issue(&mut self, cycle: Cycle, out: &mut CoreTickOutput, rng: &mut StdRng) {
+    /// Returns `true` if a waiting load at window position `pos` must stall
+    /// (may not issue this cycle), given the snapshot of the window.
+    fn load_blocked(
+        &self,
+        window: &[(usize, InflightOp)],
+        pos: usize,
+        op: &InflightOp,
+        bugs: &BugConfig,
+    ) -> bool {
+        let older = window.iter().filter(|(p, _)| *p < pos);
+        if !self.is_relaxed() {
+            // Strong core: loads never issue past an incomplete fence or
+            // atomic: MFENCE (and locked RMWs) order later loads after them,
+            // and issuing speculatively past them could not be repaired by
+            // the invalidation-squash mechanism (fences are not reads, so the
+            // Peekaboo rule would not fire).  Weaker fence flavours are
+            // conservatively treated the same way.
+            let mut older = older;
+            if older.any(|(_, o)| {
+                matches!(
+                    o.op.kind,
+                    TestOpKind::Fence { .. } | TestOpKind::ReadModifyWrite { .. }
+                ) && o.state != OpState::Done
+            }) {
+                return true;
+            }
+            // An address-dependent read waits for the previous load.
+            if matches!(op.op.kind, TestOpKind::ReadAddrDp) && !bugs.has(Bug::LqNoAddrDep) {
+                return window
+                    .iter()
+                    .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done);
+            }
+            return false;
+        }
+        // Relaxed core: loads issue and perform past older loads and stores
+        // to different addresses; only genuinely ordering constructs stall
+        // them.
+        for (_, o) in older {
+            if o.state == OpState::Done {
+                continue;
+            }
+            let blocking = match o.op.kind {
+                // Only fence flavours that order later loads stall them; the
+                // Fence+no-acquire bug drops exactly the acquire stall.
+                TestOpKind::Fence { kind } => {
+                    fence_orders_later_loads(kind)
+                        && !(kind == FenceKind::Acquire && bugs.has(Bug::FenceNoAcquire))
+                }
+                // Locked RMWs keep their full-fence semantics.
+                TestOpKind::ReadModifyWrite { .. } => true,
+                // Same-address ordering (coherence / po-loc) is preserved by
+                // stalling, since the relaxed core has no squash to repair it.
+                TestOpKind::Read | TestOpKind::ReadAddrDp => o.op.addr == op.op.addr,
+                _ => false,
+            };
+            if blocking {
+                return true;
+            }
+        }
+        // Dependency-carrying loads stall on their source load; the
+        // LQ+no-addr-dep bug drops the stall (the dependency edge is still
+        // recorded by the observer, which is what makes the bug detectable).
+        if matches!(op.op.kind, TestOpKind::ReadAddrDp) && !bugs.has(Bug::LqNoAddrDep) {
+            return window
+                .iter()
+                .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done);
+        }
+        false
+    }
+
+    /// Returns `true` once every program-order-older read-like operation has
+    /// performed (the completion condition of the relaxed core's locally
+    /// executed fences).
+    fn older_reads_done(window: &[(usize, InflightOp)], pos: usize) -> bool {
+        window
+            .iter()
+            .all(|(p, o)| *p >= pos || !o.is_read_like() || o.state == OpState::Done)
+    }
+
+    fn issue(
+        &mut self,
+        cycle: Cycle,
+        bugs: &BugConfig,
+        out: &mut CoreTickOutput,
+        rng: &mut StdRng,
+    ) {
         if self.issue_jitter > 0 && rng.gen_range(0u32..65536) < self.issue_jitter as u32 {
             return;
         }
@@ -381,31 +543,8 @@ impl CoreModel {
             }
             match op.op.kind {
                 TestOpKind::Read | TestOpKind::ReadAddrDp => {
-                    // Loads never issue past an incomplete fence or atomic:
-                    // MFENCE (and locked RMWs) order later loads after them,
-                    // and issuing speculatively past them could not be repaired
-                    // by the invalidation-squash mechanism (fences are not
-                    // reads, so the Peekaboo rule would not fire).  Weaker
-                    // fence flavours are conservatively treated the same way.
-                    let prior_fence_pending = window_snapshot.iter().any(|(p, o)| {
-                        p < pos
-                            && matches!(
-                                o.op.kind,
-                                TestOpKind::Fence { .. } | TestOpKind::ReadModifyWrite { .. }
-                            )
-                            && o.state != OpState::Done
-                    });
-                    if prior_fence_pending {
+                    if self.load_blocked(&window_snapshot, *pos, op, bugs) {
                         continue;
-                    }
-                    // An address-dependent read waits for the previous load.
-                    if matches!(op.op.kind, TestOpKind::ReadAddrDp) {
-                        let prior_load_pending = window_snapshot
-                            .iter()
-                            .any(|(p, o)| p < pos && o.is_load() && o.state != OpState::Done);
-                        if prior_load_pending {
-                            continue;
-                        }
                     }
                     if let Some(value) = self.forwarded_value(op.op.addr, op.idx) {
                         let slot = &mut self.window[*pos];
@@ -425,11 +564,20 @@ impl CoreModel {
                 TestOpKind::WriteDataDp { .. } | TestOpKind::WriteCtrlDp { .. } => {
                     // A dependent store cannot compute its data (or resolve
                     // its guarding branch) until the load it depends on has
-                    // performed; it completes in the window only then.
+                    // performed; it completes in the window only then.  The
+                    // SQ+no-data-dep / SQ+no-ctrl-dep bugs drop the wait for
+                    // their dependency kind, which only the relaxed core's
+                    // early store commit can turn into an observable
+                    // reordering (the strong core retires in order).
+                    let dep_ignored = match op.op.kind {
+                        TestOpKind::WriteDataDp { .. } => bugs.has(Bug::SqNoDataDep),
+                        TestOpKind::WriteCtrlDp { .. } => bugs.has(Bug::SqNoCtrlDep),
+                        _ => unreachable!(),
+                    };
                     let prior_load_pending = window_snapshot
                         .iter()
-                        .any(|(p, o)| p < pos && o.is_load() && o.state != OpState::Done);
-                    if !prior_load_pending {
+                        .any(|(p, o)| *p < *pos && o.is_load() && o.state != OpState::Done);
+                    if dep_ignored || !prior_load_pending {
                         self.window[*pos].state = OpState::Done;
                     }
                 }
@@ -443,8 +591,28 @@ impl CoreModel {
                         issued += 1;
                     }
                 }
-                TestOpKind::Fence { .. } => {
-                    if *pos == 0 && sb_empty {
+                TestOpKind::Fence { kind } => {
+                    if self.is_relaxed() && kind != FenceKind::Full {
+                        // The relaxed core executes the weaker fence flavours
+                        // locally, by kind.  Store-store and release fences
+                        // complete immediately: in-order retirement already
+                        // delays them past everything older, and their
+                        // store-side ordering is the store-buffer epoch bumped
+                        // at retirement.  The flavours that order later loads
+                        // (acquire, load-load, lwsync) complete only once
+                        // every older read has performed, so the load stall
+                        // on them is meaningful.
+                        let done = match kind {
+                            FenceKind::StoreStore | FenceKind::Release => true,
+                            _ => Self::older_reads_done(&window_snapshot, *pos),
+                        };
+                        if done {
+                            self.window[*pos].state = OpState::Done;
+                        }
+                    } else if *pos == 0 && sb_empty {
+                        // Full fences (and every flavour on the strong core)
+                        // execute at the head of the window with the store
+                        // buffer drained.
                         new_requests.push((*pos, CoreReqKind::Fence, op.op.addr));
                         issued += 1;
                     }
@@ -485,6 +653,7 @@ impl CoreModel {
                         poi: front.idx as u32,
                         addr: front.op.addr,
                         value,
+                        epoch: self.store_epoch,
                     });
                 }
                 TestOpKind::Read | TestOpKind::ReadAddrDp => {
@@ -502,7 +671,13 @@ impl CoreModel {
                         read_value: front.read_value.expect("retired RMW has a read value"),
                     });
                 }
-                TestOpKind::Fence { .. } => {
+                TestOpKind::Fence { kind } => {
+                    if self.is_relaxed() && fence_orders_stores(kind) {
+                        // Later stores commit into a fresh store-buffer epoch,
+                        // so the relaxed drain cannot reorder them with stores
+                        // from before the fence.
+                        self.store_epoch += 1;
+                    }
                     out.observed.push(ObservedOp::Fence {
                         poi: front.idx as u32,
                     });
@@ -510,6 +685,75 @@ impl CoreModel {
                 TestOpKind::CacheFlush | TestOpKind::Delay { .. } => {}
             }
             self.window.pop_front();
+        }
+        if self.is_relaxed() {
+            self.commit_stores_early();
+        }
+    }
+
+    /// Relaxed-core load→store reordering: completed stores commit into the
+    /// store buffer past incomplete older operations, as long as every
+    /// skipped operation is a plain load (or flush) to a *different* address.
+    ///
+    /// The scan walks the window front-to-back and stops at the first fence,
+    /// atomic or delay still in flight, so fence-separated stores can never
+    /// leapfrog their barrier, and same-address stores always commit in
+    /// program order (a skipped or stuck access blocks every younger access
+    /// to its address).
+    fn commit_stores_early(&mut self) {
+        let mut blocked_addrs: Vec<Address> = Vec::new();
+        let mut pos = 0;
+        while pos < self.window.len() {
+            let op = self.window[pos];
+            let is_store = matches!(
+                op.op.kind,
+                TestOpKind::Write { .. }
+                    | TestOpKind::WriteDataDp { .. }
+                    | TestOpKind::WriteCtrlDp { .. }
+            );
+            if is_store && op.state == OpState::Done {
+                if self.store_buffer.is_full() {
+                    return;
+                }
+                if blocked_addrs.contains(&op.op.addr) {
+                    // A younger same-address store must not overtake; keep
+                    // scanning, but nothing to this address may commit.
+                    pos += 1;
+                    continue;
+                }
+                let value = op.op.kind.written_value().expect("stores carry a value");
+                self.store_buffer.push(StoreBufferEntry {
+                    poi: op.idx as u32,
+                    addr: op.op.addr,
+                    value,
+                    epoch: self.store_epoch,
+                });
+                let _ = self.window.remove(pos);
+                continue; // the next op shifted into `pos`
+            }
+            match op.op.kind {
+                // Incomplete loads and flushes are skippable; their address
+                // blocks younger stores (po-loc must survive the reorder).
+                TestOpKind::Read | TestOpKind::ReadAddrDp | TestOpKind::CacheFlush => {
+                    if op.state != OpState::Done {
+                        blocked_addrs.push(op.op.addr);
+                    }
+                }
+                // A not-yet-completed (dependency-stalled or stuck) store
+                // pins its address but does not stop the scan.
+                TestOpKind::Write { .. }
+                | TestOpKind::WriteDataDp { .. }
+                | TestOpKind::WriteCtrlDp { .. } => {
+                    blocked_addrs.push(op.op.addr);
+                }
+                // Delays are timing perturbation, not ordering: skippable.
+                TestOpKind::Delay { .. } => {}
+                // Fences and atomics are hard barriers for the early commit:
+                // a store committing past an unretired store-ordering fence
+                // would land in the pre-fence epoch.
+                TestOpKind::Fence { .. } | TestOpKind::ReadModifyWrite { .. } => return,
+            }
+            pos += 1;
         }
     }
 
@@ -520,7 +764,14 @@ impl CoreModel {
             return;
         }
         let out_of_order = bugs.has(Bug::SqNoFifo);
-        if let Some(entry) = self.store_buffer.begin_drain(out_of_order, rng) {
+        let next = if self.is_relaxed() && !out_of_order {
+            // Out of program order within a fence epoch, same-address entries
+            // in order; the SQ+no-FIFO bug (above) ignores even those fences.
+            self.store_buffer.begin_drain_relaxed(rng)
+        } else {
+            self.store_buffer.begin_drain(out_of_order, rng)
+        };
+        if let Some(entry) = next {
             let tag = self.alloc_tag();
             self.outstanding_store = Some((tag, entry));
             out.requests.push(CoreRequest {
@@ -552,7 +803,7 @@ impl CoreModel {
         self.process_notices(notices, bugs);
         self.process_responses(responses, &mut out);
         self.fetch(cycle);
-        self.issue(cycle, &mut out, rng);
+        self.issue(cycle, bugs, &mut out, rng);
         self.retire(&mut out);
         self.drain_store_buffer(bugs, &mut out, rng);
         out
@@ -981,6 +1232,337 @@ mod tests {
             .iter()
             .any(|o| matches!(o, ObservedOp::Fence { poi: 1 })));
         assert!(core.is_finished());
+    }
+
+    // ---- Relaxed pipeline ----
+
+    fn cfg_relaxed() -> SystemConfig {
+        let mut c =
+            SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+        c.issue_jitter = 0;
+        c
+    }
+
+    #[test]
+    fn relaxed_core_does_not_squash_on_invalidation() {
+        let cfg = cfg_relaxed();
+        let mut rng = rng();
+        let program = vec![TestOp::read(Address(0x100)), TestOp::read(Address(0x200))];
+        let mut core = CoreModel::new(0, program, &cfg);
+        assert_eq!(core.strength(), CoreStrength::Relaxed);
+        let bugs = BugConfig::none();
+        let out = core.tick(1, &bugs, &[], &[], &mut rng);
+        assert_eq!(out.requests.len(), 2, "both loads issue out of order");
+        let young_tag = out.requests[1].tag;
+        core.tick(
+            2,
+            &bugs,
+            &[CoreResponse {
+                tag: young_tag,
+                kind: CoreRespKind::LoadDone { value: 5 },
+            }],
+            &[],
+            &mut rng,
+        );
+        // An invalidation for the younger load's line arrives while the older
+        // load is unperformed: the relaxed core keeps the performed value.
+        let out = core.tick(3, &bugs, &[], &[LineAddr(0x200)], &mut rng);
+        assert!(out.requests.is_empty(), "no squash-and-retry");
+        assert_eq!(core.squashes(), 0);
+    }
+
+    #[test]
+    fn relaxed_core_stalls_same_address_younger_load() {
+        let cfg = cfg_relaxed();
+        let mut rng = rng();
+        let program = vec![TestOp::read(Address(0x100)), TestOp::read(Address(0x100))];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let bugs = BugConfig::none();
+        let out = core.tick(1, &bugs, &[], &[], &mut rng);
+        assert_eq!(
+            out.requests.len(),
+            1,
+            "the same-address younger load must wait (coherence)"
+        );
+    }
+
+    #[test]
+    fn relaxed_store_commits_past_incomplete_load() {
+        let cfg = cfg_relaxed();
+        let mut rng = rng();
+        // R x; W y: the store drains while the load is still outstanding —
+        // the load→store reordering the strong core can never exhibit.
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::write(Address(0x200), 9),
+        ];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let bugs = BugConfig::none();
+        let out = core.tick(1, &bugs, &[], &[], &mut rng);
+        let kinds: Vec<_> = out.requests.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&CoreReqKind::Load));
+        let drained = out
+            .requests
+            .iter()
+            .chain(core.tick(2, &bugs, &[], &[], &mut rng).requests.iter())
+            .any(|r| matches!(r.kind, CoreReqKind::Store { value: 9 }));
+        assert!(drained, "store must drain before the older load performs");
+    }
+
+    #[test]
+    fn relaxed_store_does_not_pass_same_address_load_or_fence() {
+        let cfg = cfg_relaxed();
+        let bugs = BugConfig::none();
+        // Same address: R x; W x must not drain early.
+        let mut rng2 = rng();
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::write(Address(0x100), 9),
+        ];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let out = core.tick(1, &bugs, &[], &[], &mut rng2);
+        assert!(
+            !out.requests
+                .iter()
+                .any(|r| matches!(r.kind, CoreReqKind::Store { .. })),
+            "same-address store must not overtake the load"
+        );
+        // Fenced: R x; lwsync; W y must not drain before the load performs.
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::fence_of(mcversi_mcm::FenceKind::LightweightSync),
+            TestOp::write(Address(0x200), 9),
+        ];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let out = core.tick(1, &bugs, &[], &[], &mut rng2);
+        assert!(
+            !out.requests
+                .iter()
+                .any(|r| matches!(r.kind, CoreReqKind::Store { .. })),
+            "a store must not leapfrog a pending lwsync"
+        );
+    }
+
+    #[test]
+    fn relaxed_store_buffer_drains_out_of_order_unless_fenced() {
+        let cfg = cfg_relaxed();
+        let bugs = BugConfig::none();
+        let drain_order = |program: Vec<TestOp>, seed: u64| -> Vec<u64> {
+            let mut core = CoreModel::new(0, program, &cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut drained = Vec::new();
+            let mut pending: Vec<CoreResponse> = Vec::new();
+            for cycle in 1..300 {
+                let responses = std::mem::take(&mut pending);
+                let out = core.tick(cycle, &bugs, &responses, &[], &mut rng);
+                for req in &out.requests {
+                    match req.kind {
+                        CoreReqKind::Store { value } => {
+                            drained.push(value);
+                            pending.push(CoreResponse {
+                                tag: req.tag,
+                                kind: CoreRespKind::StoreDone { overwritten: 0 },
+                            });
+                        }
+                        CoreReqKind::Fence => pending.push(CoreResponse {
+                            tag: req.tag,
+                            kind: CoreRespKind::FenceDone,
+                        }),
+                        _ => {}
+                    }
+                }
+                if core.is_finished() {
+                    break;
+                }
+            }
+            drained
+        };
+        let unfenced = vec![
+            TestOp::write(Address(0x100), 1),
+            TestOp::write(Address(0x200), 2),
+            TestOp::write(Address(0x300), 3),
+            TestOp::write(Address(0x400), 4),
+        ];
+        let mut reordered = false;
+        for seed in 0..40 {
+            if drain_order(unfenced.clone(), seed) != vec![1, 2, 3, 4] {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "unfenced relaxed drain never reordered");
+        // Store-store fences between every pair pin the order.
+        let fenced = vec![
+            TestOp::write(Address(0x100), 1),
+            TestOp::fence_of(mcversi_mcm::FenceKind::StoreStore),
+            TestOp::write(Address(0x200), 2),
+            TestOp::fence_of(mcversi_mcm::FenceKind::StoreStore),
+            TestOp::write(Address(0x300), 3),
+        ];
+        for seed in 0..40 {
+            assert_eq!(
+                drain_order(fenced.clone(), seed),
+                vec![1, 2, 3],
+                "sfence-separated stores must drain in order"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_acquire_fence_stalls_younger_loads_unless_bugged() {
+        let cfg = cfg_relaxed();
+        // R y; acq; R x — the younger load may not issue until the older load
+        // performs; the Fence+no-acquire bug lets it.
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::fence_of(mcversi_mcm::FenceKind::Acquire),
+            TestOp::read(Address(0x200)),
+        ];
+        for (bugs, expect_early) in [
+            (BugConfig::none(), false),
+            (BugConfig::single(Bug::FenceNoAcquire), true),
+        ] {
+            let mut core = CoreModel::new(0, program.clone(), &cfg);
+            let mut rng = StdRng::seed_from_u64(21);
+            let out = core.tick(1, &bugs, &[], &[], &mut rng);
+            let early = out
+                .requests
+                .iter()
+                .any(|r| r.addr == Address(0x200) && matches!(r.kind, CoreReqKind::Load));
+            assert_eq!(early, expect_early, "acquire stall must track the bug");
+        }
+    }
+
+    #[test]
+    fn relaxed_release_fence_does_not_stall_younger_loads() {
+        let cfg = cfg_relaxed();
+        let mut rng = rng();
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::fence_of(mcversi_mcm::FenceKind::Release),
+            TestOp::read(Address(0x200)),
+        ];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let bugs = BugConfig::none();
+        let out = core.tick(1, &bugs, &[], &[], &mut rng);
+        assert_eq!(
+            out.requests.len(),
+            2,
+            "a release fence orders only later writes; both loads issue"
+        );
+    }
+
+    #[test]
+    fn relaxed_addr_dep_stall_tracks_the_lq_no_addr_dep_bug() {
+        let cfg = cfg_relaxed();
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::read_addr_dp(Address(0x200)),
+        ];
+        for (bugs, expect_early) in [
+            (BugConfig::none(), false),
+            (BugConfig::single(Bug::LqNoAddrDep), true),
+        ] {
+            let mut core = CoreModel::new(0, program.clone(), &cfg);
+            let mut rng = StdRng::seed_from_u64(23);
+            let out = core.tick(1, &bugs, &[], &[], &mut rng);
+            let early = out
+                .requests
+                .iter()
+                .any(|r| r.addr == Address(0x200) && matches!(r.kind, CoreReqKind::Load));
+            assert_eq!(early, expect_early, "addr-dep stall must track the bug");
+        }
+    }
+
+    #[test]
+    fn relaxed_dependent_store_commit_tracks_the_dep_bugs() {
+        let cfg = cfg_relaxed();
+        for (make_store, bug) in [
+            (
+                TestOp::write_data_dp as fn(Address, u64) -> TestOp,
+                Bug::SqNoDataDep,
+            ),
+            (TestOp::write_ctrl_dp, Bug::SqNoCtrlDep),
+        ] {
+            let program = vec![TestOp::read(Address(0x100)), make_store(Address(0x200), 9)];
+            for (bugs, expect_early) in [(BugConfig::none(), false), (BugConfig::single(bug), true)]
+            {
+                let mut core = CoreModel::new(0, program.clone(), &cfg);
+                let mut rng = StdRng::seed_from_u64(29);
+                let out = core.tick(1, &bugs, &[], &[], &mut rng);
+                let drained = out
+                    .requests
+                    .iter()
+                    .chain(core.tick(2, &bugs, &[], &[], &mut rng).requests.iter())
+                    .any(|r| matches!(r.kind, CoreReqKind::Store { value: 9 }));
+                assert_eq!(
+                    drained, expect_early,
+                    "{bug}: dependent-store commit must track the bug"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_forwarding_never_reads_younger_committed_stores() {
+        let cfg = cfg_relaxed();
+        let mut rng = rng();
+        // R x (slow); W x=7 would be *younger*: it cannot early-commit (same
+        // address), and even a different-address early commit must not be
+        // forwarded to an older load.  Shape: R y; W x; R x — the trailing
+        // load forwards 7, the leading load must not.
+        let program = vec![
+            TestOp::read(Address(0x100)),
+            TestOp::write(Address(0x200), 7),
+            TestOp::read(Address(0x200)),
+        ];
+        let mut core = CoreModel::new(0, program, &cfg);
+        let bugs = BugConfig::none();
+        let out = core.tick(1, &bugs, &[], &[], &mut rng);
+        // The younger load forwards from the (possibly committed) store...
+        let mut observed = Vec::new();
+        let mut pending: Vec<CoreResponse> = Vec::new();
+        observed.extend(out.observed.iter().copied());
+        for req in &out.requests {
+            let kind = match req.kind {
+                CoreReqKind::Load => CoreRespKind::LoadDone { value: 0 },
+                CoreReqKind::Store { .. } => CoreRespKind::StoreDone { overwritten: 0 },
+                _ => continue,
+            };
+            pending.push(CoreResponse { tag: req.tag, kind });
+        }
+        for cycle in 2..50 {
+            let responses = std::mem::take(&mut pending);
+            let out = core.tick(cycle, &bugs, &responses, &[], &mut rng);
+            for req in &out.requests {
+                let kind = match req.kind {
+                    CoreReqKind::Load => CoreRespKind::LoadDone { value: 0 },
+                    CoreReqKind::Store { .. } => CoreRespKind::StoreDone { overwritten: 0 },
+                    _ => continue,
+                };
+                pending.push(CoreResponse { tag: req.tag, kind });
+            }
+            observed.extend(out.observed.iter().copied());
+            if core.is_finished() {
+                break;
+            }
+        }
+        assert!(observed.iter().any(|o| matches!(
+            o,
+            ObservedOp::Load {
+                poi: 2,
+                value: 7,
+                ..
+            }
+        )));
+        assert!(observed.iter().any(|o| matches!(
+            o,
+            ObservedOp::Load {
+                poi: 0,
+                value: 0,
+                ..
+            }
+        )));
     }
 
     #[test]

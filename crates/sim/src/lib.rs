@@ -4,9 +4,13 @@
 //! gem5 (full-system, Ruby, GARNET) as the system-under-verification.  It
 //! simulates, at cycle granularity:
 //!
-//! * out-of-order cores with a load queue (speculative loads, squash on
-//!   forwarded invalidations), a store queue and a FIFO store buffer
-//!   ([`core`], [`lsq`]);
+//! * out-of-order cores with a load queue, a store queue and a store buffer
+//!   ([`core`], [`lsq`]) in two pipeline strengths
+//!   ([`config::CoreStrength`]): a strong x86-ish pipeline (speculative loads
+//!   with squash on forwarded invalidations, FIFO store buffer) and a relaxed
+//!   ARM/Power-ish pipeline that genuinely reorders (out-of-order load
+//!   performance, early store commit, fence-epoch-bounded out-of-order store
+//!   drain);
 //! * private L1 caches and a shared, banked (NUCA) L2 directory connected by a
 //!   2D-mesh on-chip network ([`network`], [`cache`]);
 //! * two cache coherence protocols, modelled functionally so that stale data
@@ -48,7 +52,7 @@ pub mod system;
 pub mod types;
 
 pub use bugs::{Bug, BugConfig};
-pub use config::{ProtocolKind, SystemConfig};
+pub use config::{CoreStrength, ProtocolKind, SystemConfig};
 pub use coverage::{CoverageRecorder, Transition};
 pub use program::{TestOp, TestOpKind, TestProgram, ThreadProgram};
 pub use system::{IterationOutcome, ProtocolError, System};

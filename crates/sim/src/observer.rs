@@ -14,6 +14,13 @@
 //! Program order, the static event set and the syntactic dependency edges
 //! (address/data/control; paper §5.2.1's dependency-carrying operations) are
 //! derived from the test program itself before execution.
+//!
+//! Observation is identical for both core pipeline strengths
+//! ([`CoreStrength`](crate::config::CoreStrength)): the dependency edges are
+//! recorded from program *structure* whether or not the pipeline honoured
+//! them, which is what makes a dependency-ordering bug (a relaxed core
+//! ignoring a carried edge) visible — the checker sees the edge the hardware
+//! dropped.
 
 use crate::core::ObservedOp;
 use crate::program::{TestOpKind, TestProgram};

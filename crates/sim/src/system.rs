@@ -477,6 +477,49 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_core_satisfies_the_relaxed_models_and_breaks_tso() {
+        use crate::config::CoreStrength;
+        use mcversi_mcm::ModelKind;
+        let cfg = SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+        let mut sys = System::new(cfg, BugConfig::none(), 11);
+        let mut tso_violations = 0usize;
+        // Overlap several MP instances so the weak timing window is hit.
+        let program = TestProgram::new(vec![
+            vec![
+                TestOp::write(Address(0x1000), 1),
+                TestOp::write(Address(0x2000), 2),
+                TestOp::write(Address(0x3000), 3),
+                TestOp::write(Address(0x4000), 4),
+            ],
+            vec![
+                TestOp::read(Address(0x4000)),
+                TestOp::read(Address(0x3000)),
+                TestOp::read(Address(0x2000)),
+                TestOp::read(Address(0x1000)),
+            ],
+        ]);
+        for _ in 0..60 {
+            let outcome = sys.run_iteration(&program);
+            assert!(outcome.complete, "outcome: {outcome:?}");
+            for model in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+                assert!(
+                    Checker::new(model.instance())
+                        .check(&outcome.execution)
+                        .is_valid(),
+                    "correct relaxed core violated {model}"
+                );
+            }
+            if Checker::new(&Tso).check(&outcome.execution).is_violation() {
+                tso_violations += 1;
+            }
+        }
+        assert!(
+            tso_violations > 0,
+            "the relaxed core never exhibited a TSO-forbidden reordering"
+        );
+    }
+
+    #[test]
     fn reset_between_iterations_restores_initial_values() {
         let cfg = SystemConfig::small(ProtocolKind::Mesi);
         let mut sys = System::new(cfg, BugConfig::none(), 5);

@@ -445,9 +445,38 @@ pub fn weak_suite_flavoured(
         .collect()
 }
 
+/// Mixed-flavour message passing: a full fence on the writer side and an
+/// acquire fence on the reader side (`MP+mfence+acq`).
+///
+/// This is the shape that distinguishes an acquire fence that flushes the
+/// load queue from one that does not (the `Fence+no-acquire` injected bug):
+/// the writer's cumulative fence orders the data before the flag everywhere,
+/// so a stale data read can only come from the reader's loads performing out
+/// of order *through* the acquire fence.  Only models that give acquire
+/// fences ordering semantics (the ARM-ish one) forbid the weak outcome.
+///
+/// # Panics
+///
+/// Panics if fewer than two locations are supplied.
+pub fn acquire_suite(locations: &[Address]) -> Vec<LitmusTest> {
+    assert!(
+        locations.len() >= 2,
+        "acquire suite needs at least 2 locations"
+    );
+    vec![build(
+        "MP+mfence+acq",
+        &[
+            &[A::W(0), A::Fl(FenceKind::Full), A::W(1)],
+            &[A::R(1), A::Fl(FenceKind::Acquire), A::R(0)],
+        ],
+        locations,
+    )]
+}
+
 /// The combined weak-model corpus: the flavoured shapes instantiated for the
 /// full fence with data-dependent writes, the `lwsync` flavour, and the
-/// release flavour with control-dependent writes, deduplicated by name.
+/// release flavour with control-dependent writes, plus the mixed
+/// acquire-flavoured MP shape, deduplicated by name.
 pub fn weak_suite(locations: &[Address]) -> Vec<LitmusTest> {
     let mut suite = weak_suite_flavoured(locations, FenceKind::Full, DepKind::Data);
     suite.extend(weak_suite_flavoured(
@@ -460,6 +489,7 @@ pub fn weak_suite(locations: &[Address]) -> Vec<LitmusTest> {
         FenceKind::Release,
         DepKind::Ctrl,
     ));
+    suite.extend(acquire_suite(locations));
     dedup_by_name(suite)
 }
 
@@ -486,11 +516,22 @@ pub fn model_flavours(model: ModelKind) -> &'static [(FenceKind, DepKind)] {
 /// The litmus corpus for a target model over the given locations: the x86-TSO
 /// suite for the strong models, extended with the model's natural weak-shape
 /// flavours (see [`model_flavours`]) for the relaxed ones.
+///
+/// For relaxed targets the weak shapes come *first*: a campaign's test-run
+/// budget may be far smaller than the corpus, and the shapes that exercise
+/// the target model's dependency/fence machinery are the ones its bugs hide
+/// behind — the diy round-robin should reach them before the generic x86
+/// enumeration.
 pub fn suite_for(model: ModelKind, locations: &[Address]) -> Vec<LitmusTest> {
-    let mut suite = x86_tso_suite(locations);
+    let mut suite = Vec::new();
     for &(fence, dep) in model_flavours(model) {
         suite.extend(weak_suite_flavoured(locations, fence, dep));
     }
+    if model == ModelKind::Armish {
+        // The only model with acquire-fence semantics also tests them.
+        suite.extend(acquire_suite(locations));
+    }
+    suite.extend(x86_tso_suite(locations));
     dedup_by_name(suite)
 }
 

@@ -1,0 +1,86 @@
+//! Documentation freshness: every workspace path referenced by the
+//! architecture docs must exist.
+//!
+//! `cargo doc -D warnings` (run in CI) already catches stale *rustdoc* links;
+//! this test covers the Markdown side, so a refactor that moves or deletes a
+//! file fails tier-1 until `ARCHITECTURE.md` / `README.md` are updated.
+
+use std::path::Path;
+
+/// Extracts workspace-relative path candidates from a Markdown document:
+/// inline-code spans that look like paths (contain a `/` or end in a known
+/// extension) and the targets of relative Markdown links.
+fn referenced_paths(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // `code span` references.
+    for piece in markdown.split('`').skip(1).step_by(2) {
+        let candidate = piece.trim().trim_end_matches('/');
+        let path_like = candidate.contains('/')
+            || Path::new(candidate)
+                .extension()
+                .is_some_and(|e| ["rs", "md", "toml", "yml", "lock"].iter().any(|x| e == *x));
+        if path_like
+            && !candidate.is_empty()
+            && candidate
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._-/".contains(c))
+        {
+            out.push(candidate.to_string());
+        }
+    }
+    // [text](target) links to workspace files (skip URLs and anchors).
+    for (i, _) in markdown.match_indices("](") {
+        let rest = &markdown[i + 2..];
+        if let Some(end) = rest.find(')') {
+            let target = rest[..end].trim();
+            if !target.is_empty()
+                && !target.starts_with("http")
+                && !target.starts_with('#')
+                && !target.contains(' ')
+            {
+                out.push(target.split('#').next().unwrap_or(target).to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn check_doc(doc: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join(doc)).unwrap_or_else(|e| {
+        panic!("{doc} must exist and be readable: {e}");
+    });
+    let mut stale = Vec::new();
+    for path in referenced_paths(&text) {
+        if !root.join(&path).exists() {
+            stale.push(path);
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "{doc} references paths that no longer exist: {stale:?}"
+    );
+}
+
+#[test]
+fn architecture_doc_links_are_live() {
+    check_doc("ARCHITECTURE.md");
+}
+
+#[test]
+fn readme_doc_links_are_live() {
+    check_doc("README.md");
+}
+
+#[test]
+fn path_extraction_finds_code_spans_and_links() {
+    let md = "see `crates/sim/src/core.rs` and [the readme](README.md), \
+              not `just code` or [a site](https://example.com) or [anchor](#x)";
+    let paths = referenced_paths(md);
+    assert!(paths.contains(&"crates/sim/src/core.rs".to_string()));
+    assert!(paths.contains(&"README.md".to_string()));
+    assert!(!paths.iter().any(|p| p.contains("example.com")));
+    assert!(!paths.iter().any(|p| p.starts_with('#')));
+}

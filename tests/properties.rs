@@ -11,7 +11,11 @@
 //!   exists exactly for acyclic relations;
 //! * model strength is monotone: on arbitrary well-formed candidate
 //!   executions (with dependencies and every fence flavour), acceptance
-//!   implies acceptance down the chain `SC ⇒ TSO ⇒ {ARMish, POWERish} ⇒ RMO`.
+//!   implies acceptance down the chain `SC ⇒ TSO ⇒ {ARMish, POWERish} ⇒ RMO`;
+//! * the relaxed simulator core is *sound* for the dependency-ordered models
+//!   (arbitrary generated tests never produce an ARMish/POWERish/RMO
+//!   violation on the correct design) while being *genuinely weaker* than
+//!   SC/TSO (sampled runs exhibit forbidden reorderings).
 
 use mcversi::core::lowering::lower;
 use mcversi::core::{McVerSiConfig, TestRunner};
@@ -241,6 +245,31 @@ proptest! {
         prop_assert!(result.analysis.ndt >= 0.0);
     }
 
+    /// Soundness of the relaxed pipeline: for arbitrary generated tests
+    /// (relaxed operation mix: dependency-carrying ops and weak fence
+    /// flavours), the correct relaxed-core design never violates the
+    /// dependency-ordered model it is checked against.
+    #[test]
+    fn relaxed_core_correct_design_satisfies_its_own_models(seed in 0u64..500) {
+        use mcversi::sim::CoreStrength;
+        let model = [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo][(seed % 3) as usize];
+        let config = McVerSiConfig::small()
+            .with_model(model)
+            .with_core_strength(CoreStrength::Relaxed)
+            .with_iterations(2)
+            .with_test_size(40)
+            .with_seed(seed);
+        let params = config.testgen.clone();
+        let mut runner = TestRunner::new(config, BugConfig::none());
+        let test = RandomTestGenerator::new(params).generate(&mut StdRng::seed_from_u64(seed));
+        let result = runner.run_test(&test);
+        prop_assert!(
+            !result.verdict.is_bug(),
+            "relaxed core violated {model}: {:?}",
+            result.verdict
+        );
+    }
+
     #[test]
     fn simulation_is_deterministic_per_seed(seed in 0u64..500) {
         let run = |sim_seed: u64| {
@@ -301,6 +330,73 @@ fn model_strength_monotone_wide_sweep() {
     assert!(
         accepted_counts[4] < 500,
         "some executions must violate even RMO: {accepted_counts:?}"
+    );
+}
+
+/// Deterministic sweep backing the relaxed-core properties: on generated
+/// tests with the relaxed operation mix, every complete execution of the
+/// correct relaxed core is accepted by all three dependency-ordered models,
+/// while at least one sampled run exhibits a reordering that SC and TSO
+/// forbid — the core is genuinely weaker than the strong models, not merely
+/// differently configured.
+#[test]
+fn relaxed_core_weaker_than_tso_but_sound_for_weak_models() {
+    use mcversi::core::lowering::lower;
+    use mcversi::mcm::checker::Checker;
+    use mcversi::sim::{
+        BugConfig as SimBugConfig, CoreStrength, ProtocolKind, System, SystemConfig,
+    };
+    use mcversi::testgen::OperationBias;
+
+    let cfg = SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+    let mut sys = System::new(cfg, SimBugConfig::none(), 17);
+    let mut params = TestGenParams::small().with_threads(4).with_test_size(48);
+    params.bias = OperationBias::relaxed_default();
+    let gen = RandomTestGenerator::new(params);
+    let mut tso_broken = 0usize;
+    let mut sc_broken = 0usize;
+    let mut complete = 0usize;
+    for seed in 0..40u64 {
+        let program = lower(&gen.generate(&mut StdRng::seed_from_u64(seed)));
+        let outcome = sys.run_iteration(&program);
+        assert!(
+            outcome.protocol_errors.is_empty(),
+            "seed {seed}: {:?}",
+            outcome.protocol_errors
+        );
+        if !outcome.complete {
+            continue;
+        }
+        complete += 1;
+        for model in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+            assert!(
+                Checker::new(model.instance())
+                    .check(&outcome.execution)
+                    .is_valid(),
+                "seed {seed}: correct relaxed core violated {model}"
+            );
+        }
+        if Checker::new(ModelKind::Tso.instance())
+            .check(&outcome.execution)
+            .is_violation()
+        {
+            tso_broken += 1;
+        }
+        if Checker::new(ModelKind::Sc.instance())
+            .check(&outcome.execution)
+            .is_violation()
+        {
+            sc_broken += 1;
+        }
+    }
+    assert!(complete > 20, "too few complete runs: {complete}");
+    assert!(
+        tso_broken > 0,
+        "no sampled run exhibited a TSO-forbidden reordering"
+    );
+    assert!(
+        sc_broken >= tso_broken,
+        "every TSO violation is an SC violation (monotonicity)"
     );
 }
 
