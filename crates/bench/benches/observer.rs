@@ -1,0 +1,99 @@
+//! Criterion bench: per-iteration observer cost.
+//!
+//! One test-run executes the same program for several iterations; the
+//! observer's static event set depends only on the program, so rebuilding it
+//! every iteration (`fresh`) pays program-walk, map-construction and
+//! relation allocations that reuse (`reused`, via `ExecObserver::reset`)
+//! avoids.  This isolates the "per-iteration allocations in the observer"
+//! cost that the simulator bench buries under cache and network simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcversi_core::lowering::lower;
+use mcversi_sim::observer::ExecObserver;
+use mcversi_sim::ObservedOp;
+use mcversi_testgen::{RandomTestGenerator, TestGenParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Replays a plausible completed iteration into the observer: every static
+/// operation of the program reports completion with its lowered value.
+fn replay(observer: &mut ExecObserver, program: &mcversi_sim::TestProgram) {
+    use mcversi_sim::TestOpKind;
+    for (thread, ops) in program.threads().iter().enumerate() {
+        for (poi, op) in ops.iter().enumerate() {
+            let poi = poi as u32;
+            match op.kind {
+                TestOpKind::Read | TestOpKind::ReadAddrDp => observer.record(
+                    thread,
+                    ObservedOp::Load {
+                        poi,
+                        addr: op.addr,
+                        value: 0,
+                    },
+                ),
+                TestOpKind::Write { value }
+                | TestOpKind::WriteDataDp { value }
+                | TestOpKind::WriteCtrlDp { value } => observer.record(
+                    thread,
+                    ObservedOp::Store {
+                        poi,
+                        addr: op.addr,
+                        value,
+                        overwritten: 0,
+                    },
+                ),
+                TestOpKind::ReadModifyWrite { value } => observer.record(
+                    thread,
+                    ObservedOp::Rmw {
+                        poi,
+                        addr: op.addr,
+                        write_value: value,
+                        read_value: 0,
+                    },
+                ),
+                TestOpKind::Fence { .. } => observer.record(thread, ObservedOp::Fence { poi }),
+                TestOpKind::CacheFlush | TestOpKind::Delay { .. } => {}
+            }
+        }
+    }
+}
+
+fn bench_observer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer");
+    for &ops in &[64usize, 256, 1024] {
+        let params = TestGenParams::small()
+            .with_threads(4)
+            .with_test_size(ops)
+            .with_test_memory(1024);
+        let test = RandomTestGenerator::new(params).generate(&mut StdRng::seed_from_u64(5));
+        let program = lower(&test);
+
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("{ops}ops")),
+            &program,
+            |bench, program| {
+                bench.iter(|| {
+                    let mut observer = ExecObserver::new(program);
+                    replay(&mut observer, program);
+                    observer.finish().len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reused", format!("{ops}ops")),
+            &program,
+            |bench, program| {
+                let mut observer = ExecObserver::new(program);
+                bench.iter(|| {
+                    observer.reset();
+                    replay(&mut observer, program);
+                    observer.finish().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer);
+criterion_main!(benches);

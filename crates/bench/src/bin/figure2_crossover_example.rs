@@ -6,9 +6,10 @@
 //! selective crossover, showing that fit-address genes are preserved and slots
 //! unselected in both parents are mutated.
 
+use mcversi_core::ScenarioSpec;
 use mcversi_mcm::Address;
 use mcversi_testgen::ndt::NdtAnalysis;
-use mcversi_testgen::{selective_crossover_mutate, Gene, Op, OpKind, Test, TestGenParams};
+use mcversi_testgen::{selective_crossover_mutate, Gene, Op, OpKind, Test};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,7 +93,12 @@ fn main() {
 
     // Step 2/3: crossover can produce several children; unselected slots in
     // both parents are mutated (addresses biased towards the fit union).
-    let mut params = TestGenParams::small().with_threads(2).with_test_size(8);
+    // The generation parameters come from a two-core, eight-gene scenario.
+    let mut spec = ScenarioSpec::small();
+    spec.cores = 2;
+    spec.test_size = 8;
+    spec.test_memory_bytes = 256;
+    let mut params = spec.testgen();
     params.p_bfa = 0.5;
     for seed in 0..3u64 {
         let mut rng = StdRng::seed_from_u64(seed);

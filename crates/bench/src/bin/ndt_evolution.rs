@@ -4,10 +4,13 @@
 //!
 //! The paper's finding: with 1 KB of test memory the initial random population
 //! already exceeds NDT 2.0; with 8 KB it starts around 1.1 and only
-//! McVerSi-ALL (selective crossover) pushes it to 2.0 or above.
+//! McVerSi-ALL (selective crossover) pushes it to 2.0 or above.  The four
+//! traced configurations form the generator axis of one declarative
+//! [`mcversi_core::ScenarioGrid`]; the per-test-run NDT samples
+//! are this binary's own trace (it observes the generator, not a campaign).
 
-use mcversi_bench::{banner, write_artifact, Scale};
-use mcversi_core::{GeneratorKind, TestRunner, TestSource};
+use mcversi_bench::{banner, write_artifact};
+use mcversi_core::{ScenarioGrid, ScenarioSpec, TestRunner, TestSource};
 use mcversi_sim::BugConfig;
 use serde::Serialize;
 
@@ -25,28 +28,26 @@ struct NdtTrace {
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    banner("NDT evolution (paper §6.1)", &scale);
-    let configs = [
-        (GeneratorKind::McVerSiAll, 1024u64, "McVerSi-ALL (1KB)"),
-        (GeneratorKind::McVerSiAll, 8 * 1024, "McVerSi-ALL (8KB)"),
-        (
-            GeneratorKind::McVerSiStdXo,
-            8 * 1024,
-            "McVerSi-Std.XO (8KB)",
-        ),
-        (GeneratorKind::McVerSiRand, 8 * 1024, "McVerSi-RAND (8KB)"),
-    ];
+    use mcversi_core::GeneratorKind::*;
+    let base = ScenarioSpec::from_env().seed(7);
+    banner("NDT evolution (paper §6.1)", &base);
+    let grid = ScenarioGrid::new(base).generator_columns([
+        (McVerSiAll, 1024, None),
+        (McVerSiAll, 8 * 1024, None),
+        (McVerSiStdXo, 8 * 1024, None),
+        (McVerSiRand, 8 * 1024, None),
+    ]);
     let mut traces = Vec::new();
 
-    for (generator, memory, label) in configs {
+    for cell in grid.cells() {
+        let label = cell.display_label();
         println!("{label} ...");
-        let cfg = scale.mcversi_config(memory).with_seed(7);
+        let cfg = cell.mcversi();
         let params = cfg.testgen.clone();
         let mut runner = TestRunner::new(cfg, BugConfig::none());
-        let mut source = TestSource::new(generator, params, 7);
+        let mut source = TestSource::new(cell.generator, params, cell.base_seed);
         let mut points = Vec::new();
-        for run in 1..=scale.test_runs {
+        for run in 1..=cell.max_test_runs {
             let (id, test, _) = source.next_test();
             let result = runner.run_test(&test);
             source.feedback(id, &result);
@@ -63,10 +64,7 @@ fn main() {
             "  initial run NDT {:.2}, final population mean NDT {:.2}, max run NDT {:.2}",
             first, last_mean, max_run
         );
-        traces.push(NdtTrace {
-            label: label.to_string(),
-            points,
-        });
+        traces.push(NdtTrace { label, points });
     }
 
     println!("\nSeries (test-run index vs population mean NDT):");

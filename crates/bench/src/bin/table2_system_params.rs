@@ -1,9 +1,14 @@
 //! Regenerates paper Table 2: the simulated system parameters.
+//!
+//! The printed configuration is derived from the paper-scale
+//! [`mcversi_core::ScenarioSpec`] — the same declarative
+//! description the campaign sweeps expand — rather than from a hand-built
+//! config object.
 
-use mcversi_sim::SystemConfig;
+use mcversi_core::ScenarioSpec;
 
 fn main() {
-    let cfg = SystemConfig::paper_default();
+    let cfg = ScenarioSpec::paper().system();
     println!("=== Table 2: system parameters ===");
     let cores = format!("{} (out-of-order)", cfg.num_cores);
     println!("{:<28} {}", "Core-count & frequency", cores);

@@ -1,12 +1,20 @@
 //! Regenerates paper Table 3: the test generation parameters.
+//!
+//! The two printed columns (1 KB and 8 KB test memory) are the generator axis
+//! of a declarative [`mcversi_core::ScenarioGrid`] over the
+//! paper-scale base spec.
 
-use mcversi_testgen::TestGenParams;
+use mcversi_core::{GeneratorKind, ScenarioGrid, ScenarioSpec};
 
 fn main() {
     println!("=== Table 3: test generation parameters ===");
-    for memory in [1024u64, 8 * 1024] {
-        let p = TestGenParams::paper_default(memory);
-        println!("--- Test memory {} KB ---", memory / 1024);
+    let grid = ScenarioGrid::new(ScenarioSpec::paper()).generator_columns([
+        (GeneratorKind::McVerSiAll, 1024, None),
+        (GeneratorKind::McVerSiAll, 8 * 1024, None),
+    ]);
+    for cell in grid.cells() {
+        let p = cell.testgen();
+        println!("--- Test memory {} KB ---", cell.test_memory_bytes / 1024);
         println!(
             "{:<28} {} operations (total across threads)",
             "Test size", p.test_size
@@ -48,7 +56,7 @@ fn main() {
         println!("{:<28} {}", "PBFA", p.p_bfa);
         println!();
     }
-    let p = TestGenParams::paper_default(8 * 1024);
+    let p = ScenarioSpec::paper().test_memory(8 * 1024).testgen();
     match mcversi_bench::write_artifact("table3_testgen_params.json", &p) {
         Ok(path) => println!("artifact: {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),

@@ -1,16 +1,14 @@
 //! Regenerates paper Table 4 — bug coverage per generator configuration —
 //! across target consistency models and simulated core strengths.
 //!
-//! For every core strength (`MCVERSI_CORES`, default `strong`; pass
-//! `strong,relaxed` or `all` to sweep both), every target model
-//! (`MCVERSI_MODELS`, default `SC,TSO,ARMish,RMO`), every studied bug and
-//! every generator configuration (McVerSi-ALL, McVerSi-Std.XO and
-//! McVerSi-RAND at 1 KB and 8 KB test memory, plus diy-litmus), the binary
-//! runs `MCVERSI_SAMPLES` campaign samples and reports how many found the bug
-//! and the mean normalised time to find it (fraction of the test-run budget;
-//! the paper reports wall-clock hours of a 24-hour budget).  See
-//! `crates/bench/src/experiment.rs` for the scaling knobs and EXPERIMENTS.md
-//! for the comparison against the paper's numbers.
+//! The sweep is one declarative [`mcversi_core::ScenarioGrid`]: the base spec and the model
+//! / core-strength axes come from the environment (`MCVERSI_*`, including a
+//! JSON base spec via `MCVERSI_SPEC`; see `mcversi_core::scenario`), the bug
+//! axis is the extended corpus restricted to observable (bug × core) pairs,
+//! and the generator axis is the paper's seven columns.  Every cell runs
+//! `samples` campaign samples; when `MCVERSI_JSONL` is set,
+//! every campaign event additionally streams to a JSONL log
+//! ([`mcversi_core::JsonlSink`]) while the tables accumulate.
 //!
 //! The (model × core) sweep is the cross-model extension of the paper's
 //! TSO-only table: under SC the (TSO-correct) design itself is flagged
@@ -27,15 +25,22 @@
 
 use mcversi_bench::core_matrix::run_core_matrix;
 use mcversi_bench::matrix::render_matrix;
-use mcversi_bench::{banner, table_columns, write_artifact, Scale};
-use mcversi_core::campaign::run_samples;
+use mcversi_bench::{banner, table_columns, write_artifact};
 use mcversi_core::report::{aggregate_cell, BugCoverageTable};
+use mcversi_core::scenario::jsonl_sink_from_env;
+use mcversi_core::sink::NullSink;
+use mcversi_core::{grid_from_env, SeedPolicy};
+use mcversi_sim::Bug;
 
 fn main() {
-    let scale = Scale::from_env();
+    let grid = grid_from_env()
+        .generator_columns(table_columns())
+        .bugs(Bug::ALL_EXTENDED)
+        .observable_bugs_only()
+        .seed_policy(SeedPolicy::table4());
     banner(
         "Table 4: bug coverage (per model and core strength)",
-        &scale,
+        grid.base(),
     );
 
     println!("Cross-model litmus verdict matrix (canonical weak outcomes):");
@@ -56,59 +61,86 @@ fn main() {
     }
     println!("all cells match the pinned expectations\n");
 
-    let columns = table_columns();
+    let mut jsonl = jsonl_sink_from_env();
+    let column_labels = grid.column_labels();
     let mut all_raw = Vec::new();
+    // (core, model) groups arrive in grid order; tables render when a group
+    // closes so long sweeps report incrementally.
+    let mut open_group: Option<(String, String, BugCoverageTable)> = None;
+    let mut current_bug: Option<Option<Bug>> = None;
 
-    for (core_idx, &core) in scale.core_strengths.iter().enumerate() {
-        let bugs = Scale::bugs_for_core(core);
-        for (model_idx, &model) in scale.models.iter().enumerate() {
-            println!("=== core: {core}, target model: {model} ===");
-            let mut table =
-                BugCoverageTable::new(columns.iter().map(|(_, _, l)| l.clone()).collect());
-
-            for &bug in &bugs {
-                println!("bug {bug} ...");
-                for (generator, memory, label) in &columns {
-                    let cfg = scale.campaign_cell(*generator, Some(bug), *memory, model, core);
-                    let base_seed = 1000
-                        + bug as u64 * 100
-                        + model_idx as u64 * 10_000
-                        + core_idx as u64 * 100_000;
-                    let results = run_samples(&cfg, scale.samples, base_seed);
-                    let cell = aggregate_cell(*generator, label, &results, scale.test_runs);
-                    println!(
-                        "  {:<22} found {}/{} (mean time {:.2})",
-                        label, cell.found, cell.samples, cell.mean_time
-                    );
-                    all_raw.extend(results);
-                    table.insert(bug, label, cell);
+    for cell in grid.cells() {
+        let group_key = (cell.core_strength.to_string(), cell.model.to_string());
+        match &open_group {
+            Some((core, model, _)) if (core, model) == (&group_key.0, &group_key.1) => {}
+            _ => {
+                if let Some(group) = open_group.take() {
+                    render_group(group);
                 }
-            }
-
-            println!();
-            println!("{}", table.render());
-            println!(
-                "'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget."
-            );
-            let summary = table.summary();
-            println!("\n[{core}/{model}] all-bugs summary (found samples, mean normalised time):");
-            for (col, (found, time)) in &summary {
-                println!("  {col:<22} {found:>3} ({time:.2})");
-            }
-            println!();
-
-            let artifact = format!(
-                "table4_bug_coverage_{}_{}.json",
-                core.name(),
-                model.name().to_lowercase()
-            );
-            if let Ok(path) = write_artifact(&artifact, &table) {
-                println!("artifact: {}", path.display());
+                println!(
+                    "=== core: {}, target model: {} ===",
+                    group_key.0, group_key.1
+                );
+                open_group = Some((
+                    group_key.0,
+                    group_key.1,
+                    BugCoverageTable::new(column_labels.clone()),
+                ));
+                current_bug = None;
             }
         }
+        if current_bug != Some(cell.bug) {
+            let bug = cell
+                .bug
+                .expect("the table-4 bug axis has no correct-design cells");
+            println!("bug {bug} ...");
+            current_bug = Some(cell.bug);
+        }
+
+        let label = cell.display_label();
+        let results = match &mut jsonl {
+            Some(sink) => cell.run(sink),
+            None => cell.run(&mut NullSink),
+        };
+        let table_cell = aggregate_cell(cell.generator, &label, &results, cell.max_test_runs);
+        println!(
+            "  {:<22} found {}/{} (mean time {:.2})",
+            label, table_cell.found, table_cell.samples, table_cell.mean_time
+        );
+        all_raw.extend(results);
+        let bug = cell.bug.expect("checked above");
+        if let Some((_, _, table)) = &mut open_group {
+            table.insert(bug, &label, table_cell);
+        }
+    }
+    if let Some(group) = open_group.take() {
+        render_group(group);
     }
 
+    if let Some(sink) = &jsonl {
+        println!("event stream: {} JSONL lines", sink.lines());
+    }
     if let Ok(path) = write_artifact("table4_raw_results.json", &all_raw) {
         println!("raw results: {}", path.display());
+    }
+}
+
+/// Renders one finished (core, model) group and writes its artifact.
+fn render_group((core, model, table): (String, String, BugCoverageTable)) {
+    println!();
+    println!("{}", table.render());
+    println!(
+        "'N (t)' = found by N samples, mean normalised time t; 'NF' = not found within the budget."
+    );
+    let summary = table.summary();
+    println!("\n[{core}/{model}] all-bugs summary (found samples, mean normalised time):");
+    for (col, (found, time)) in &summary {
+        println!("  {col:<22} {found:>3} ({time:.2})");
+    }
+    println!();
+
+    let artifact = format!("table4_bug_coverage_{}_{}.json", core, model.to_lowercase());
+    if let Ok(path) = write_artifact(&artifact, &table) {
+        println!("artifact: {}", path.display());
     }
 }

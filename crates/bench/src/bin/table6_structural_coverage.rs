@@ -4,40 +4,61 @@
 //! Coverage campaigns run on the *correct* (bug-free) design; the metric is
 //! the fraction of the protocol's transition universe covered cumulatively by
 //! the whole campaign (the paper's "maximum total transition coverage observed
-//! across all simulation runs").
+//! across all simulation runs").  The sweep is one declarative
+//! [`mcversi_core::ScenarioGrid`] — protocols × the seven
+//! generator columns — and sample progress streams live through a
+//! [`mcversi_core::ProgressSink`] on stderr.
 
-use mcversi_bench::{banner, table_columns, write_artifact, Scale};
-use mcversi_core::campaign::run_samples;
+use mcversi_bench::{banner, table_columns, write_artifact};
 use mcversi_core::report::CoverageRow;
+use mcversi_core::scenario::jsonl_sink_from_env;
+use mcversi_core::sink::ProgressSink;
+use mcversi_core::{ScenarioGrid, ScenarioSpec};
 use mcversi_sim::ProtocolKind;
 use std::collections::BTreeMap;
 
 fn main() {
-    let scale = Scale::from_env();
-    banner("Table 6: maximum total transition coverage", &scale);
-    let columns = table_columns();
-    let column_labels: Vec<String> = columns.iter().map(|(_, _, l)| l.clone()).collect();
-    let mut rows = Vec::new();
+    let base = ScenarioSpec::from_env().seed(9000);
+    banner("Table 6: maximum total transition coverage", &base);
+    let grid = ScenarioGrid::new(base)
+        .protocols([ProtocolKind::Mesi, ProtocolKind::TsoCc])
+        .correct_design()
+        .generator_columns(table_columns());
+    let column_labels = grid.column_labels();
 
-    for protocol in [ProtocolKind::Mesi, ProtocolKind::TsoCc] {
-        println!("protocol {} ...", protocol.name());
-        let mut coverage = BTreeMap::new();
-        for (generator, memory, label) in &columns {
-            let mut cfg = scale.campaign(*generator, None, *memory);
-            cfg.mcversi.system.protocol = protocol;
-            let results = run_samples(&cfg, scale.samples, 9000);
-            let max_cov = results
-                .iter()
-                .map(|r| r.max_total_coverage)
-                .fold(0.0f64, f64::max);
-            println!("  {:<22} {:.1}%", label, max_cov * 100.0);
-            coverage.insert(label.clone(), max_cov);
+    let mut jsonl = jsonl_sink_from_env();
+    let mut per_protocol: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut protocol_order: Vec<String> = Vec::new();
+    for cell in grid.cells() {
+        let protocol = cell.protocol.name().to_string();
+        if !protocol_order.contains(&protocol) {
+            println!("protocol {protocol} ...");
+            protocol_order.push(protocol.clone());
         }
-        rows.push(CoverageRow {
-            protocol: protocol.name().to_string(),
-            coverage,
-        });
+        let label = cell.display_label();
+        let mut progress = ProgressSink::stderr().with_prefix(&format!("[{protocol}/{label}]"));
+        let results = match &mut jsonl {
+            Some(sink) => cell.run(&mut (&mut progress, sink)),
+            None => cell.run(&mut progress),
+        };
+        let max_cov = results
+            .iter()
+            .map(|r| r.max_total_coverage)
+            .fold(0.0f64, f64::max);
+        println!("  {:<22} {:.1}%", label, max_cov * 100.0);
+        per_protocol
+            .entry(protocol)
+            .or_default()
+            .insert(label, max_cov);
     }
+
+    let rows: Vec<CoverageRow> = protocol_order
+        .iter()
+        .map(|protocol| CoverageRow {
+            protocol: protocol.clone(),
+            coverage: per_protocol.remove(protocol).unwrap_or_default(),
+        })
+        .collect();
 
     println!();
     print!("{:<8}", "Protocol");
@@ -49,6 +70,9 @@ fn main() {
         println!("{}", row.render(&column_labels));
     }
 
+    if let Some(sink) = &jsonl {
+        println!("\nevent stream: {} JSONL lines", sink.lines());
+    }
     if let Ok(path) = write_artifact("table6_structural_coverage.json", &rows) {
         println!("\nartifact: {}", path.display());
     }

@@ -26,7 +26,7 @@
 //! rather than hitting in the L1 — the timing windows the short litmus forms
 //! only hit after many more executions.
 
-use mcversi_core::{McVerSiConfig, TestRunner};
+use mcversi_core::{ScenarioGrid, ScenarioSpec, TestRunner};
 use mcversi_mcm::{Address, ModelKind};
 use mcversi_sim::{Bug, BugConfig, CoreStrength};
 use mcversi_testgen::{Gene, Op, OpKind, Test};
@@ -127,6 +127,18 @@ pub fn probe_programs(bug: Option<Bug>) -> Vec<Test> {
     }
 }
 
+/// The declarative description of one probe cell: the scaled-down system at
+/// the given (core strength × model) coordinates, 3 executions per test-run.
+pub fn probe_spec(bug: Option<Bug>, core: CoreStrength, model: ModelKind) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::small()
+        .bug(bug)
+        .model(model)
+        .core_strength(core);
+    spec.iterations = 3;
+    spec.cores = 4;
+    spec
+}
+
 /// Runs up to `runs` test-runs of the directed probe for `bug` on a system
 /// with the given core strength, checking against `model`; returns `true` as
 /// soon as any run reports a bug.
@@ -137,14 +149,15 @@ pub fn detect(
     runs: usize,
     seed: u64,
 ) -> bool {
-    let mcversi = McVerSiConfig::small()
-        .with_model(model)
-        .with_core_strength(core)
-        .with_iterations(3)
-        .with_seed(seed);
-    let bugs = bug.map(BugConfig::single).unwrap_or_default();
-    let mut runner = TestRunner::new(mcversi, bugs);
-    let programs = probe_programs(bug);
+    detect_cell(&probe_spec(bug, core, model).seed(seed), runs)
+}
+
+/// Runs the directed probe described by a [`ScenarioSpec`] cell (bug, core
+/// strength, model and seed are all read from the spec).
+pub fn detect_cell(cell: &ScenarioSpec, runs: usize) -> bool {
+    let bugs = cell.bug.map(BugConfig::single).unwrap_or_default();
+    let mut runner = TestRunner::new(cell.mcversi(), bugs);
+    let programs = probe_programs(cell.bug);
     (0..runs).any(|i| {
         runner
             .run_test(&programs[i % programs.len()])
@@ -243,8 +256,13 @@ pub fn run_core_matrix(runs: usize) -> (String, usize) {
                 CoreStrength::Strong => row.strong,
                 CoreStrength::Relaxed => row.relaxed,
             };
-            for (i, &model) in row.models.iter().enumerate() {
-                let got = detect(row.bug, core, model, runs, 7 + i as u64);
+            // One row of the sweep = one single-axis grid over the row's
+            // models at this core strength.
+            let cells = ScenarioGrid::new(probe_spec(row.bug, core, row.models[0]))
+                .models(row.models.iter().copied())
+                .cells();
+            for (i, probe) in cells.iter().enumerate() {
+                let got = detect_cell(&probe.clone().seed(7 + i as u64), runs);
                 let cell = match (got, got == expectations[i]) {
                     (true, true) => "found",
                     (false, true) => "quiet",
@@ -254,7 +272,7 @@ pub fn run_core_matrix(runs: usize) -> (String, usize) {
                 if got != expectations[i] {
                     mismatches += 1;
                 }
-                let _ = write!(out, "  {model}:{cell:<8}");
+                let _ = write!(out, "  {}:{cell:<8}", probe.model);
             }
             let _ = writeln!(out);
         }

@@ -1,283 +1,36 @@
 //! Shared plumbing for the experiment binaries.
 //!
 //! Every experiment binary regenerates one table or figure of the paper's
-//! evaluation.  Because the paper's budget is 24 hours of wall-clock time per
-//! sample on a server farm, the default parameters here are *scaled down* so
-//! the whole suite finishes on one machine; the scale can be raised (up to the
-//! paper's values) through environment variables:
-//!
-//! | Variable               | Meaning                               | Default |
-//! |------------------------|---------------------------------------|---------|
-//! | `MCVERSI_SAMPLES`      | samples (seeds) per generator/bug pair | 2      |
-//! | `MCVERSI_TEST_RUNS`    | test-run budget per sample             | 60     |
-//! | `MCVERSI_TEST_SIZE`    | operations per test                    | 96     |
-//! | `MCVERSI_ITERATIONS`   | executions per test-run                | 4      |
-//! | `MCVERSI_CORES`        | core *count* (a number) and/or core *strengths* (`strong`/`relaxed`/`all`), comma-separated | 4, `strong` |
-//! | `MCVERSI_WALL_SECS`    | wall-clock cap per sample (seconds)    | 120    |
-//! | `MCVERSI_FULL`         | if set, use the paper-scale parameters  | unset  |
-//! | `MCVERSI_MODELS`       | comma-separated target models, or `all` | `SC,TSO,ARMish,RMO` |
-//!
-//! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
-//! set the simulated core count, named parts select the pipeline strengths to
-//! sweep (e.g. `MCVERSI_CORES=8,strong,relaxed` or just
-//! `MCVERSI_CORES=strong,relaxed`).
+//! evaluation.  Sweeps are described declaratively: the binaries build a
+//! [`mcversi_core::ScenarioGrid`] (base spec and axes from the environment,
+//! see the `mcversi_core::scenario` module documentation for the `MCVERSI_*`
+//! variable table — including `MCVERSI_SPEC`, which points at a JSON
+//! [`ScenarioSpec`] file such as `examples/scenario.json`) and report through
+//! `mcversi_core::sink::CampaignSink` implementations; no binary reads the
+//! environment directly.
 //!
 //! Results are printed as plain-text tables and also written as JSON under
 //! `target/experiments/` so EXPERIMENTS.md can reference machine-readable
-//! artifacts.
+//! artifacts; setting `MCVERSI_JSONL` additionally streams every campaign
+//! event to a JSONL file while the sweep runs.
 
-use mcversi_core::{CampaignConfig, GeneratorKind, McVerSiConfig};
-use mcversi_mcm::ModelKind;
-use mcversi_sim::{CoreStrength, ProtocolKind, SystemConfig};
-use mcversi_testgen::TestGenParams;
+use mcversi_core::scenario::GeneratorColumn;
+use mcversi_core::{GeneratorKind, ScenarioSpec};
 use serde::Serialize;
 use std::path::PathBuf;
-use std::time::Duration;
 
-/// Scaled experiment parameters.
-#[derive(Debug, Clone)]
-pub struct Scale {
-    /// Samples (seeds) per generator/bug pair.
-    pub samples: usize,
-    /// Test-run budget per sample.
-    pub test_runs: usize,
-    /// Operations per test.
-    pub test_size: usize,
-    /// Executions per test-run.
-    pub iterations: usize,
-    /// Simulated cores (and test threads).
-    pub cores: usize,
-    /// Wall-clock cap per sample.
-    pub wall_time: Duration,
-    /// Whether the full paper-scale system (Table 2) is used.
-    pub full: bool,
-    /// The target consistency models campaigns are run against.
-    pub models: Vec<ModelKind>,
-    /// The core pipeline strengths campaigns are swept across.
-    pub core_strengths: Vec<CoreStrength>,
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Parses `MCVERSI_CORES`, which carries both axes of the core configuration:
-/// numeric parts are the simulated core count, named parts
-/// (`strong`/`relaxed`, or `all`) are the pipeline strengths to sweep.
-/// Returns `(core count, strengths)` with the given count default; the
-/// strength list defaults to `[Strong]`.
-fn env_cores(default_count: usize) -> (usize, Vec<CoreStrength>) {
-    let mut count = default_count;
-    let mut strengths: Vec<CoreStrength> = Vec::new();
-    if let Ok(raw) = std::env::var("MCVERSI_CORES") {
-        for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
-            let part = part.trim();
-            if let Ok(n) = part.parse::<usize>() {
-                count = n.max(1);
-            } else if part.eq_ignore_ascii_case("all") {
-                for s in CoreStrength::ALL {
-                    if !strengths.contains(&s) {
-                        strengths.push(s);
-                    }
-                }
-            } else if let Some(strength) = CoreStrength::parse(part) {
-                if !strengths.contains(&strength) {
-                    strengths.push(strength);
-                }
-            } else {
-                eprintln!("warning: MCVERSI_CORES: unknown entry '{part}' skipped");
-            }
-        }
-    }
-    if strengths.is_empty() {
-        strengths.push(CoreStrength::Strong);
-    }
-    (count, strengths)
-}
-
-/// Parses `MCVERSI_MODELS`: a comma-separated model list, or `all`.
-///
-/// Unknown names are reported and skipped; an empty result falls back to the
-/// default four-architecture comparison.
-fn env_models() -> Vec<ModelKind> {
-    let default = vec![
-        ModelKind::Sc,
-        ModelKind::Tso,
-        ModelKind::Armish,
-        ModelKind::Rmo,
-    ];
-    let Ok(raw) = std::env::var("MCVERSI_MODELS") else {
-        return default;
-    };
-    if raw.trim().eq_ignore_ascii_case("all") {
-        return ModelKind::ALL.to_vec();
-    }
-    let mut models = Vec::new();
-    for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
-        match ModelKind::parse(part) {
-            Some(model) if !models.contains(&model) => models.push(model),
-            Some(_) => {}
-            None => eprintln!("warning: MCVERSI_MODELS: unknown model '{part}' skipped"),
-        }
-    }
-    if models.is_empty() {
-        default
-    } else {
-        models
-    }
-}
-
-impl Scale {
-    /// Reads the scale from the environment.
-    pub fn from_env() -> Self {
-        let full = std::env::var("MCVERSI_FULL").is_ok();
-        if full {
-            let (cores, core_strengths) = env_cores(8);
-            Scale {
-                samples: env_usize("MCVERSI_SAMPLES", 10),
-                test_runs: env_usize("MCVERSI_TEST_RUNS", 2000),
-                test_size: env_usize("MCVERSI_TEST_SIZE", 1000),
-                iterations: env_usize("MCVERSI_ITERATIONS", 10),
-                cores,
-                wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 24 * 3600) as u64),
-                full,
-                models: env_models(),
-                core_strengths,
-            }
-        } else {
-            let (cores, core_strengths) = env_cores(4);
-            Scale {
-                samples: env_usize("MCVERSI_SAMPLES", 2),
-                test_runs: env_usize("MCVERSI_TEST_RUNS", 60),
-                test_size: env_usize("MCVERSI_TEST_SIZE", 96),
-                iterations: env_usize("MCVERSI_ITERATIONS", 4),
-                cores,
-                wall_time: Duration::from_secs(env_usize("MCVERSI_WALL_SECS", 120) as u64),
-                full,
-                models: env_models(),
-                core_strengths,
-            }
-        }
-    }
-
-    /// Builds the framework configuration for a given test-memory size.
-    pub fn mcversi_config(&self, test_memory_bytes: u64) -> McVerSiConfig {
-        let system = if self.full {
-            SystemConfig::paper_default().with_cores(self.cores)
-        } else {
-            SystemConfig::small(ProtocolKind::Mesi).with_cores(self.cores)
-        };
-        let testgen = if self.full {
-            TestGenParams::paper_default(test_memory_bytes)
-        } else {
-            let mut p = TestGenParams::small();
-            p.test_memory_bytes = test_memory_bytes;
-            p.population_size = 24;
-            p
-        }
-        .with_threads(self.cores)
-        .with_test_size(self.test_size);
-        let mut cfg = McVerSiConfig {
-            system,
-            testgen,
-            adaptive: Default::default(),
-            model: ModelKind::Tso,
-            seed: 1,
-        };
-        cfg.testgen.iterations = self.iterations;
-        cfg
-    }
-
-    /// Builds a campaign configuration (targeting x86-TSO).
-    pub fn campaign(
-        &self,
-        generator: GeneratorKind,
-        bug: Option<mcversi_sim::Bug>,
-        test_memory_bytes: u64,
-    ) -> CampaignConfig {
-        self.campaign_for_model(generator, bug, test_memory_bytes, ModelKind::Tso)
-    }
-
-    /// Builds a campaign configuration targeting the given model.
-    pub fn campaign_for_model(
-        &self,
-        generator: GeneratorKind,
-        bug: Option<mcversi_sim::Bug>,
-        test_memory_bytes: u64,
-        model: ModelKind,
-    ) -> CampaignConfig {
-        self.campaign_cell(
-            generator,
-            bug,
-            test_memory_bytes,
-            model,
-            CoreStrength::Strong,
-        )
-    }
-
-    /// Builds a campaign configuration for one (model × core strength) cell.
-    pub fn campaign_cell(
-        &self,
-        generator: GeneratorKind,
-        bug: Option<mcversi_sim::Bug>,
-        test_memory_bytes: u64,
-        model: ModelKind,
-        core: CoreStrength,
-    ) -> CampaignConfig {
-        CampaignConfig::new(
-            generator,
-            bug,
-            self.mcversi_config(test_memory_bytes),
-            self.test_runs,
-            self.wall_time,
-        )
-        .with_model(model)
-        .with_core_strength(core)
-    }
-
-    /// The bugs swept for a given core strength: everything in the extended
-    /// corpus that is observable on that pipeline ([`mcversi_sim::Bug::required_core`]).
-    /// Sweeping an unobservable bug would burn a full campaign cell on a
-    /// provable no-op (e.g. `LQ+no-TSO` suppresses a squash the relaxed
-    /// pipeline does not have).
-    pub fn bugs_for_core(core: CoreStrength) -> Vec<mcversi_sim::Bug> {
-        mcversi_sim::Bug::ALL_EXTENDED
-            .into_iter()
-            .filter(|b| b.required_core().is_none_or(|c| c == core))
-            .collect()
-    }
-}
-
-/// The seven generator configurations compared in Table 4 / Table 6.
-pub fn table_columns() -> Vec<(GeneratorKind, u64, String)> {
+/// The seven generator configurations compared in Table 4 / Table 6, as a
+/// [`mcversi_core::ScenarioGrid`] generator axis.
+pub fn table_columns() -> Vec<GeneratorColumn> {
     let kib = 1024u64;
     vec![
-        (GeneratorKind::McVerSiAll, kib, "McVerSi-ALL (1KB)".into()),
-        (
-            GeneratorKind::McVerSiAll,
-            8 * kib,
-            "McVerSi-ALL (8KB)".into(),
-        ),
-        (
-            GeneratorKind::McVerSiStdXo,
-            kib,
-            "McVerSi-Std.XO (1KB)".into(),
-        ),
-        (
-            GeneratorKind::McVerSiStdXo,
-            8 * kib,
-            "McVerSi-Std.XO (8KB)".into(),
-        ),
-        (GeneratorKind::McVerSiRand, kib, "McVerSi-RAND (1KB)".into()),
-        (
-            GeneratorKind::McVerSiRand,
-            8 * kib,
-            "McVerSi-RAND (8KB)".into(),
-        ),
-        (GeneratorKind::DiyLitmus, 8 * kib, "diy-litmus".into()),
+        (GeneratorKind::McVerSiAll, kib, None),
+        (GeneratorKind::McVerSiAll, 8 * kib, None),
+        (GeneratorKind::McVerSiStdXo, kib, None),
+        (GeneratorKind::McVerSiStdXo, 8 * kib, None),
+        (GeneratorKind::McVerSiRand, kib, None),
+        (GeneratorKind::McVerSiRand, 8 * kib, None),
+        (GeneratorKind::DiyLitmus, 8 * kib, None),
     ]
 }
 
@@ -290,17 +43,17 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) -> std::io::Result<Pa
     Ok(path)
 }
 
-/// Prints the standard experiment banner.
-pub fn banner(title: &str, scale: &Scale) {
+/// Prints the standard experiment banner for a sweep's base spec.
+pub fn banner(title: &str, spec: &ScenarioSpec) {
     println!("=== {title} ===");
     println!(
         "scale: {} samples, {} test-runs/sample, {} ops/test, {} iterations, {} cores, {}",
-        scale.samples,
-        scale.test_runs,
-        scale.test_size,
-        scale.iterations,
-        scale.cores,
-        if scale.full {
+        spec.samples,
+        spec.max_test_runs,
+        spec.test_size,
+        spec.iterations,
+        spec.cores,
+        if spec.full {
             "FULL (paper) system"
         } else {
             "scaled-down system"
@@ -312,15 +65,18 @@ pub fn banner(title: &str, scale: &Scale) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcversi_core::{grid_from_env, ScenarioGrid};
+    use mcversi_mcm::ModelKind;
+    use mcversi_sim::CoreStrength;
 
     #[test]
     fn default_scale_is_small_and_columns_cover_the_paper() {
-        let scale = Scale::from_env();
-        assert!(scale.samples >= 1);
-        assert!(scale.test_runs >= 1);
-        let cols = table_columns();
-        assert_eq!(cols.len(), 7);
-        assert!(cols.iter().any(|(_, _, label)| label == "diy-litmus"));
+        let spec = ScenarioSpec::from_env();
+        assert!(spec.samples >= 1);
+        assert!(spec.max_test_runs >= 1);
+        let grid = ScenarioGrid::new(spec).generator_columns(table_columns());
+        assert_eq!(grid.column_labels().len(), 7);
+        assert!(grid.column_labels().iter().any(|l| l == "diy-litmus"));
     }
 
     #[test]
@@ -328,19 +84,17 @@ mod tests {
         if std::env::var("MCVERSI_MODELS").is_ok() {
             return; // respect an explicit override in the environment
         }
-        let scale = Scale::from_env();
-        assert!(scale.models.len() >= 4);
+        let grid = grid_from_env();
+        let models = grid.model_axis();
+        assert!(models.len() >= 4);
         for model in [
             ModelKind::Sc,
             ModelKind::Tso,
             ModelKind::Armish,
             ModelKind::Rmo,
         ] {
-            assert!(scale.models.contains(&model), "{model} missing");
+            assert!(models.contains(&model), "{model} missing");
         }
-        let campaign =
-            scale.campaign_for_model(GeneratorKind::McVerSiRand, None, 1024, ModelKind::Armish);
-        assert_eq!(campaign.model(), ModelKind::Armish);
     }
 
     #[test]
@@ -348,45 +102,22 @@ mod tests {
         if std::env::var("MCVERSI_CORES").is_ok() {
             return; // respect an explicit override in the environment
         }
-        let scale = Scale::from_env();
-        assert_eq!(scale.core_strengths, vec![CoreStrength::Strong]);
-        let cell = scale.campaign_cell(
-            GeneratorKind::McVerSiRand,
-            None,
-            1024,
-            ModelKind::Armish,
-            CoreStrength::Relaxed,
-        );
-        assert_eq!(cell.core_strength(), CoreStrength::Relaxed);
-        assert_eq!(cell.model(), ModelKind::Armish);
-    }
-
-    #[test]
-    fn bugs_for_core_sweeps_only_observable_bugs() {
-        let strong = Scale::bugs_for_core(CoreStrength::Strong);
-        let relaxed = Scale::bugs_for_core(CoreStrength::Relaxed);
-        assert_eq!(strong.len(), 11, "the paper's Table 4 sweep is pinned");
-        assert_eq!(relaxed.len(), 14);
-        for bug in mcversi_sim::Bug::DEPENDENCY {
-            assert!(!strong.contains(&bug), "{bug} swept on the strong core");
-            assert!(
-                relaxed.contains(&bug),
-                "{bug} missing from the relaxed sweep"
-            );
-        }
-        assert!(
-            !relaxed.contains(&mcversi_sim::Bug::LqNoTso),
-            "LQ+no-TSO is a no-op on the relaxed core and must not be swept there"
-        );
+        let grid = grid_from_env();
+        assert_eq!(grid.core_axis(), [CoreStrength::Strong]);
+        let cell = ScenarioSpec::from_env()
+            .model(ModelKind::Armish)
+            .core_strength(CoreStrength::Relaxed);
+        assert_eq!(cell.campaign().core_strength(), CoreStrength::Relaxed);
+        assert_eq!(cell.campaign().model(), ModelKind::Armish);
     }
 
     #[test]
     fn config_builder_respects_memory_and_threads() {
-        let scale = Scale::from_env();
-        let cfg = scale.mcversi_config(1024);
+        let spec = ScenarioSpec::from_env().test_memory(1024);
+        let cfg = spec.mcversi();
         assert_eq!(cfg.testgen.test_memory_bytes, 1024);
         assert_eq!(cfg.testgen.num_threads, cfg.system.num_cores);
-        let campaign = scale.campaign(GeneratorKind::McVerSiRand, None, 8192);
+        let campaign = spec.test_memory(8192).campaign();
         assert_eq!(campaign.mcversi.testgen.test_memory_bytes, 8192);
     }
 }

@@ -10,22 +10,27 @@ pub mod experiment;
 pub mod matrix;
 
 pub use core_matrix::{core_matrix_rows, run_core_matrix};
-pub use experiment::{banner, table_columns, write_artifact, Scale};
+pub use experiment::{banner, table_columns, write_artifact};
+
 pub use matrix::{render_matrix, shape_expectations};
 
 #[cfg(test)]
 mod smoke {
-    use mcversi_core::GeneratorKind;
+    use mcversi_core::{GeneratorKind, ScenarioSpec};
 
     /// Crate-level smoke test: experiment scaffolding builds a campaign and
-    /// the vendored serde stack serializes a config to JSON.
+    /// the vendored serde stack round-trips a spec through JSON.
     #[test]
     fn scaffolding_and_artifacts() {
-        let scale = crate::Scale::from_env();
-        let campaign = scale.campaign(GeneratorKind::McVerSiRand, None, 1024);
+        let spec = ScenarioSpec::from_env()
+            .generator(GeneratorKind::McVerSiRand)
+            .test_memory(1024);
+        let campaign = spec.campaign();
         assert!(campaign.max_test_runs >= 1);
         let json = serde_json::to_string_pretty(&campaign.mcversi.system)
             .expect("system config serializes");
         assert!(json.contains("\"num_cores\""), "json was: {json}");
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("spec round trip");
+        assert_eq!(back, spec);
     }
 }

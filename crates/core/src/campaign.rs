@@ -11,6 +11,7 @@
 use crate::config::McVerSiConfig;
 use crate::generator::{GeneratorKind, TestSource};
 use crate::runner::{RunVerdict, TestRunner};
+use crate::sink::{CampaignEvent, CampaignSink, NullSink};
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, BugConfig, CoreStrength};
 use serde::{Deserialize, Serialize};
@@ -18,6 +19,10 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Events buffered per worker before the bounded channel applies
+/// backpressure to the sample workers.
+const EVENT_CHANNEL_DEPTH: usize = 64;
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone)]
@@ -79,7 +84,12 @@ impl CampaignConfig {
     }
 
     /// Retargets the campaign at a different consistency model (checker and
-    /// litmus-suite selection; see [`McVerSiConfig::with_model`]).
+    /// litmus-suite selection).
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the cell declaratively with `mcversi_core::ScenarioSpec` instead"
+    )]
+    #[allow(deprecated)]
     pub fn with_model(mut self, model: ModelKind) -> Self {
         self.mcversi = self.mcversi.with_model(model);
         self
@@ -90,8 +100,12 @@ impl CampaignConfig {
         self.mcversi.model
     }
 
-    /// Selects the pipeline strength of the simulated cores (see
-    /// [`McVerSiConfig::with_core_strength`]).
+    /// Selects the pipeline strength of the simulated cores.
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the cell declaratively with `mcversi_core::ScenarioSpec` instead"
+    )]
+    #[allow(deprecated)]
     pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
         self.mcversi = self.mcversi.with_core_strength(strength);
         self
@@ -226,6 +240,19 @@ pub fn run_campaign_budgeted(
     seed: u64,
     budget: &WallBudget,
 ) -> CampaignResult {
+    run_campaign_observed(config, seed, budget, &mut |_| {})
+}
+
+/// Like [`run_campaign_budgeted`], but reports every test-run (and any
+/// violation) through `emit` as it happens.  The emitted stream is the
+/// per-sample slice of the [`CampaignSink`] event protocol; `emit` is called
+/// on the worker thread executing the sample.
+pub fn run_campaign_observed(
+    config: &CampaignConfig,
+    seed: u64,
+    budget: &WallBudget,
+    emit: &mut dyn FnMut(CampaignEvent),
+) -> CampaignResult {
     let mcversi = config.effective_mcversi().with_seed(seed);
     let model = mcversi.model;
     let core = mcversi.system.core_strength;
@@ -252,10 +279,17 @@ pub fn run_campaign_budgeted(
         let result = runner.run_test(&test);
         test_runs += 1;
         source.feedback(id, &result);
+        emit(CampaignEvent::TestRun {
+            seed,
+            run: test_runs,
+            found: result.verdict.is_bug(),
+            fitness: result.fitness,
+            cycles: result.cycles,
+        });
         if result.verdict.is_bug() {
             found = true;
             found_at_run = Some(test_runs);
-            detail = Some(match &result.verdict {
+            let description = match &result.verdict {
                 RunVerdict::McmViolation(v) => match name {
                     Some(n) => format!("MCM violation ({}) in litmus test {n}", v.axiom),
                     None => format!("MCM violation of axiom '{}'", v.axiom),
@@ -263,7 +297,13 @@ pub fn run_campaign_budgeted(
                 RunVerdict::ProtocolFault(e) => format!("protocol fault: {e}"),
                 RunVerdict::Hang => "iteration hang (cycle budget exceeded)".to_string(),
                 RunVerdict::Passed => unreachable!(),
+            };
+            emit(CampaignEvent::Violation {
+                seed,
+                run: test_runs,
+                detail: description.clone(),
             });
+            detail = Some(description);
             break;
         }
     }
@@ -358,6 +398,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///   remaining samples still run.
 /// * When `config.shared_wall_time` is set, all samples share one deadline
 ///   (see [`CampaignConfig::shared_wall_time`]).
+///
+/// To observe the batch while it runs, use [`run_samples_streamed`].
 pub fn run_samples(config: &CampaignConfig, samples: usize, base_seed: u64) -> Vec<CampaignResult> {
     run_samples_outcomes(config, samples, base_seed)
         .into_iter()
@@ -372,75 +414,104 @@ pub fn run_samples_outcomes(
     samples: usize,
     base_seed: u64,
 ) -> Vec<SampleOutcome> {
+    run_samples_streamed(config, samples, base_seed, &mut NullSink)
+}
+
+/// Runs a sample batch like [`run_samples`], streaming [`CampaignEvent`]s
+/// into `sink` *while the batch runs*, and returns the outcomes in seed
+/// order.
+///
+/// Workers push events through a bounded channel (a fixed number of slots
+/// per worker); the calling thread drains the channel and dispatches to
+/// the sink, so sink implementations need no synchronisation.  Per-sample
+/// event order is preserved (`SampleStart`, then `TestRun`/`Violation`
+/// interleavings, then `SampleDone`/`SamplePanic`); events of concurrently
+/// running samples interleave in arrival order.  The bounded channel applies
+/// backpressure: a sink that cannot keep up slows the workers down instead of
+/// buffering the whole campaign in memory.
+pub fn run_samples_streamed(
+    config: &CampaignConfig,
+    samples: usize,
+    base_seed: u64,
+    sink: &mut dyn CampaignSink,
+) -> Vec<SampleOutcome> {
+    if samples == 0 {
+        return Vec::new();
+    }
     let workers = config.effective_parallelism(samples);
     let budget = config
         .shared_wall_time
         .map_or_else(WallBudget::unlimited, WallBudget::starting_now);
-    run_pool(samples, workers, &|i| {
-        run_campaign_budgeted(config, base_seed.wrapping_add(i as u64), &budget)
-    })
-    .into_iter()
-    .enumerate()
-    .map(|(i, run)| match run {
-        Ok(result) => SampleOutcome::Completed(result),
-        Err(message) => SampleOutcome::Panicked {
-            seed: base_seed.wrapping_add(i as u64),
-            message,
-        },
-    })
-    .collect()
-}
-
-/// Runs `jobs` indexed jobs on a bounded pool of `workers` threads.
-///
-/// Workers claim job indices from a shared counter, so the assignment of jobs
-/// to threads is dynamic, but the returned vector is always in job order and
-/// job `i` always observes the same index regardless of scheduling.  A job
-/// that panics yields `Err(panic message)` without affecting the other jobs.
-fn run_pool<T: Send>(
-    jobs: usize,
-    workers: usize,
-    job: &(dyn Fn(usize) -> T + Sync),
-) -> Vec<Result<T, String>> {
-    if jobs == 0 {
-        return Vec::new();
-    }
     let next_job = AtomicUsize::new(0);
-    let (sender, receiver) = mpsc::channel::<(usize, Result<T, String>)>();
+    let (sender, receiver) =
+        mpsc::sync_channel::<(usize, CampaignEvent)>(workers * EVENT_CHANNEL_DEPTH);
+    let mut outcomes: Vec<Option<SampleOutcome>> = (0..samples).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.clamp(1, jobs) {
+        for _ in 0..workers.clamp(1, samples) {
             let sender = sender.clone();
             let next_job = &next_job;
+            let budget = &budget;
             scope.spawn(move || loop {
                 let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
+                if i >= samples {
                     break;
                 }
-                let run =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_message);
-                // The receiver outlives the worker scope, so this cannot fail.
-                sender
-                    .send((i, run))
-                    .expect("result receiver outlives the worker pool");
+                let seed = base_seed.wrapping_add(i as u64);
+                // A send only fails once the receiver is gone, i.e. the batch
+                // is being torn down — then dropping events is the right call.
+                let _ = sender.send((i, CampaignEvent::SampleStart { seed, index: i }));
+                let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_campaign_observed(config, seed, budget, &mut |event| {
+                        let _ = sender.send((i, event));
+                    })
+                }));
+                let final_event = match run {
+                    Ok(result) => CampaignEvent::SampleDone { result },
+                    Err(payload) => CampaignEvent::SamplePanic {
+                        seed,
+                        message: panic_message(payload),
+                    },
+                };
+                let _ = sender.send((i, final_event));
             });
         }
-    });
-    drop(sender);
+        drop(sender);
 
-    let mut results: Vec<Option<Result<T, String>>> = (0..jobs).map(|_| None).collect();
-    for (i, run) in receiver {
-        results[i] = Some(run);
-    }
-    results
+        // Drain on the calling thread while the workers run: this is what
+        // makes the sink live rather than post-hoc.
+        for (i, event) in receiver {
+            match &event {
+                CampaignEvent::SampleDone { result } => {
+                    outcomes[i] = Some(SampleOutcome::Completed(result.clone()));
+                }
+                CampaignEvent::SamplePanic { seed, message } => {
+                    outcomes[i] = Some(SampleOutcome::Panicked {
+                        seed: *seed,
+                        message: message.clone(),
+                    });
+                }
+                _ => {}
+            }
+            sink.on_event(&event);
+        }
+    });
+
+    outcomes
         .into_iter()
-        .map(|slot| slot.expect("every scheduled job reports a result"))
+        .map(|slot| slot.expect("every scheduled sample reports a final event"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `with_model`/`with_core_strength` shims stay covered
+    // until their removal; `spec_built_config_matches_the_shims` pins their
+    // equivalence with the declarative `ScenarioSpec` path.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::sink::CollectSink;
     use mcversi_sim::ProtocolKind;
 
     fn quick_config(generator: GeneratorKind, bug: Option<Bug>) -> CampaignConfig {
@@ -625,18 +696,84 @@ mod tests {
     }
 
     #[test]
-    fn pool_isolates_panicking_jobs() {
-        let results = run_pool(5, 2, &|i| {
-            if i == 1 {
-                panic!("job {i} poisoned");
+    fn streamed_batch_isolates_panicking_samples() {
+        // A test source generating more threads than the system has cores
+        // makes every sample panic inside `run_iteration`; the batch must
+        // report each as a `Panicked` outcome (and stream the panic event)
+        // without aborting.
+        let mut cfg = quick_config(GeneratorKind::McVerSiRand, None);
+        cfg.mcversi.testgen.num_threads = cfg.mcversi.system.num_cores + 1;
+        let mut sink = CollectSink::new();
+        let outcomes = run_samples_streamed(&cfg.clone().with_parallelism(2), 3, 5, &mut sink);
+        assert_eq!(outcomes.len(), 3);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                SampleOutcome::Panicked { seed, message } => {
+                    assert_eq!(*seed, 5 + i as u64);
+                    assert!(message.contains("threads"), "unexpected panic: {message}");
+                }
+                other => panic!("expected a panic outcome, got {other:?}"),
             }
-            i * 10
-        });
-        assert_eq!(results.len(), 5);
-        assert_eq!(results[0], Ok(0));
-        assert_eq!(results[1], Err("job 1 poisoned".to_string()));
-        for (i, r) in results.iter().enumerate().skip(2) {
-            assert_eq!(r, &Ok(i * 10));
+        }
+        assert!(sink.results().is_empty(), "no sample completed");
+    }
+
+    #[test]
+    fn streamed_events_arrive_in_per_sample_order() {
+        use crate::sink::CampaignEvent;
+
+        #[derive(Debug, Default)]
+        struct Recorder(Vec<CampaignEvent>);
+        impl CampaignSink for Recorder {
+            fn on_event(&mut self, event: &CampaignEvent) {
+                self.0.push(event.clone());
+            }
+        }
+
+        let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso));
+        let mut recorder = Recorder::default();
+        let outcomes = run_samples_streamed(&cfg, 2, 3, &mut recorder);
+        assert_eq!(outcomes.len(), 2);
+
+        for seed in [3u64, 4] {
+            let events: Vec<&CampaignEvent> = recorder
+                .0
+                .iter()
+                .filter(|e| match e {
+                    CampaignEvent::SampleStart { seed: s, .. }
+                    | CampaignEvent::TestRun { seed: s, .. }
+                    | CampaignEvent::Violation { seed: s, .. }
+                    | CampaignEvent::SamplePanic { seed: s, .. } => *s == seed,
+                    CampaignEvent::SampleDone { result } => result.seed == seed,
+                })
+                .collect();
+            assert!(
+                matches!(events.first(), Some(CampaignEvent::SampleStart { .. })),
+                "first event of seed {seed} must be SampleStart"
+            );
+            assert!(
+                matches!(events.last(), Some(CampaignEvent::SampleDone { .. })),
+                "last event of seed {seed} must be SampleDone"
+            );
+            // Test-run indices are strictly increasing within the sample.
+            let runs: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e {
+                    CampaignEvent::TestRun { run, .. } => Some(*run),
+                    _ => None,
+                })
+                .collect();
+            assert!(!runs.is_empty());
+            assert!(runs.windows(2).all(|w| w[0] < w[1]), "runs: {runs:?}");
+            // The collected SampleDone result matches the returned outcome,
+            // and a found bug was announced through a Violation event.
+            let done_found = events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::SampleDone { result } if result.found));
+            let violated = events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::Violation { .. }));
+            assert_eq!(done_found, violated);
         }
     }
 

@@ -58,6 +58,10 @@ impl McVerSiConfig {
     }
 
     /// Replaces the protocol of the simulated system, returning a modified copy.
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
+    )]
     pub fn with_protocol(mut self, protocol: mcversi_sim::ProtocolKind) -> Self {
         self.system.protocol = protocol;
         self
@@ -70,6 +74,10 @@ impl McVerSiConfig {
     /// (SC/TSO) flag the correct design itself — the hardware reorders more
     /// than the model admits — so relaxed cores are normally paired with the
     /// dependency-ordered models (ARMish/POWERish/RMO).
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
+    )]
     pub fn with_core_strength(mut self, strength: mcversi_sim::CoreStrength) -> Self {
         self.system.core_strength = strength;
         self
@@ -81,16 +89,17 @@ impl McVerSiConfig {
     /// relaxed targets get the relaxed mix (dependency-carrying ops and weak
     /// fence flavours with non-zero weight), strong targets get the paper's
     /// Table 3 mix back — so retargeting is symmetric and a TSO campaign
-    /// never silently keeps a relaxed bias.
+    /// never silently keeps a relaxed bias.  (The declarative path derives
+    /// the bias from [`crate::ScenarioSpec::testgen`] instead.)
+    #[deprecated(
+        since = "0.5.0",
+        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
+    )]
     pub fn with_model(mut self, model: ModelKind) -> Self {
         use mcversi_testgen::OperationBias;
-        let relaxed_target = matches!(
-            model,
-            ModelKind::Armish | ModelKind::Powerish | ModelKind::Rmo
-        );
-        if relaxed_target && self.testgen.bias == OperationBias::paper_default() {
+        if model.is_relaxed() && self.testgen.bias == OperationBias::paper_default() {
             self.testgen.bias = OperationBias::relaxed_default();
-        } else if !relaxed_target && self.testgen.bias == OperationBias::relaxed_default() {
+        } else if !model.is_relaxed() && self.testgen.bias == OperationBias::relaxed_default() {
             self.testgen.bias = OperationBias::paper_default();
         }
         self.model = model;
@@ -124,6 +133,9 @@ impl Default for McVerSiConfig {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
+
     use super::*;
     use mcversi_sim::ProtocolKind;
 

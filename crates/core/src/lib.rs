@@ -14,8 +14,12 @@
 //!   §3.2 (rare-transition coverage with an exponentially increasing cut-off);
 //! * [`generator`] wraps the four test sources compared in the evaluation
 //!   (McVerSi-ALL, McVerSi-Std.XO, McVerSi-RAND, diy-litmus);
+//! * [`scenario`] is the declarative campaign description: one serializable
+//!   [`ScenarioSpec`] per sweep cell, [`ScenarioGrid`] for cartesian sweeps,
+//!   and the consolidated `MCVERSI_*` environment parsing;
 //! * [`campaign`] runs generator × bug verification campaigns and the
-//!   coverage campaigns behind Tables 4, 5 and 6; [`report`] renders them.
+//!   coverage campaigns behind Tables 4, 5 and 6, streaming events through
+//!   [`sink`] implementations; [`report`] renders them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,15 +33,19 @@ pub mod host;
 pub mod lowering;
 pub mod report;
 pub mod runner;
+pub mod scenario;
+pub mod sink;
 
 pub use campaign::{
-    run_campaign, run_campaign_budgeted, run_samples, run_samples_outcomes, CampaignConfig,
-    CampaignResult, SampleOutcome, WallBudget,
+    run_campaign, run_campaign_budgeted, run_campaign_observed, run_samples, run_samples_outcomes,
+    run_samples_streamed, CampaignConfig, CampaignResult, SampleOutcome, WallBudget,
 };
 pub use config::McVerSiConfig;
 pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};
 pub use generator::{GeneratorKind, TestSource};
 pub use runner::{RunVerdict, TestRunResult, TestRunner};
+pub use scenario::{grid_from_env, ScenarioGrid, ScenarioSpec, SeedPolicy, SpecError};
+pub use sink::{CampaignEvent, CampaignSink, CollectSink, JsonlSink, NullSink, ProgressSink};
 
 #[cfg(test)]
 mod smoke {

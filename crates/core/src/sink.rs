@@ -1,0 +1,418 @@
+//! Streaming campaign reporting: [`CampaignSink`] and its implementations.
+//!
+//! Long campaigns used to be observable only through the final result vector
+//! of `run_samples`; a sink receives events *as they happen* — workers push
+//! them through a bounded channel and the calling thread dispatches them in
+//! arrival order (per-sample order is preserved; events of concurrent samples
+//! interleave).  The bounded channel applies backpressure: a slow sink slows
+//! the workers down rather than buffering without limit.
+//!
+//! * [`CollectSink`] — gathers completed results (the old behaviour);
+//! * [`ProgressSink`] — live progress lines on stderr (or any writer);
+//! * [`JsonlSink`] — one JSON line per event, the machine-readable stream
+//!   that later checkpoint/resume work builds on;
+//! * [`NullSink`] — discards everything;
+//! * sinks compose: a `(&mut a, &mut b)` tuple fans events out to both.
+
+use crate::campaign::CampaignResult;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// One event of a streaming campaign run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// A sample was claimed by a worker and is about to run.
+    SampleStart {
+        /// The sample's seed.
+        seed: u64,
+        /// The sample's index within the batch.
+        index: usize,
+    },
+    /// One test-run of a sample completed.
+    TestRun {
+        /// The sample's seed.
+        seed: u64,
+        /// 1-based test-run index within the sample.
+        run: usize,
+        /// Whether the run exposed a bug.
+        found: bool,
+        /// Adaptive-coverage fitness of the run.
+        fitness: f64,
+        /// Simulated cycles consumed by the run.
+        cycles: u64,
+    },
+    /// A test-run exposed a violation (emitted in addition to its
+    /// [`CampaignEvent::TestRun`] event).
+    Violation {
+        /// The sample's seed.
+        seed: u64,
+        /// 1-based test-run index at which the violation surfaced.
+        run: usize,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A sample ran to completion.
+    SampleDone {
+        /// The completed result.
+        result: CampaignResult,
+    },
+    /// A sample panicked; the batch continues without it.
+    SamplePanic {
+        /// The sample's seed.
+        seed: u64,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+/// A consumer of streaming campaign events.
+///
+/// All methods default to no-ops, so implementations override only what they
+/// observe.  Methods take `&mut self` and are invoked from the thread that
+/// called `run_samples_streamed` — sinks need `Send` only because campaign
+/// configs may cross threads, not for concurrent dispatch.
+pub trait CampaignSink: Send {
+    /// A sample is about to run.
+    fn on_sample_start(&mut self, _seed: u64, _index: usize) {}
+
+    /// One test-run of a sample completed.
+    fn on_test_run(&mut self, _seed: u64, _run: usize, _found: bool, _fitness: f64, _cycles: u64) {}
+
+    /// A test-run exposed a violation.
+    fn on_violation(&mut self, _seed: u64, _run: usize, _detail: &str) {}
+
+    /// A sample ran to completion.
+    fn on_sample_done(&mut self, _result: &CampaignResult) {}
+
+    /// A sample panicked.
+    fn on_sample_panic(&mut self, _seed: u64, _message: &str) {}
+
+    /// Dispatches one event to the matching method (the channel-drain entry
+    /// point; implementations normally override the specific methods).
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::SampleStart { seed, index } => self.on_sample_start(*seed, *index),
+            CampaignEvent::TestRun {
+                seed,
+                run,
+                found,
+                fitness,
+                cycles,
+            } => self.on_test_run(*seed, *run, *found, *fitness, *cycles),
+            CampaignEvent::Violation { seed, run, detail } => {
+                self.on_violation(*seed, *run, detail)
+            }
+            CampaignEvent::SampleDone { result } => self.on_sample_done(result),
+            CampaignEvent::SamplePanic { seed, message } => self.on_sample_panic(*seed, message),
+        }
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl CampaignSink for NullSink {}
+
+/// Collects completed sample results, in arrival order (the old
+/// `run_samples` behaviour expressed as a sink).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    results: Vec<CampaignResult>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The collected results, in arrival order.
+    pub fn results(&self) -> &[CampaignResult] {
+        &self.results
+    }
+
+    /// Consumes the sink, returning the collected results.
+    pub fn into_results(self) -> Vec<CampaignResult> {
+        self.results
+    }
+}
+
+impl CampaignSink for CollectSink {
+    fn on_sample_done(&mut self, result: &CampaignResult) {
+        self.results.push(result.clone());
+    }
+}
+
+/// Live progress reporting: one line per sample start/finish and per
+/// violation, written as events arrive.
+pub struct ProgressSink<W: Write + Send> {
+    out: W,
+    prefix: String,
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// Progress lines on stderr.
+    pub fn stderr() -> Self {
+        ProgressSink {
+            out: std::io::stderr(),
+            prefix: String::new(),
+        }
+    }
+}
+
+impl<W: Write + Send> ProgressSink<W> {
+    /// Progress lines on an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        ProgressSink {
+            out,
+            prefix: String::new(),
+        }
+    }
+
+    /// Prefixes every line (e.g. with the campaign cell's label).
+    pub fn with_prefix(mut self, prefix: &str) -> Self {
+        self.prefix = format!("{prefix} ");
+        self
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for ProgressSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> CampaignSink for ProgressSink<W> {
+    fn on_sample_start(&mut self, seed: u64, index: usize) {
+        let _ = writeln!(
+            self.out,
+            "{}sample #{index} (seed {seed}) started",
+            self.prefix
+        );
+    }
+
+    fn on_violation(&mut self, seed: u64, run: usize, detail: &str) {
+        let _ = writeln!(
+            self.out,
+            "{}! seed {seed}: {detail} (test-run {run})",
+            self.prefix
+        );
+    }
+
+    fn on_sample_done(&mut self, result: &CampaignResult) {
+        let verdict = if result.found {
+            format!("FOUND at run {}", result.found_at_run.unwrap_or(0))
+        } else {
+            "not found".to_string()
+        };
+        let _ = writeln!(
+            self.out,
+            "{}sample seed {} done: {verdict} after {} runs ({} cycles)",
+            self.prefix, result.seed, result.test_runs, result.simulated_cycles
+        );
+    }
+
+    fn on_sample_panic(&mut self, seed: u64, message: &str) {
+        let _ = writeln!(
+            self.out,
+            "{}sample seed {seed} PANICKED: {message}",
+            self.prefix
+        );
+    }
+}
+
+/// Machine-readable event stream: one JSON object per line (JSONL), flushed
+/// per event so a consumer can tail the file while the campaign runs.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    lines: u64,
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Creates (truncates) a JSONL file at `path`.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Streams events into an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, lines: 0 }
+    }
+
+    /// Number of event lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> CampaignSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        if let Ok(line) = serde_json::to_string(event) {
+            debug_assert!(!line.contains('\n'), "events must be single-line");
+            if writeln!(self.out, "{line}").is_ok() {
+                self.lines += 1;
+            }
+            let _ = self.out.flush();
+        }
+    }
+}
+
+/// Fan-out: both sinks receive every event, in order.
+impl<A: CampaignSink, B: CampaignSink> CampaignSink for (A, B) {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// A mutable reference forwards to the sink it borrows, so sinks that
+/// outlive one batch (e.g. a JSONL stream spanning a whole sweep) compose
+/// with per-cell sinks: `(&mut progress, &mut jsonl)`.
+impl<S: CampaignSink + ?Sized> CampaignSink for &mut S {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        (**self).on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorKind;
+    use mcversi_mcm::ModelKind;
+    use mcversi_sim::CoreStrength;
+    use std::time::Duration;
+
+    fn result(seed: u64, found: bool) -> CampaignResult {
+        CampaignResult {
+            generator: GeneratorKind::McVerSiRand,
+            bug: None,
+            model: ModelKind::Tso,
+            core: CoreStrength::Strong,
+            seed,
+            found,
+            detail: found.then(|| "MCM violation of axiom 'ghb'".to_string()),
+            test_runs: 5,
+            found_at_run: found.then_some(5),
+            simulated_cycles: 1234,
+            wall_time: Duration::from_millis(10),
+            max_total_coverage: 0.25,
+            final_mean_ndt: 1.5,
+        }
+    }
+
+    fn sample_events() -> Vec<CampaignEvent> {
+        vec![
+            CampaignEvent::SampleStart { seed: 7, index: 0 },
+            CampaignEvent::TestRun {
+                seed: 7,
+                run: 1,
+                found: false,
+                fitness: 0.5,
+                cycles: 100,
+            },
+            CampaignEvent::Violation {
+                seed: 7,
+                run: 2,
+                detail: "MCM violation of axiom 'ghb'".to_string(),
+            },
+            CampaignEvent::SampleDone {
+                result: result(7, true),
+            },
+            CampaignEvent::SamplePanic {
+                seed: 8,
+                message: "boom".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn collect_sink_gathers_sample_results() {
+        let mut sink = CollectSink::new();
+        for event in sample_events() {
+            sink.on_event(&event);
+        }
+        assert_eq!(sink.results().len(), 1);
+        assert_eq!(sink.into_results()[0].seed, 7);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_valid_json_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = sample_events();
+        for event in &events {
+            sink.on_event(event);
+        }
+        assert_eq!(sink.lines(), events.len() as u64);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for line in &lines {
+            let value = serde_json::value_from_str(line)
+                .unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"));
+            assert!(value.as_object().is_some(), "events render as objects");
+        }
+        // The stream round-trips back into events.
+        let first: CampaignEvent = serde_json::from_str(lines[0]).unwrap();
+        assert!(matches!(
+            first,
+            CampaignEvent::SampleStart { seed: 7, index: 0 }
+        ));
+        let done: CampaignEvent = serde_json::from_str(lines[3]).unwrap();
+        match done {
+            CampaignEvent::SampleDone { result } => {
+                assert_eq!(result.seed, 7);
+                assert!(result.found);
+            }
+            other => panic!("expected SampleDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_sink_reports_lifecycle_lines() {
+        let mut out = Vec::new();
+        {
+            let mut sink = ProgressSink::new(&mut out).with_prefix("[cell]");
+            for event in sample_events() {
+                sink.on_event(&event);
+            }
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[cell] sample #0 (seed 7) started"));
+        assert!(text.contains("FOUND at run 5"));
+        assert!(text.contains("MCM violation"));
+        assert!(text.contains("PANICKED: boom"));
+    }
+
+    #[test]
+    fn tuple_sink_fans_out_to_both() {
+        let mut pair = (CollectSink::new(), JsonlSink::new(Vec::new()));
+        for event in sample_events() {
+            pair.on_event(&event);
+        }
+        assert_eq!(pair.0.results().len(), 1);
+        assert_eq!(pair.1.lines(), 5);
+    }
+}

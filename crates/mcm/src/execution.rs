@@ -585,10 +585,31 @@ impl ExecutionBuilder {
         &self.events
     }
 
+    /// Derives the program order of the events added so far (the same
+    /// relation [`build`](Self::build) would derive).
+    ///
+    /// Program order depends only on the static event set, so callers that
+    /// rebuild executions from the same events repeatedly (the simulator's
+    /// per-iteration observer) can compute it once and finalise with
+    /// [`build_with_po`](Self::build_with_po) instead of paying the
+    /// quadratic derivation every time.
+    pub fn program_order(&self) -> Relation {
+        program::program_order(&self.events)
+    }
+
     /// Finalises the execution: derives program order, closes the coherence
     /// order transitively, and orders every initial write before all other
     /// writes to its address.
-    pub fn build(mut self) -> CandidateExecution {
+    pub fn build(self) -> CandidateExecution {
+        let po = self.program_order();
+        self.build_with_po(po)
+    }
+
+    /// Finalises the execution with a precomputed program order (see
+    /// [`program_order`](Self::program_order)); `po` must be the program
+    /// order of this builder's event set.
+    pub fn build_with_po(mut self, po: Relation) -> CandidateExecution {
+        debug_assert_eq!(po, program::program_order(&self.events));
         // Initial writes are co-before every other write to the same address.
         let writes: Vec<(EventId, Address)> = self
             .events
@@ -602,7 +623,6 @@ impl ExecutionBuilder {
                 self.co.insert(init, w);
             }
         }
-        let po = program::program_order(&self.events);
         let co_observed = self.co.clone();
         let co = self.co.transitive_closure();
         CandidateExecution {

@@ -121,6 +121,16 @@ impl ModelKind {
             .into_iter()
             .find(|m| m.name().eq_ignore_ascii_case(s.trim()))
     }
+
+    /// Returns `true` for the dependency-ordered models weaker than TSO
+    /// (ARMish/POWERish/RMO) — the targets that benefit from the
+    /// dependency-carrying operation mix and weak fence flavours.
+    pub fn is_relaxed(self) -> bool {
+        matches!(
+            self,
+            ModelKind::Armish | ModelKind::Powerish | ModelKind::Rmo
+        )
+    }
 }
 
 impl fmt::Display for ModelKind {

@@ -219,6 +219,10 @@ impl SystemConfig {
     }
 
     /// Selects a protocol, returning a modified copy.
+    #[deprecated(
+        since = "0.5.0",
+        note = "set the `protocol` field directly, or describe the cell with `mcversi_core::ScenarioSpec`"
+    )]
     pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
         self.protocol = protocol;
         self
@@ -231,6 +235,10 @@ impl SystemConfig {
     }
 
     /// Selects the core pipeline strength, returning a modified copy.
+    #[deprecated(
+        since = "0.5.0",
+        note = "set the `core_strength` field directly, or describe the cell with `mcversi_core::ScenarioSpec`"
+    )]
     pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
         self.core_strength = strength;
         self
@@ -387,6 +395,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim stays covered until its removal
     fn core_strength_registry_and_builder() {
         assert_eq!(CoreStrength::default(), CoreStrength::Strong);
         assert_eq!(CoreStrength::ALL.len(), 2);

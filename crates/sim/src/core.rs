@@ -1237,8 +1237,8 @@ mod tests {
     // ---- Relaxed pipeline ----
 
     fn cfg_relaxed() -> SystemConfig {
-        let mut c =
-            SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+        let mut c = SystemConfig::small(ProtocolKind::Mesi);
+        c.core_strength = CoreStrength::Relaxed;
         c.issue_jitter = 0;
         c
     }

@@ -53,6 +53,7 @@ pub mod types;
 
 pub use bugs::{Bug, BugConfig};
 pub use config::{CoreStrength, ProtocolKind, SystemConfig};
+pub use core::ObservedOp;
 pub use coverage::{CoverageRecorder, Transition};
 pub use program::{TestOp, TestOpKind, TestProgram, ThreadProgram};
 pub use system::{IterationOutcome, ProtocolError, System};

@@ -30,15 +30,30 @@ use std::collections::BTreeMap;
 
 /// Records performed operations of one test iteration and builds the
 /// candidate execution.
+///
+/// The static portion (event set, program order, dependency edges, the
+/// value→write and (thread, poi)→read maps) depends only on the program, so
+/// an observer is reusable across the iterations of a test-run: call
+/// [`reset`](ExecObserver::reset) between iterations instead of
+/// reconstructing it — the per-iteration cost is then just clearing (and
+/// reusing the capacity of) the two observation buffers.  The simulator
+/// caches the observer per staged program for exactly this reason (see
+/// `System::run_iteration`).
 #[derive(Debug)]
 pub struct ExecObserver {
     builder: ExecutionBuilder,
+    /// Program order of the static event set, derived once (initial-value
+    /// writes created while finalising carry no program point, so the
+    /// relation is identical for every iteration).
+    po: mcversi_mcm::relation::Relation,
     /// Write value -> write event (unique-value scheme).
     writes_by_value: BTreeMap<u64, EventId>,
     /// (thread, poi) -> read event awaiting its observed value.
     reads: BTreeMap<(usize, u32), EventId>,
-    /// Reads whose values have been observed, with the observed value.
-    observed_reads: Vec<(EventId, u64)>,
+    /// Observed read values, indexed densely by event id (event ids are
+    /// allocated contiguously by the builder).  `0` doubles as "initial
+    /// value" and "not observed" — both resolve to the initial write.
+    read_values: Vec<u64>,
     /// Writes and the values they overwrote.
     observed_writes: Vec<(EventId, u64)>,
     /// Number of operations that reported completion.
@@ -97,11 +112,14 @@ impl ExecObserver {
                 }
             }
         }
+        let read_values = vec![0u64; builder.len()];
+        let po = builder.program_order();
         ExecObserver {
             builder,
+            po,
             writes_by_value,
             reads,
-            observed_reads: Vec::new(),
+            read_values,
             observed_writes: Vec::new(),
             observed_count: 0,
             expected_count,
@@ -120,6 +138,15 @@ impl ExecObserver {
         if let (Some(kind), Some(source)) = (dep, last_load) {
             builder.dependency(kind, source, target);
         }
+    }
+
+    /// Clears the dynamic observation state so the observer can record the
+    /// next iteration of the *same* program.  The static event set and maps
+    /// are untouched; the observation buffers keep their capacity.
+    pub fn reset(&mut self) {
+        self.read_values.fill(0);
+        self.observed_writes.clear();
+        self.observed_count = 0;
     }
 
     /// Number of memory-model-relevant operations expected to complete.
@@ -142,7 +169,7 @@ impl ExecObserver {
         match op {
             ObservedOp::Load { poi, value, .. } => {
                 if let Some(&ev) = self.reads.get(&(thread, poi)) {
-                    self.observed_reads.push((ev, value));
+                    self.read_values[ev.0 as usize] = value;
                     self.observed_count += 1;
                 }
             }
@@ -164,7 +191,7 @@ impl ExecObserver {
                 ..
             } => {
                 if let Some(&rev) = self.reads.get(&(thread, poi)) {
-                    self.observed_reads.push((rev, read_value));
+                    self.read_values[rev.0 as usize] = read_value;
                 }
                 if let Some(&wev) = self.writes_by_value.get(&write_value) {
                     self.observed_writes.push((wev, read_value));
@@ -183,40 +210,43 @@ impl ExecObserver {
     /// given a reads-from edge to the initial write so the execution object
     /// stays well formed; callers should treat incomplete iterations
     /// separately (see [`is_complete`](Self::is_complete)).
-    pub fn finish(mut self) -> CandidateExecution {
-        // Patch observed read values into the events and create rf edges.
-        let observed: BTreeMap<EventId, u64> = self.observed_reads.iter().copied().collect();
-        // Rebuild the builder's read events with the observed values by using
-        // a fresh builder would lose ids; instead we rely on value-equality of
-        // rf being validated: set values through the rf edges below.
-        for (&(_, _), &read_ev) in &self.reads {
-            let value = observed.get(&read_ev).copied().unwrap_or(0);
-            self.builder.set_event_value(read_ev, Value(value));
+    ///
+    /// The observer itself is untouched (the static builder is cloned, the
+    /// iteration's conflict orders are patched into the clone), so after a
+    /// [`reset`](Self::reset) it can observe the next iteration.
+    pub fn finish(&self) -> CandidateExecution {
+        // Patch observed read values into the events and create rf edges on a
+        // clone of the static builder (the clone is the one allocation the
+        // returned execution needs anyway).
+        let mut builder = self.builder.clone();
+        for &read_ev in self.reads.values() {
+            let value = self.read_values[read_ev.0 as usize];
+            builder.set_event_value(read_ev, Value(value));
             if value == 0 {
-                self.builder.reads_from_initial(read_ev);
+                builder.reads_from_initial(read_ev);
             } else if let Some(&w) = self.writes_by_value.get(&value) {
-                self.builder.reads_from(w, read_ev);
+                builder.reads_from(w, read_ev);
             } else {
                 // A value that no write of this test produced: treat it as an
                 // unknown (initial) value; the checker will flag the mismatch
                 // through coherence if it matters.
-                self.builder.reads_from_initial(read_ev);
+                builder.reads_from_initial(read_ev);
             }
         }
         // Coherence order from overwritten values.
         for &(write_ev, overwritten) in &self.observed_writes {
             if overwritten == 0 {
-                self.builder.coherence_after_initial(write_ev);
+                builder.coherence_after_initial(write_ev);
             } else if let Some(&prev) = self.writes_by_value.get(&overwritten) {
                 if prev != write_ev {
-                    self.builder.coherence(prev, write_ev);
+                    builder.coherence(prev, write_ev);
                 }
-                self.builder.coherence_after_initial(write_ev);
+                builder.coherence_after_initial(write_ev);
             } else {
-                self.builder.coherence_after_initial(write_ev);
+                builder.coherence_after_initial(write_ev);
             }
         }
-        self.builder.build()
+        builder.build_with_po(self.po.clone())
     }
 }
 
@@ -500,6 +530,73 @@ mod tests {
         let exec = obs.finish();
         assert!(exec.validate().is_ok());
         assert!(exec.deps().is_empty());
+    }
+
+    /// A reused (reset) observer reproduces exactly the execution a freshly
+    /// constructed one builds — the reuse is a pure allocation optimisation.
+    #[test]
+    fn reset_observer_rebuilds_identical_executions() {
+        let program = mp_program();
+        let record_iteration = |obs: &mut ExecObserver, stale: bool| {
+            obs.record(
+                0,
+                ObservedOp::Store {
+                    poi: 0,
+                    addr: Address(0x100),
+                    value: 1,
+                    overwritten: 0,
+                },
+            );
+            obs.record(
+                0,
+                ObservedOp::Store {
+                    poi: 1,
+                    addr: Address(0x200),
+                    value: 2,
+                    overwritten: 0,
+                },
+            );
+            obs.record(
+                1,
+                ObservedOp::Load {
+                    poi: 0,
+                    addr: Address(0x200),
+                    value: 2,
+                },
+            );
+            obs.record(
+                1,
+                ObservedOp::Load {
+                    poi: 1,
+                    addr: Address(0x100),
+                    value: if stale { 0 } else { 1 },
+                },
+            );
+        };
+
+        let mut reused = ExecObserver::new(&program);
+        for &stale in &[false, true, false] {
+            reused.reset();
+            assert_eq!(reused.observed_count(), 0);
+            record_iteration(&mut reused, stale);
+            assert!(reused.is_complete());
+            let from_reused = reused.finish();
+
+            let mut fresh = ExecObserver::new(&program);
+            record_iteration(&mut fresh, stale);
+            let from_fresh = fresh.finish();
+
+            assert_eq!(from_reused.events(), from_fresh.events());
+            assert_eq!(from_reused.po(), from_fresh.po());
+            assert_eq!(from_reused.rf(), from_fresh.rf());
+            assert_eq!(from_reused.co(), from_fresh.co());
+            assert_eq!(from_reused.deps(), from_fresh.deps());
+            assert_eq!(
+                Checker::new(&Tso).check(&from_reused).is_violation(),
+                stale,
+                "stale={stale}"
+            );
+        }
     }
 
     #[test]

@@ -127,6 +127,9 @@ pub struct System {
     cycle: Cycle,
     total_instructions: u64,
     coverage_universe: Vec<Transition>,
+    /// Observer cache: the static event set of a program is reused across
+    /// the iterations of a test-run (see [`ExecObserver::reset`]).
+    observer_cache: Option<(TestProgram, ExecObserver)>,
 }
 
 impl System {
@@ -165,6 +168,7 @@ impl System {
             cycle: 0,
             total_instructions: 0,
             coverage_universe,
+            observer_cache: None,
             cfg,
         }
     }
@@ -261,7 +265,18 @@ impl System {
         self.reset_test_state();
 
         let mut cores: Vec<CoreModel> = cores_for_program(program, &self.cfg);
-        let mut observer = ExecObserver::new(program);
+        // Reuse the cached observer when the same program runs again (the
+        // common case: every iteration of a test-run): its static event set,
+        // maps and dependency edges are identical, so only the observation
+        // buffers need clearing.  The cached program copy is kept alongside
+        // so reuse costs one comparison, not a clone.
+        let (cached_program, mut observer) = match self.observer_cache.take() {
+            Some((cached_program, mut cached)) if &cached_program == program => {
+                cached.reset();
+                (cached_program, cached)
+            }
+            _ => (program.clone(), ExecObserver::new(program)),
+        };
         let mut errors: Vec<ProtocolError> = Vec::new();
         let mut responses_per_core: Vec<Vec<crate::protocol::CoreResponse>> =
             vec![Vec::new(); self.cfg.num_cores];
@@ -344,8 +359,10 @@ impl System {
         }
 
         let complete = observer.is_complete() && !hung && errors.is_empty();
+        let execution = observer.finish();
+        self.observer_cache = Some((cached_program, observer));
         IterationOutcome {
-            execution: observer.finish(),
+            execution,
             protocol_errors: errors,
             hung,
             complete,
@@ -480,7 +497,8 @@ mod tests {
     fn relaxed_core_satisfies_the_relaxed_models_and_breaks_tso() {
         use crate::config::CoreStrength;
         use mcversi_mcm::ModelKind;
-        let cfg = SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+        let mut cfg = SystemConfig::small(ProtocolKind::Mesi);
+        cfg.core_strength = CoreStrength::Relaxed;
         let mut sys = System::new(cfg, BugConfig::none(), 11);
         let mut tso_violations = 0usize;
         // Overlap several MP instances so the weak timing window is hit.

@@ -21,9 +21,8 @@ fn main() {
     );
 
     for protocol in [ProtocolKind::Mesi, ProtocolKind::TsoCc] {
-        let config = McVerSiConfig::small()
-            .with_protocol(protocol)
-            .with_iterations(2);
+        let mut config = McVerSiConfig::small().with_iterations(2);
+        config.system.protocol = protocol;
         let mut runner = TestRunner::new(config, BugConfig::none());
         let mut passed = 0usize;
         for litmus_test in &suite {

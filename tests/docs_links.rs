@@ -69,6 +69,22 @@ fn architecture_doc_links_are_live() {
     check_doc("ARCHITECTURE.md");
 }
 
+/// The checked-in example spec the docs and CI point at must stay parseable
+/// (and must describe the documented cell).
+#[test]
+fn example_scenario_spec_is_valid() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("examples/scenario.json");
+    let text = std::fs::read_to_string(&path).expect("examples/scenario.json must exist");
+    let spec = mcversi::core::ScenarioSpec::from_json(&text)
+        .unwrap_or_else(|e| panic!("examples/scenario.json is stale: {e}"));
+    assert_eq!(spec.generator, mcversi::core::GeneratorKind::McVerSiAll);
+    assert!(!spec.full, "the example describes the scaled-down system");
+    // And it round-trips: re-serialising reproduces an equivalent spec.
+    let again = mcversi::core::ScenarioSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(again, spec);
+}
+
 #[test]
 fn readme_doc_links_are_live() {
     check_doc("README.md");

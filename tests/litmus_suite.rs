@@ -11,10 +11,8 @@ use mcversi::testgen::litmus;
 
 fn run_suite(protocol: ProtocolKind, repeats: usize, seed: u64) {
     let suite = litmus::default_suite();
-    let config = McVerSiConfig::small()
-        .with_protocol(protocol)
-        .with_iterations(2)
-        .with_seed(seed);
+    let mut config = McVerSiConfig::small().with_iterations(2).with_seed(seed);
+    config.system.protocol = protocol;
     let mut runner = TestRunner::new(config, BugConfig::none());
     for t in &suite {
         let test = litmus::repeat_test(&t.test, repeats);

@@ -253,12 +253,13 @@ proptest! {
     fn relaxed_core_correct_design_satisfies_its_own_models(seed in 0u64..500) {
         use mcversi::sim::CoreStrength;
         let model = [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo][(seed % 3) as usize];
-        let config = McVerSiConfig::small()
-            .with_model(model)
-            .with_core_strength(CoreStrength::Relaxed)
+        let mut config = McVerSiConfig::small()
             .with_iterations(2)
             .with_test_size(40)
             .with_seed(seed);
+        config.model = model;
+        config.system.core_strength = CoreStrength::Relaxed;
+        config.testgen.bias = mcversi::testgen::OperationBias::relaxed_default();
         let params = config.testgen.clone();
         let mut runner = TestRunner::new(config, BugConfig::none());
         let test = RandomTestGenerator::new(params).generate(&mut StdRng::seed_from_u64(seed));
@@ -348,7 +349,8 @@ fn relaxed_core_weaker_than_tso_but_sound_for_weak_models() {
     };
     use mcversi::testgen::OperationBias;
 
-    let cfg = SystemConfig::small(ProtocolKind::Mesi).with_core_strength(CoreStrength::Relaxed);
+    let mut cfg = SystemConfig::small(ProtocolKind::Mesi);
+    cfg.core_strength = CoreStrength::Relaxed;
     let mut sys = System::new(cfg, SimBugConfig::none(), 17);
     let mut params = TestGenParams::small().with_threads(4).with_test_size(48);
     params.bias = OperationBias::relaxed_default();
@@ -398,6 +400,165 @@ fn relaxed_core_weaker_than_tso_but_sound_for_weak_models() {
         sc_broken >= tso_broken,
         "every TSO violation is an SC violation (monotonicity)"
     );
+}
+
+/// Builds a pseudo-random but fully-populated [`ScenarioSpec`] from a seed.
+fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
+    use mcversi::core::{GeneratorKind, ScenarioSpec};
+    use mcversi::sim::{Bug, CoreStrength, ProtocolKind};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pick = |n: usize| rng.gen_range(0..n);
+    ScenarioSpec {
+        generator: GeneratorKind::ALL[pick(4)],
+        bug: match pick(4) {
+            0 => None,
+            i => Some(Bug::ALL_EXTENDED[(i * 5) % Bug::ALL_EXTENDED.len()]),
+        },
+        model: ModelKind::ALL[pick(5)],
+        core_strength: CoreStrength::ALL[pick(2)],
+        cores: 1 + pick(8),
+        protocol: [ProtocolKind::Mesi, ProtocolKind::TsoCc][pick(2)],
+        test_memory_bytes: [256, 1024, 8192][pick(3)],
+        test_size: 8 + pick(1000),
+        iterations: 1 + pick(10),
+        samples: 1 + pick(10),
+        max_test_runs: 1 + pick(2000),
+        wall_secs: 1 + pick(100_000) as u64,
+        shared_wall_secs: if pick(2) == 0 {
+            None
+        } else {
+            Some(pick(1000) as u64)
+        },
+        parallelism: pick(16),
+        base_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        full: pick(2) == 1,
+        label: if pick(2) == 0 {
+            None
+        } else {
+            Some(format!("label \"{}\"\n[{seed}]", pick(100)))
+        },
+    }
+}
+
+proptest! {
+    /// The declarative spec round-trips through JSON exactly: spec → JSON →
+    /// spec is the identity for arbitrary axis combinations, budgets, seeds
+    /// and labels (including labels that need JSON string escaping).
+    #[test]
+    fn scenario_spec_round_trips_through_json(seed in 0u64..300) {
+        use mcversi::core::ScenarioSpec;
+        let spec = arbitrary_spec(seed);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{json}"));
+        prop_assert_eq!(back, spec);
+    }
+}
+
+/// The grid-driven declarative path reproduces the *exact* campaign results
+/// of the old setter-built configuration — for 20 seeds across a strong-core
+/// TSO cell and a relaxed-core ARMish cell.  (Everything except wall-clock
+/// time must match bit-for-bit; this is the compatibility contract of the
+/// `ScenarioSpec` redesign.)
+#[test]
+#[allow(deprecated)] // the comparison target *is* the deprecated setter path
+fn grid_cells_reproduce_setter_built_campaigns() {
+    use mcversi::core::{
+        run_campaign, CampaignConfig, CampaignResult, GeneratorKind, ScenarioGrid, ScenarioSpec,
+    };
+    use mcversi::mcm::ModelKind;
+    use mcversi::sim::{Bug, CoreStrength, ProtocolKind, SystemConfig};
+    use std::time::Duration;
+
+    fn fingerprint(r: &CampaignResult) -> (u64, bool, Option<String>, usize, Option<usize>, u64) {
+        (
+            r.seed,
+            r.found,
+            r.detail.clone(),
+            r.test_runs,
+            r.found_at_run,
+            r.simulated_cycles,
+        )
+    }
+
+    /// The old construction path: `Scale::mcversi_config` + `with_model` +
+    /// `with_core_strength`, exactly as the experiment binaries built cells
+    /// before the redesign.
+    fn setter_built(
+        generator: GeneratorKind,
+        bug: Bug,
+        memory: u64,
+        model: ModelKind,
+        core: CoreStrength,
+    ) -> CampaignConfig {
+        let mut system = SystemConfig::small(ProtocolKind::Mesi);
+        system.num_cores = 4;
+        let mut testgen = TestGenParams::small();
+        testgen.test_memory_bytes = memory;
+        testgen.population_size = 24;
+        let testgen = testgen.with_threads(4).with_test_size(24);
+        let mut mcversi = McVerSiConfig::small();
+        mcversi.system = system;
+        mcversi.testgen = testgen;
+        mcversi.testgen.iterations = 2;
+        CampaignConfig::new(generator, Some(bug), mcversi, 6, Duration::from_secs(60))
+            .with_model(model)
+            .with_core_strength(core)
+    }
+
+    let mut base = ScenarioSpec::small();
+    base.cores = 4;
+    base.test_size = 24;
+    base.iterations = 2;
+    base.max_test_runs = 6;
+    base.wall_secs = 60;
+
+    let cells = [
+        (
+            GeneratorKind::McVerSiRand,
+            Bug::LqNoTso,
+            1024u64,
+            ModelKind::Tso,
+            CoreStrength::Strong,
+        ),
+        (
+            GeneratorKind::DiyLitmus,
+            Bug::SqNoDataDep,
+            8 * 1024,
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        ),
+    ];
+
+    for (generator, bug, memory, model, core) in cells {
+        let old_config = setter_built(generator, bug, memory, model, core);
+        let grid = ScenarioGrid::new(
+            base.clone()
+                .generator(generator)
+                .bug(Some(bug))
+                .test_memory(memory),
+        )
+        .models([model])
+        .core_strengths([core]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 1);
+        let new_config = cells[0].campaign();
+
+        assert_eq!(
+            old_config.effective_mcversi(),
+            new_config.effective_mcversi(),
+            "configs must agree for {generator}/{bug}"
+        );
+        for seed in 0..10u64 {
+            let old_result = run_campaign(&old_config, seed);
+            let new_result = run_campaign(&new_config, seed);
+            assert_eq!(
+                fingerprint(&old_result),
+                fingerprint(&new_result),
+                "seed {seed}, {generator}/{bug}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -2,10 +2,11 @@
 //!
 //! The build environment is offline, so this crate replaces crates.io `serde`
 //! with the smallest API the workspace needs: a self-describing [`Value`]
-//! tree, a [`Serialize`] trait that renders into it (with
-//! `#[derive(Serialize)]` provided by the vendored `serde_derive`), and a
-//! marker [`Deserialize`] trait.  `serde_json::to_string_pretty` renders the
-//! [`Value`] tree as real JSON.
+//! tree, a [`Serialize`] trait that renders into it, and a [`Deserialize`]
+//! trait that reconstructs a value from the tree (both derivable through the
+//! vendored `serde_derive`).  `serde_json` renders the [`Value`] tree as real
+//! JSON and parses JSON text back into it, so serialize → deserialize round
+//! trips work end to end (campaign specs, event streams, artifacts).
 
 #![forbid(unsafe_code)]
 
@@ -42,10 +43,33 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait: the type was derived as deserializable.  The vendored stack
-/// has no deserializer; nothing in the workspace reads serialized artifacts
-/// back.
-pub trait Deserialize {}
+/// Deserialization error: what was expected, and a short rendering of what
+/// was found (or which field was missing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A type-mismatch error.
+    pub fn expected(what: &str, while_in: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {while_in}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can reconstruct themselves from a [`Value`] produced by
+/// [`Serialize::to_value`] (or parsed from JSON by the vendored
+/// `serde_json::from_str`).
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
 
 macro_rules! impl_ser_uint {
     ($($t:ty),*) => {$(
@@ -225,6 +249,329 @@ impl_ser_tuple! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+impl Value {
+    /// The entries of an object value, if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items of an array value, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A short type-name rendering for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserializes one field of a struct/variant object (used by the derived
+/// impls).  A missing field is deserialized from [`Value::Null`] so `Option`
+/// fields default to `None` while any other type reports the absence.
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError(format!("in field `{name}` of `{ty}`: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("missing field `{name}` of `{ty}`"))),
+    }
+}
+
+/// Reconstructs a map key from its string rendering (map keys are flattened
+/// to strings on serialization, the JSON restriction): first as a plain
+/// string, then re-interpreted as the scalar the string spells.
+pub fn from_key<T: Deserialize>(key: &str) -> Result<T, DeError> {
+    if let Ok(v) = T::from_value(&Value::Str(key.to_string())) {
+        return Ok(v);
+    }
+    let reinterpreted = if let Ok(u) = key.parse::<u64>() {
+        Value::UInt(u)
+    } else if let Ok(i) = key.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(b) = key.parse::<bool>() {
+        Value::Bool(b)
+    } else if let Ok(f) = key.parse::<f64>() {
+        Value::Float(f)
+    } else {
+        Value::Str(key.to_string())
+    };
+    T::from_value(&reinterpreted).map_err(|e| DeError(format!("in map key `{key}`: {e}")))
+}
+
+fn int_from_value(v: &Value, ty: &str) -> Result<i128, DeError> {
+    match v {
+        Value::Int(n) => Ok(i128::from(*n)),
+        Value::UInt(n) => Ok(i128::from(*n)),
+        Value::Float(x) if x.fract() == 0.0 && x.abs() < 9e18 => Ok(*x as i128),
+        other => Err(DeError::expected("integer", ty).context(other)),
+    }
+}
+
+impl DeError {
+    fn context(mut self, found: &Value) -> Self {
+        self.0.push_str(&format!(" (found {})", found.kind_name()));
+        self
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = int_from_value(v, stringify!($t))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            // Non-finite floats serialize as `null` (the JSON restriction).
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("float", "f64").context(other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool").context(other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String").context(other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+fn seq_from_value<T: Deserialize>(v: &Value, ty: &str) -> Result<Vec<T>, DeError> {
+    v.as_array()
+        .ok_or_else(|| DeError::expected("array", ty).context(v))?
+        .iter()
+        .map(T::from_value)
+        .collect()
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from_value(v, "Vec")
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = seq_from_value(v, "array")?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from_value(v, "BTreeSet").map(|items: Vec<T>| items.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from_value(v, "HashSet").map(|items: Vec<T>| items.into_iter().collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        seq_from_value(v, "VecDeque").map(|items: Vec<T>| items.into_iter().collect())
+    }
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize>(
+    v: &Value,
+    ty: &str,
+) -> Result<Vec<(K, V)>, DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::expected("object", ty).context(v))?
+        .iter()
+        .map(|(k, item)| Ok((from_key::<K>(k)?, V::from_value(item)?)))
+        .collect()
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries_from_value(v, "BTreeMap").map(|e: Vec<(K, V)>| e.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries_from_value(v, "HashMap").map(|e: Vec<(K, V)>| e.into_iter().collect())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs: u64 = __field(
+            v.as_object()
+                .ok_or_else(|| DeError::expected("object", "Duration").context(v))?,
+            "secs",
+            "Duration",
+        )?;
+        let nanos: u32 = __field(v.as_object().unwrap(), "nanos", "Duration")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", "()").context(other)),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple").context(v))?;
+                if items.len() != $len {
+                    return Err(DeError(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+    (5: 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// One-element tuples serialize as a bare array of one value.
+impl<A: Deserialize> Deserialize for (A,) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "tuple").context(v))?;
+        match items {
+            [a] => Ok((A::from_value(a)?,)),
+            _ => Err(DeError(format!(
+                "expected tuple of length 1, found {}",
+                items.len()
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]

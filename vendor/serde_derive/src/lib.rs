@@ -261,8 +261,133 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _) = parse_input(input);
-    format!("impl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .expect("serde_derive: generated Deserialize impl failed to parse")
+    let (name, shape) = parse_input(input);
+    // Mirrors the Serialize derive exactly: named structs/variants expect an
+    // object, tuple shapes of one field are transparent, longer tuples expect
+    // an array, and unit shapes expect null (structs) or the variant-name
+    // string (enums).  Field types are resolved by inference: the generated
+    // code calls `::serde::Deserialize::from_value` in a position typed by
+    // the struct/variant literal it builds.
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 __other => Err(::serde::DeError::expected(\"null\", \"{name}\")),\n\
+             }}"
+        ),
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__entries, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __entries = __v\n\
+                     .as_object()\n\
+                     .ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(count) => {
+            if count == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..count)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __v\n\
+                         .as_array()\n\
+                         .ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                     if __items.len() != {count} {{\n\
+                         return Err(::serde::DeError::expected(\n\
+                             \"array of length {count}\", \"{name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantFields::Tuple(count) => {
+                        let build = if *count == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let items: Vec<String> = (0..*count)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{\n\
+                                     let __items = __payload.as_array().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                     if __items.len() != {count} {{\n\
+                                         return Err(::serde::DeError::expected(\n\
+                                             \"array of length {count}\", \"{name}::{vn}\"));\n\
+                                     }}\n\
+                                     {name}::{vn}({})\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__field(__entries, \"{f}\", \"{name}::{vn}\")?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __entries = __payload.as_object().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                 return Ok({name}::{vn} {{ {} }});\n\
+                             }}\n",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__variant) = __v {{\n\
+                     match __variant.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => return Err(::serde::DeError(format!(\n\
+                             \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some([(__variant, __payload)]) = __v.as_object() {{\n\
+                     match __variant.as_str() {{\n\
+                         {payload_arms}\n\
+                         __other => return Err(::serde::DeError(format!(\n\
+                             \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"variant of\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             #[allow(clippy::question_mark, unused_variables)]\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
 }

@@ -1,9 +1,12 @@
-//! Minimal stand-in for `serde_json`: serialization only, via the vendored
-//! `serde` crate's [`serde::Value`] tree.
+//! Minimal stand-in for `serde_json`: serialization *and* parsing, via the
+//! vendored `serde` crate's [`serde::Value`] tree.  [`to_string`] /
+//! [`to_string_pretty`] render a [`Value`] tree as JSON; [`from_str`] parses
+//! JSON text back into a tree and reconstructs any [`serde::Deserialize`]
+//! type from it, so round trips work end to end.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Serialization error (the vendored serializer is infallible in practice,
 /// but the signature mirrors `serde_json`).
@@ -39,6 +42,212 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Renders `value` into a [`Value`] tree (the `serde_json::to_value` analogue;
+/// infallible with the vendored serializer).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text and reconstructs a `T` from it.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    from_value(&value_from_str(input)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Standard JSON: objects, arrays, strings (with `\uXXXX` escapes), numbers
+/// (integers parse to `Int`/`UInt`, everything else to `Float`), booleans and
+/// `null`.  Trailing non-whitespace input is an error.
+pub fn value_from_str(input: &str) -> Result<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<()> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected `{}` at byte {pos}",
+            char::from(byte),
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".to_string())),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".to_string())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = input_slice(bytes, *pos + 1, 4)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("invalid \\u escape at byte {}", *pos)))?;
+                        // Surrogate pairs are not produced by the serializer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (input is a &str, so the
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid UTF-8"));
+            }
+        }
+    }
+}
+
+fn input_slice(bytes: &[u8], start: usize, len: usize) -> Result<&str> {
+    bytes
+        .get(start..start + len)
+        .and_then(|b| std::str::from_utf8(b).ok())
+        .ok_or_else(|| Error(format!("unexpected end of input at byte {start}")))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("valid UTF-8");
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
 }
 
 fn escape_into(s: &str, out: &mut String) {
@@ -148,5 +357,49 @@ mod tests {
     fn strings_are_escaped() {
         let s = "line\n\"quoted\"".to_string();
         assert_eq!(to_string(&s).unwrap(), r#""line\n\"quoted\"""#);
+    }
+
+    #[test]
+    fn parser_round_trips_scalars_and_containers() {
+        for json in [
+            "null",
+            "true",
+            "42",
+            "-17",
+            "3.5",
+            "18446744073709551615",
+            r#""héllo\n""#,
+            "[]",
+            "{}",
+            r#"[1, 2, 3]"#,
+            r#"{"a": 1, "b": [true, null]}"#,
+        ] {
+            let v = value_from_str(json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            let rendered = to_string(&v).unwrap();
+            assert_eq!(
+                value_from_str(&rendered).unwrap(),
+                v,
+                "round trip of {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for json in ["", "nul", "[1,", r#"{"a" 1}"#, "1 2", "-", r#""open"#] {
+            assert!(value_from_str(json).is_err(), "{json} should fail");
+        }
+    }
+
+    #[test]
+    fn typed_from_str_reconstructs_values() {
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let v: std::collections::BTreeMap<String, f64> = from_str(r#"{"x": 1.5}"#).unwrap();
+        assert_eq!(v["x"], 1.5);
+        let v: Option<bool> = from_str("null").unwrap();
+        assert_eq!(v, None);
+        let v: std::time::Duration = from_str(r#"{"secs": 3, "nanos": 500}"#).unwrap();
+        assert_eq!(v, std::time::Duration::new(3, 500));
     }
 }
