@@ -24,7 +24,7 @@
 //! bug-detectability matrix (`crates/bench/src/core_matrix.rs`).
 
 use mcversi_bench::core_matrix::run_core_matrix;
-use mcversi_bench::matrix::render_matrix;
+use mcversi_bench::matrix::{render_matrix, verify_enumerated_corpus};
 use mcversi_bench::{banner, table_columns, write_artifact};
 use mcversi_core::report::{aggregate_cell, BugCoverageTable};
 use mcversi_core::scenario::jsonl_sink_from_env;
@@ -51,6 +51,25 @@ fn main() {
         std::process::exit(1);
     }
     println!("all verdicts match the pinned expectations\n");
+
+    // The corpus-wide independent oracle: every enumerated test × model, the
+    // closed-form cycle verdict against the axiomatic checker on the
+    // canonical weak-outcome execution.  Bounds follow the corpus the cells
+    // will actually run (`MCVERSI_LITMUS`); a handpicked-corpus run skips
+    // the sweep — its cells never touch the enumerated tests.
+    match grid.base().litmus_corpus().bounds() {
+        None => println!("litmus corpus: handpicked (enumerated-corpus cross-check skipped)\n"),
+        Some(bounds) => {
+            println!("Enumerated corpus vs checker (independent oracle cross-check):");
+            let (summary, corpus_mismatches) = verify_enumerated_corpus(&bounds);
+            println!("{summary}");
+            if corpus_mismatches > 0 {
+                eprintln!("error: {corpus_mismatches} enumerated verdicts contradict the checker");
+                std::process::exit(1);
+            }
+            println!("oracle and checker agree on the whole corpus\n");
+        }
+    }
 
     println!("(core strength × model) bug-detectability matrix (directed probes):");
     let (core_matrix, core_mismatches) = run_core_matrix(24);

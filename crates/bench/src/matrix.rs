@@ -16,6 +16,7 @@ use mcversi_mcm::{
     Address, CandidateExecution, DepKind, ExecutionBuilder, FenceKind, ModelKind, ProcessorId,
     Value,
 };
+use mcversi_testgen::enumerate::{enumerate, EnumerationBounds};
 
 /// One row of the matrix: a named weak outcome and, for every model in
 /// [`ModelKind::ALL`] order, whether that outcome is expected to be forbidden.
@@ -305,6 +306,87 @@ pub fn is_forbidden(exec: &CandidateExecution, model: ModelKind) -> bool {
     Checker::new(model.instance()).check(exec).is_violation()
 }
 
+/// Verifies the enumerated corpus against the axiomatic checker: for every
+/// enumerated test × model, the closed-form oracle's verdict must equal the
+/// checker's verdict on the cycle's canonical weak-outcome execution.
+///
+/// This is the corpus-wide independent-oracle guarantee the litmus
+/// enumeration subsystem rests on (the pinned [`shape_expectations`] cover
+/// the classic shapes by hand; this covers *all* of them mechanically).
+/// Returns `(summary, mismatches)`.
+pub fn verify_enumerated_corpus(bounds: &EnumerationBounds) -> (String, usize) {
+    use std::fmt::Write as _;
+    let corpus = enumerate(bounds);
+    let mut mismatches = 0usize;
+    let mut per_model_forbidden = [0usize; ModelKind::ALL.len()];
+    let mut out = String::new();
+    for test in corpus.iter() {
+        match verify_one(test) {
+            Err(diagnostics) => {
+                out.push_str(&diagnostics);
+                mismatches += diagnostics.lines().count();
+            }
+            Ok(checker_forbidden) => {
+                for (count, forbidden) in per_model_forbidden.iter_mut().zip(checker_forbidden) {
+                    *count += forbidden as usize;
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} enumerated tests at {}x{}; forbidden per model:",
+        corpus.len(),
+        bounds.max_threads,
+        bounds.max_edges
+    );
+    for (i, model) in ModelKind::ALL.into_iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:>9}: {:>5} forbidden / {:>5} allowed",
+            model.name(),
+            per_model_forbidden[i],
+            corpus.len() - per_model_forbidden[i]
+        );
+    }
+    (out, mismatches)
+}
+
+/// Verifies one enumerated test: builds the canonical weak-outcome execution
+/// and compares the checker's verdict with the oracle's under every model.
+///
+/// Returns the checker's per-model verdict row on success (it then equals
+/// the test's `forbidden` row), or the newline-separated mismatch
+/// diagnostics.  Shared by [`verify_enumerated_corpus`] and the test-suite
+/// samples so the comparison contract has exactly one implementation.
+pub fn verify_one(test: &mcversi_testgen::EnumeratedTest) -> Result<[bool; 5], String> {
+    use std::fmt::Write as _;
+    let exec = test.cycle.canonical_execution();
+    if let Err(e) = exec.validate() {
+        return Err(format!(
+            "{}: malformed canonical execution: {e:?}\n",
+            test.name
+        ));
+    }
+    let mut row = [false; ModelKind::ALL.len()];
+    let mut diagnostics = String::new();
+    for (i, model) in ModelKind::ALL.into_iter().enumerate() {
+        row[i] = is_forbidden(&exec, model);
+        if row[i] != test.forbidden[i] {
+            let _ = writeln!(
+                diagnostics,
+                "{} under {}: oracle says forbidden={}, checker says {}",
+                test.name, model, test.forbidden[i], row[i]
+            );
+        }
+    }
+    if diagnostics.is_empty() {
+        Ok(row)
+    } else {
+        Err(diagnostics)
+    }
+}
+
 /// Renders the verdict matrix and compares live checker verdicts against the
 /// pinned expectations.  Returns `(rendered table, mismatches)`.
 pub fn render_matrix() -> (String, usize) {
@@ -404,6 +486,48 @@ mod tests {
         assert!(table.contains("MP+mfence+addr"));
         for model in ModelKind::ALL {
             assert!(table.contains(model.name()));
+        }
+    }
+
+    /// The enumerated corpus subsumes every hand-pinned shape *with the same
+    /// verdict row*: the closed-form oracle reproduces the expectations this
+    /// module pins by hand (`SB+lwsyncs` is one canonical name shift away:
+    /// the hand row spells it the same).
+    #[test]
+    fn enumerated_corpus_subsumes_the_pinned_expectations() {
+        let corpus = enumerate(&EnumerationBounds::default());
+        for shape in shape_expectations() {
+            let test = corpus
+                .iter()
+                .find(|t| t.name == shape.name)
+                .unwrap_or_else(|| panic!("pinned shape {} not enumerated", shape.name));
+            assert_eq!(
+                test.forbidden, shape.forbidden,
+                "{}: oracle verdicts differ from the pinned row",
+                shape.name
+            );
+        }
+    }
+
+    /// The corpus-wide oracle guarantee at the toy bound (fast; the default
+    /// bound runs in the release-mode table4 binary and a strided sample in
+    /// the workspace property tests).
+    #[test]
+    fn enumerated_toy_corpus_verifies_against_the_checker() {
+        let (summary, mismatches) = verify_enumerated_corpus(&EnumerationBounds::new(2, 4));
+        assert_eq!(mismatches, 0, "{summary}");
+        assert!(summary.contains("enumerated tests"));
+    }
+
+    /// And a deterministic stride of the default bound, so three-and
+    /// four-thread cycles get checker-verified in tier-1 as well.
+    #[test]
+    fn enumerated_default_corpus_sample_verifies_against_the_checker() {
+        let corpus = enumerate(&EnumerationBounds::default());
+        for test in corpus.iter().step_by(7) {
+            if let Err(diagnostics) = verify_one(test) {
+                panic!("{diagnostics}");
+            }
         }
     }
 }

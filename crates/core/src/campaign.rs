@@ -83,32 +83,9 @@ impl CampaignConfig {
         self
     }
 
-    /// Retargets the campaign at a different consistency model (checker and
-    /// litmus-suite selection).
-    #[deprecated(
-        since = "0.5.0",
-        note = "describe the cell declaratively with `mcversi_core::ScenarioSpec` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn with_model(mut self, model: ModelKind) -> Self {
-        self.mcversi = self.mcversi.with_model(model);
-        self
-    }
-
     /// The campaign's target consistency model.
     pub fn model(&self) -> ModelKind {
         self.mcversi.model
-    }
-
-    /// Selects the pipeline strength of the simulated cores.
-    #[deprecated(
-        since = "0.5.0",
-        note = "describe the cell declaratively with `mcversi_core::ScenarioSpec` instead"
-    )]
-    #[allow(deprecated)]
-    pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
-        self.mcversi = self.mcversi.with_core_strength(strength);
-        self
     }
 
     /// The campaign's core pipeline strength (before any per-bug override;
@@ -505,11 +482,6 @@ pub fn run_samples_streamed(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `with_model`/`with_core_strength` shims stay covered
-    // until their removal; `spec_built_config_matches_the_shims` pins their
-    // equivalence with the declarative `ScenarioSpec` path.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::sink::CollectSink;
     use mcversi_sim::ProtocolKind;
@@ -517,6 +489,21 @@ mod tests {
     fn quick_config(generator: GeneratorKind, bug: Option<Bug>) -> CampaignConfig {
         let mcversi = McVerSiConfig::small().with_test_size(32).with_iterations(3);
         CampaignConfig::new(generator, bug, mcversi, 40, Duration::from_secs(60))
+    }
+
+    /// A quick config retargeted at a (model, core strength) cell — the
+    /// in-process equivalent of the `ScenarioSpec` axes (pinned equal to the
+    /// spec path by the workspace-level differential test).
+    fn quick_cell(
+        generator: GeneratorKind,
+        bug: Option<Bug>,
+        model: ModelKind,
+        core: CoreStrength,
+    ) -> CampaignConfig {
+        let mut cfg = quick_config(generator, bug);
+        cfg.mcversi = cfg.mcversi.retarget(model);
+        cfg.mcversi.system.core_strength = core;
+        cfg
     }
 
     #[test]
@@ -562,8 +549,12 @@ mod tests {
         // architecturally allowed, so the verdict machinery must stay quiet
         // unless a dependency chain is violated (which the correct-by-
         // construction dependency stalls in the core prevent).
-        let rmo =
-            quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso)).with_model(ModelKind::Rmo);
+        let rmo = quick_cell(
+            GeneratorKind::McVerSiRand,
+            Some(Bug::LqNoTso),
+            ModelKind::Rmo,
+            CoreStrength::Strong,
+        );
         assert_eq!(rmo.model(), ModelKind::Rmo);
         let result = run_campaign(&rmo, 3);
         assert!(
@@ -581,14 +572,17 @@ mod tests {
     /// in-order retirement mask the injection entirely.
     #[test]
     fn dependency_bug_detectable_on_relaxed_core_only() {
-        let base = quick_config(GeneratorKind::DiyLitmus, Some(Bug::SqNoDataDep))
-            .with_model(ModelKind::Armish);
         assert_eq!(
             Bug::SqNoDataDep.required_core(),
             Some(CoreStrength::Relaxed)
         );
 
-        let relaxed = base.clone().with_core_strength(CoreStrength::Relaxed);
+        let relaxed = quick_cell(
+            GeneratorKind::DiyLitmus,
+            Some(Bug::SqNoDataDep),
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        );
         assert_eq!(relaxed.core_strength(), CoreStrength::Relaxed);
         let result = run_campaign(&relaxed, 3);
         assert!(
@@ -598,7 +592,12 @@ mod tests {
         assert_eq!(result.core, CoreStrength::Relaxed);
         assert_eq!(result.model, ModelKind::Armish);
 
-        let strong = base.with_core_strength(CoreStrength::Strong);
+        let strong = quick_cell(
+            GeneratorKind::DiyLitmus,
+            Some(Bug::SqNoDataDep),
+            ModelKind::Armish,
+            CoreStrength::Strong,
+        );
         let result = run_campaign(&strong, 3);
         assert!(
             !result.found,
@@ -613,17 +612,24 @@ mod tests {
     /// the hardware is weaker than the model.
     #[test]
     fn relaxed_core_correct_design_is_model_relative() {
-        let armish = quick_config(GeneratorKind::DiyLitmus, None)
-            .with_model(ModelKind::Armish)
-            .with_core_strength(CoreStrength::Relaxed);
+        let armish = quick_cell(
+            GeneratorKind::DiyLitmus,
+            None,
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        );
         let result = run_campaign(&armish, 2);
         assert!(
             !result.found,
             "correct relaxed design flagged under ARMish: {result:?}"
         );
 
-        let tso =
-            quick_config(GeneratorKind::DiyLitmus, None).with_core_strength(CoreStrength::Relaxed);
+        let tso = quick_cell(
+            GeneratorKind::DiyLitmus,
+            None,
+            ModelKind::Tso,
+            CoreStrength::Relaxed,
+        );
         assert_eq!(tso.model(), ModelKind::Tso);
         let result = run_campaign(&tso, 2);
         assert!(
@@ -633,8 +639,13 @@ mod tests {
     }
 
     #[test]
-    fn with_model_switches_bias_and_result_records_model() {
-        let cfg = quick_config(GeneratorKind::McVerSiRand, None).with_model(ModelKind::Armish);
+    fn retargeting_switches_bias_and_result_records_model() {
+        let cfg = quick_cell(
+            GeneratorKind::McVerSiRand,
+            None,
+            ModelKind::Armish,
+            CoreStrength::Strong,
+        );
         assert_eq!(cfg.model(), ModelKind::Armish);
         assert!(
             cfg.mcversi.testgen.bias.write_data_dp > 0,

@@ -57,45 +57,19 @@ impl McVerSiConfig {
         }
     }
 
-    /// Replaces the protocol of the simulated system, returning a modified copy.
-    #[deprecated(
-        since = "0.5.0",
-        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
-    )]
-    pub fn with_protocol(mut self, protocol: mcversi_sim::ProtocolKind) -> Self {
-        self.system.protocol = protocol;
-        self
-    }
-
-    /// Replaces the pipeline strength of the simulated cores, returning a
-    /// modified copy.
+    /// Retargets the configuration at a consistency model, following the
+    /// same bias policy as [`crate::ScenarioSpec::testgen`]: relaxed targets
+    /// get the relaxed operation mix (dependency-carrying ops and weak fence
+    /// flavours with non-zero weight), strong targets the paper's Table 3
+    /// mix — unless the caller already customised the bias, which is never
+    /// touched.
     ///
-    /// Campaigns pairing a relaxed core with a *stronger* target model
-    /// (SC/TSO) flag the correct design itself — the hardware reorders more
-    /// than the model admits — so relaxed cores are normally paired with the
-    /// dependency-ordered models (ARMish/POWERish/RMO).
-    #[deprecated(
-        since = "0.5.0",
-        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
-    )]
-    pub fn with_core_strength(mut self, strength: mcversi_sim::CoreStrength) -> Self {
-        self.system.core_strength = strength;
-        self
-    }
-
-    /// Replaces the target consistency model, returning a modified copy.
-    ///
-    /// The operation bias follows the target unless the caller customised it:
-    /// relaxed targets get the relaxed mix (dependency-carrying ops and weak
-    /// fence flavours with non-zero weight), strong targets get the paper's
-    /// Table 3 mix back — so retargeting is symmetric and a TSO campaign
-    /// never silently keeps a relaxed bias.  (The declarative path derives
-    /// the bias from [`crate::ScenarioSpec::testgen`] instead.)
-    #[deprecated(
-        since = "0.5.0",
-        note = "describe the cell declaratively with `crate::ScenarioSpec` instead"
-    )]
-    pub fn with_model(mut self, model: ModelKind) -> Self {
+    /// This is *not* a sweep-cell builder (the deleted
+    /// `with_model`/`with_core_strength`/`with_protocol` shims were; cells
+    /// are described declaratively with [`crate::ScenarioSpec`]); it exists
+    /// for in-process retargeting of an existing configuration, e.g. in
+    /// differential tests.
+    pub fn retarget(mut self, model: ModelKind) -> Self {
         use mcversi_testgen::OperationBias;
         if model.is_relaxed() && self.testgen.bias == OperationBias::paper_default() {
             self.testgen.bias = OperationBias::relaxed_default();
@@ -133,9 +107,6 @@ impl Default for McVerSiConfig {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
-
     use super::*;
     use mcversi_sim::ProtocolKind;
 
@@ -147,12 +118,12 @@ mod tests {
     }
 
     #[test]
-    fn with_model_bias_swap_is_symmetric() {
+    fn retarget_bias_swap_is_symmetric() {
         use mcversi_mcm::ModelKind;
         use mcversi_testgen::OperationBias;
-        let cfg = McVerSiConfig::small().with_model(ModelKind::Armish);
+        let cfg = McVerSiConfig::small().retarget(ModelKind::Armish);
         assert_eq!(cfg.testgen.bias, OperationBias::relaxed_default());
-        let back = cfg.with_model(ModelKind::Tso);
+        let back = cfg.retarget(ModelKind::Tso);
         assert_eq!(
             back.testgen.bias,
             OperationBias::paper_default(),
@@ -161,17 +132,17 @@ mod tests {
         // A customised bias is never touched in either direction.
         let mut custom = McVerSiConfig::small();
         custom.testgen.bias.read = 60;
-        let custom = custom.with_model(ModelKind::Rmo).with_model(ModelKind::Sc);
+        let custom = custom.retarget(ModelKind::Rmo).retarget(ModelKind::Sc);
         assert_eq!(custom.testgen.bias.read, 60);
     }
 
     #[test]
     fn builders_modify_copies() {
-        let cfg = McVerSiConfig::small()
-            .with_protocol(ProtocolKind::TsoCc)
+        let mut cfg = McVerSiConfig::small()
             .with_seed(42)
             .with_test_size(64)
             .with_iterations(3);
+        cfg.system.protocol = ProtocolKind::TsoCc;
         assert_eq!(cfg.system.protocol, ProtocolKind::TsoCc);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.testgen.test_size, 64);

@@ -76,7 +76,10 @@ impl fmt::Display for GeneratorKind {
 enum SourceState {
     Gp(Box<GpEngine>),
     Random(RandomTestGenerator),
-    Litmus { suite: Vec<LitmusTest>, next: usize },
+    Litmus {
+        suite: std::sync::Arc<Vec<LitmusTest>>,
+        next: usize,
+    },
 }
 
 impl fmt::Debug for SourceState {
@@ -134,14 +137,18 @@ impl TestSource {
             }
             GeneratorKind::DiyLitmus => {
                 // Three well-separated locations from the test memory; the
-                // shape set follows the target model.
+                // shape set follows the target model and the configured
+                // corpus (`params.litmus`, the `MCVERSI_LITMUS` axis).
                 let slots = params.all_slot_addresses();
                 let pick = |i: usize| slots[i * slots.len() / 3].to_owned();
                 let locations = [pick(0), pick(1), pick(2)];
-                SourceState::Litmus {
-                    suite: litmus::suite_for(model, &locations),
-                    next: 0,
-                }
+                let suite = match params.litmus.bounds() {
+                    None => std::sync::Arc::new(litmus::handpicked_suite_for(model, &locations)),
+                    // Shared per (model, bounds, locations): samples of one
+                    // campaign re-use a single lowered corpus.
+                    Some(bounds) => litmus::shared_suite_for_bounded(model, &locations, &bounds),
+                };
+                SourceState::Litmus { suite, next: 0 }
             }
         };
         TestSource {
@@ -294,7 +301,7 @@ mod tests {
     fn litmus_source_cycles_through_the_suite() {
         let params = TestGenParams::small();
         let mut source = TestSource::new(GeneratorKind::DiyLitmus, params, 1);
-        let suite_len = mcversi_testgen::litmus::default_suite().len();
+        let suite_len = mcversi_testgen::litmus::default_suite_for(ModelKind::Tso).len();
         let mut names = Vec::new();
         for _ in 0..suite_len + 2 {
             let (_, _, name) = source.next_test();
@@ -303,6 +310,27 @@ mod tests {
         // After exhausting the suite it wraps around (the paper's outer loop).
         assert_eq!(names[0], names[suite_len]);
         assert_eq!(names[1], names[suite_len + 1]);
+    }
+
+    #[test]
+    fn litmus_source_honours_the_corpus_axis() {
+        use mcversi_testgen::LitmusCorpus;
+        let mut handpicked = TestGenParams::small();
+        handpicked.litmus = LitmusCorpus::Handpicked;
+        let mut source = TestSource::new(GeneratorKind::DiyLitmus, handpicked, 1);
+        let (_, _, name) = source.next_test();
+        // The hand-picked x86 suite leads with the classic SB shape …
+        assert_eq!(name.as_deref(), Some("SB"));
+
+        let mut toy = TestGenParams::small();
+        toy.litmus = LitmusCorpus::Enumerated {
+            max_threads: 2,
+            max_edges: 4,
+        };
+        let mut source = TestSource::new(GeneratorKind::DiyLitmus, toy, 1);
+        let (_, _, name) = source.next_test();
+        // … while the enumerated suites lead with the coherence anchors.
+        assert_eq!(name.as_deref(), Some("CoRR"));
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! A [`ScenarioSpec`] is a complete, serializable description of *one cell*
 //! of a verification sweep: which generator attacks which bug, under which
 //! target model, on which simulated system (core count, pipeline strength,
-//! protocol), with which budgets and seeds.  Everything the framework needs
-//! to run the cell is derived from the spec ([`ScenarioSpec::mcversi`],
-//! [`ScenarioSpec::campaign`]); the old `with_model`/`with_core_strength`/
-//! `with_protocol` setter chains across three config layers are deprecated
-//! shims over this single description.
+//! protocol), with which budgets, corpus and seeds.  Everything the
+//! framework needs to run the cell is derived from the spec
+//! ([`ScenarioSpec::mcversi`], [`ScenarioSpec::campaign`]); the old
+//! `with_model`/`with_core_strength`/`with_protocol` setter chains across
+//! three config layers were deleted after their deprecation window — the
+//! spec is the only sweep-cell description.
 //!
 //! A [`ScenarioGrid`] expands cartesian axes (generator columns × models ×
 //! core strengths × protocols × bugs) around a base spec into the cell specs
@@ -32,6 +33,7 @@
 //! | `MCVERSI_WALL_SECS`    | wall-clock cap per sample (seconds)      | 120     |
 //! | `MCVERSI_FULL`         | if set, use the paper-scale parameters   | unset   |
 //! | `MCVERSI_MODELS`       | comma-separated target models, or `all`  | `SC,TSO,ARMish,RMO` |
+//! | `MCVERSI_LITMUS`       | litmus corpus of the `diy-litmus` baseline: `handpicked` or `enumerated[:<threads>x<edges>]` | `enumerated:4x6` |
 //! | `MCVERSI_JSONL`        | path; streams campaign events there as JSONL ([`crate::sink::JsonlSink`]) | unset |
 //!
 //! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
@@ -51,7 +53,7 @@ use crate::config::McVerSiConfig;
 use crate::generator::GeneratorKind;
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, CoreStrength, ProtocolKind, SystemConfig};
-use mcversi_testgen::{OperationBias, TestGenParams};
+use mcversi_testgen::{LitmusCorpus, OperationBias, TestGenParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -110,6 +112,9 @@ pub struct ScenarioSpec {
     /// Whether the full paper-scale system (Table 2) is the base; otherwise
     /// the scaled-down test system is used.
     pub full: bool,
+    /// Litmus corpus of the `diy-litmus` baseline (`None` = the default
+    /// enumerated corpus; see [`LitmusCorpus`] and `MCVERSI_LITMUS`).
+    pub litmus: Option<LitmusCorpus>,
     /// Optional display label (defaults to the paper's column naming).
     pub label: Option<String>,
 }
@@ -135,6 +140,7 @@ impl ScenarioSpec {
             parallelism: 0,
             base_seed: 1,
             full: false,
+            litmus: None,
             label: None,
         }
     }
@@ -197,6 +203,18 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the litmus corpus, returning a modified copy.
+    pub fn litmus(mut self, corpus: LitmusCorpus) -> Self {
+        self.litmus = Some(corpus);
+        self
+    }
+
+    /// The effective litmus corpus (the spec's, or the default enumerated
+    /// one).
+    pub fn litmus_corpus(&self) -> LitmusCorpus {
+        self.litmus.unwrap_or_default()
+    }
+
     /// The display label of this cell: the explicit label if set, otherwise
     /// the paper's column naming (`McVerSi-ALL (8KB)`, `diy-litmus`).
     pub fn display_label(&self) -> String {
@@ -248,6 +266,7 @@ impl ScenarioSpec {
         } else {
             OperationBias::paper_default()
         };
+        params.litmus = self.litmus_corpus();
         params
     }
 
@@ -333,6 +352,15 @@ impl ScenarioSpec {
         spec.wall_secs = env_usize("MCVERSI_WALL_SECS", spec.wall_secs as usize) as u64;
         let (cores, _) = cores_from_env(spec.cores);
         spec.cores = cores;
+        if let Ok(raw) = std::env::var("MCVERSI_LITMUS") {
+            match LitmusCorpus::parse(&raw) {
+                Some(corpus) => spec.litmus = Some(corpus),
+                None => warn_once(&format!(
+                    "warning: MCVERSI_LITMUS: unknown corpus '{raw}' ignored \
+                     (expected handpicked or enumerated[:<threads>x<edges>])"
+                )),
+            }
+        }
         spec
     }
 }

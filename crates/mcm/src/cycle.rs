@@ -1,0 +1,941 @@
+//! Critical-cycle vocabulary and the closed-form per-model verdict oracle.
+//!
+//! The diy line of work (Alglave et al.) generates litmus tests from *critical
+//! cycles*: directed cycles alternating communication edges between threads
+//! (reads-from `rf`, from-read `fr`, coherence `ws`) with program-order edges
+//! inside threads (plain `po`, fence-separated pairs, syntactic
+//! dependencies).  A cycle's weak outcome is observable on a machine exactly
+//! when the machine relaxes at least one of the cycle's edges; conversely a
+//! model *forbids* the outcome when every edge is "safe" — contained in a
+//! relation the model requires to be acyclic.
+//!
+//! This module provides that vocabulary ([`CycleEdge`], [`Dir`],
+//! [`CriticalCycle`]) next to [`ModelKind`], plus two derived artifacts:
+//!
+//! * [`ModelKind::forbids_cycle`] — the closed-form oracle: decides from the
+//!   cycle's edges alone whether the model forbids the weak outcome, using
+//!   each model's relaxation table ([`po_is_global`], [`fence_orders_pair`],
+//!   [`fence_is_cumulative`], [`rf_is_global`], [`has_no_thin_air`]);
+//! * [`CriticalCycle::canonical_execution`] — the canonical weak-outcome
+//!   [`CandidateExecution`], built exactly as the simulator's observer would
+//!   record it, so the oracle can be cross-checked against the axiomatic
+//!   [`Checker`](crate::checker::Checker) for every cycle × model.
+//!
+//! The two must always agree; the workspace pins this for the whole
+//! enumerated corpus (`mcversi-testgen`'s `enumerate` module walks the cycles
+//! and `mcversi-bench`'s matrix verifies oracle against checker).
+//!
+//! # Canonical form
+//!
+//! Two edge lists describe the same shape when one is a rotation of the other
+//! (starting the traversal at a different event relabels threads and
+//! locations but changes nothing observable).  [`CriticalCycle::canonicalize`]
+//! rotates to the lexicographically least encoding — first by the flavourless
+//! skeleton, then by the edge flavours among skeleton-minimal rotations.
+//! Reflection needs no extra handling: traversing a cycle backwards inverts
+//! `rf`/`fr`/`ws` into relations outside the vocabulary, so every shape has
+//! exactly one traversal direction and the rotation orbit already contains
+//! all encodings.
+
+use crate::event::{Address, DepKind, EventId, FenceKind, ProcessorId, Value};
+use crate::execution::{CandidateExecution, ExecutionBuilder};
+use crate::model::ModelKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The direction (access kind) of one event on a critical cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// A write access.
+    W,
+    /// A read access.
+    R,
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::W => f.write_str("W"),
+            Dir::R => f.write_str("R"),
+        }
+    }
+}
+
+/// One edge of a critical cycle.
+///
+/// The external (communication) edges relate same-location accesses of
+/// *different* threads; the internal edges relate different-location accesses
+/// of the *same* thread and carry the relaxation flavour: plain program
+/// order, a separating fence, or a syntactic dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CycleEdge {
+    /// External reads-from: a write observed by another thread's read.
+    Rf,
+    /// From-read: a read that observed a coherence-earlier write than the
+    /// target (`fr = rf⁻¹ ; co`).
+    Fr,
+    /// Coherence (write serialization) between writes of different threads.
+    Ws,
+    /// Plain program order between two same-thread accesses of different
+    /// locations.
+    Po,
+    /// Program order with a fence of the given flavour between the accesses.
+    Fenced(FenceKind),
+    /// A syntactic dependency from a read to a later same-thread access.
+    Dep(DepKind),
+}
+
+impl CycleEdge {
+    /// Returns `true` for the communication edges (`rf`, `fr`, `ws`).
+    pub fn is_external(self) -> bool {
+        matches!(self, CycleEdge::Rf | CycleEdge::Fr | CycleEdge::Ws)
+    }
+
+    /// Returns `true` for the program-order edges (`po`, fenced, dependency).
+    pub fn is_internal(self) -> bool {
+        !self.is_external()
+    }
+
+    /// The source/target directions an external edge demands, `None` for
+    /// internal edges (their endpoints are fixed by the neighbouring external
+    /// edges instead).
+    pub fn external_dirs(self) -> Option<(Dir, Dir)> {
+        match self {
+            CycleEdge::Rf => Some((Dir::W, Dir::R)),
+            CycleEdge::Fr => Some((Dir::R, Dir::W)),
+            CycleEdge::Ws => Some((Dir::W, Dir::W)),
+            _ => None,
+        }
+    }
+
+    /// Rank used by the canonical ordering (internal edges first so the
+    /// canonical rotation starts at a thread segment).
+    fn skeleton_rank(self) -> u8 {
+        match self {
+            CycleEdge::Po | CycleEdge::Fenced(_) | CycleEdge::Dep(_) => 0,
+            CycleEdge::Rf => 1,
+            CycleEdge::Fr => 2,
+            CycleEdge::Ws => 3,
+        }
+    }
+
+    /// Rank of the internal-edge flavour (tie-break among skeleton-minimal
+    /// rotations; external edges rank 0).  Plain `po` ranks *last* so the
+    /// canonical rotation of a symmetric shape leads with its flavoured edge
+    /// — the herd convention (`SB+mfence+po`, not `SB+po+mfence`).
+    fn flavour_rank(self) -> u8 {
+        match self {
+            CycleEdge::Rf | CycleEdge::Fr | CycleEdge::Ws => 0,
+            CycleEdge::Po => u8::MAX,
+            CycleEdge::Dep(DepKind::Addr) => 1,
+            CycleEdge::Dep(DepKind::Data) => 2,
+            CycleEdge::Dep(DepKind::Ctrl) => 3,
+            CycleEdge::Fenced(kind) => {
+                4 + FenceKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u8
+            }
+        }
+    }
+}
+
+impl fmt::Display for CycleEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleEdge::Rf => f.write_str("Rf"),
+            CycleEdge::Fr => f.write_str("Fr"),
+            CycleEdge::Ws => f.write_str("Ws"),
+            CycleEdge::Po => f.write_str("po"),
+            CycleEdge::Fenced(k) => write!(f, "F[{k}]"),
+            CycleEdge::Dep(k) => write!(f, "dep[{k}]"),
+        }
+    }
+}
+
+/// An error constructing a [`CriticalCycle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError(pub String);
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// A validated critical cycle: `edges[i]` runs from event `i` to event
+/// `(i + 1) % n`, and `dirs[i]` is event `i`'s access direction.
+///
+/// Validation enforces the diy-style criticality conditions:
+///
+/// * external edges type-check (`rf: W→R`, `fr: R→W`, `ws: W→W`) and
+///   dependencies are read-sourced (`addr` targets a read, `data`/`ctrl`
+///   target a write — the write-borne forms of the test vocabulary);
+/// * at least two external edges (two threads) and two internal edges (two
+///   locations);
+/// * no two consecutive internal edges — every thread has at most two
+///   accesses, to different locations;
+/// * maximal runs of consecutive external edges have length at most two, and
+///   a length-two run is `ws;rf` or `fr;rf` — the only compositions that do
+///   not collapse into a single communication edge (`ws;ws = ws`,
+///   `fr;ws = fr`, `rf;fr ⊆ ws`), i.e. at most three same-location accesses
+///   and only in the two genuinely three-access patterns.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CriticalCycle {
+    edges: Vec<CycleEdge>,
+    dirs: Vec<Dir>,
+}
+
+impl CriticalCycle {
+    /// Validates and creates a cycle (see the type-level conditions).
+    pub fn new(edges: Vec<CycleEdge>, dirs: Vec<Dir>) -> Result<Self, CycleError> {
+        if edges.len() != dirs.len() {
+            return Err(CycleError(format!(
+                "{} edges but {} event directions",
+                edges.len(),
+                dirs.len()
+            )));
+        }
+        let n = edges.len();
+        if n < 4 {
+            return Err(CycleError(format!("cycle of {n} edges is degenerate")));
+        }
+        let externals = edges.iter().filter(|e| e.is_external()).count();
+        let internals = n - externals;
+        if externals < 2 {
+            return Err(CycleError(
+                "a critical cycle spans at least two threads".into(),
+            ));
+        }
+        if internals < 2 {
+            return Err(CycleError(
+                "a critical cycle spans at least two locations".into(),
+            ));
+        }
+        for i in 0..n {
+            let (src, dst) = (dirs[i], dirs[(i + 1) % n]);
+            match edges[i] {
+                edge if edge.is_external() => {
+                    let (want_src, want_dst) = edge.external_dirs().unwrap();
+                    if (src, dst) != (want_src, want_dst) {
+                        return Err(CycleError(format!(
+                            "edge {i} ({edge}) connects {src}→{dst}, needs {want_src}→{want_dst}"
+                        )));
+                    }
+                }
+                CycleEdge::Dep(kind) => {
+                    if src != Dir::R {
+                        return Err(CycleError(format!(
+                            "edge {i} (dep[{kind}]) must be sourced at a read"
+                        )));
+                    }
+                    let ok = match kind {
+                        DepKind::Addr => dst == Dir::R,
+                        DepKind::Data | DepKind::Ctrl => dst == Dir::W,
+                    };
+                    if !ok {
+                        return Err(CycleError(format!(
+                            "edge {i} (dep[{kind}]) targets {dst}: address dependencies are \
+                             read-borne, data/ctrl dependencies write-borne"
+                        )));
+                    }
+                }
+                _ => {}
+            }
+            if edges[i].is_internal() && edges[(i + 1) % n].is_internal() {
+                return Err(CycleError(format!(
+                    "edges {i} and {} are both internal: threads have at most two accesses",
+                    (i + 1) % n
+                )));
+            }
+        }
+        // External runs: length ≤ 2 and only the non-collapsing compositions.
+        for i in 0..n {
+            let e = |k: usize| edges[(i + k) % n];
+            if e(0).is_external() && e(1).is_external() {
+                if e(2).is_external() {
+                    return Err(CycleError(
+                        "three consecutive communication edges: more than three \
+                         same-location accesses"
+                            .into(),
+                    ));
+                }
+                let pair = (e(0), e(1));
+                if pair != (CycleEdge::Ws, CycleEdge::Rf) && pair != (CycleEdge::Fr, CycleEdge::Rf)
+                {
+                    return Err(CycleError(format!(
+                        "communication edges {} ; {} collapse into a shorter cycle",
+                        e(0),
+                        e(1)
+                    )));
+                }
+            }
+        }
+        Ok(CriticalCycle { edges, dirs })
+    }
+
+    /// The edge list (edge `i` runs from event `i` to event `(i + 1) % n`).
+    pub fn edges(&self) -> &[CycleEdge] {
+        &self.edges
+    }
+
+    /// The event directions.
+    pub fn dirs(&self) -> &[Dir] {
+        &self.dirs
+    }
+
+    /// Number of events (= number of edges).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A cycle is never empty (validation requires four edges).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of threads (one per external edge).
+    pub fn num_threads(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_external()).count()
+    }
+
+    /// Number of distinct locations (one per internal edge).
+    pub fn num_locations(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_internal()).count()
+    }
+
+    /// Number of internal edges carrying a non-plain flavour (fence or
+    /// dependency).
+    pub fn num_flavoured(&self) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e, CycleEdge::Fenced(_) | CycleEdge::Dep(_)))
+            .count()
+    }
+
+    /// Thread index of every event: a new thread starts after each external
+    /// edge, with threads numbered from the first segment boundary at or
+    /// after event 0.
+    pub fn thread_of(&self) -> Vec<usize> {
+        let n = self.len();
+        // Find the first event that starts a segment (its incoming edge is
+        // external); validation guarantees one exists.
+        let first = (0..n)
+            .find(|&i| self.edges[(i + n - 1) % n].is_external())
+            .expect("a cycle has external edges");
+        // Walking from a segment start, the wrap-around boundary is crossed
+        // only after the last event has been assigned, so indices stay in
+        // `0..num_threads`.
+        let mut thread = vec![0usize; n];
+        let mut current = 0usize;
+        for k in 0..n {
+            let i = (first + k) % n;
+            thread[i] = current;
+            if self.edges[i].is_external() {
+                current += 1;
+            }
+        }
+        thread
+    }
+
+    /// Location index of every event: external edges keep the location,
+    /// internal edges advance to a fresh one (numbered from the first
+    /// location boundary at or after event 0).
+    pub fn location_of(&self) -> Vec<usize> {
+        let n = self.len();
+        let first = (0..n)
+            .find(|&i| self.edges[(i + n - 1) % n].is_internal())
+            .expect("a cycle has internal edges");
+        let mut loc = vec![0usize; n];
+        let mut current = 0usize;
+        for k in 0..n {
+            let i = (first + k) % n;
+            loc[i] = current;
+            if self.edges[i].is_internal() {
+                current += 1;
+            }
+        }
+        loc
+    }
+
+    /// Rotates the encoding so it is the lexicographically least member of
+    /// its rotation orbit: first by the flavourless skeleton
+    /// `(edge class, source dir)`, then by the internal-edge flavours among
+    /// the skeleton-minimal rotations.  Two cycles describe the same shape
+    /// iff their canonical forms are equal.
+    pub fn canonicalize(&self) -> CriticalCycle {
+        let n = self.len();
+        let skeleton_key = |r: usize| -> Vec<(u8, u8)> {
+            (0..n)
+                .map(|k| {
+                    let i = (r + k) % n;
+                    (self.edges[i].skeleton_rank(), self.dirs[i] as u8)
+                })
+                .collect()
+        };
+        let min_skeleton = (0..n).map(skeleton_key).min().expect("non-empty cycle");
+        let flavour_key = |r: usize| -> Vec<u8> {
+            (0..n)
+                .map(|k| self.edges[(r + k) % n].flavour_rank())
+                .collect()
+        };
+        let best = (0..n)
+            .filter(|&r| skeleton_key(r) == min_skeleton)
+            .min_by_key(|&r| flavour_key(r))
+            .expect("at least one minimal rotation");
+        let edges = (0..n).map(|k| self.edges[(best + k) % n]).collect();
+        let dirs = (0..n).map(|k| self.dirs[(best + k) % n]).collect();
+        CriticalCycle { edges, dirs }
+    }
+
+    /// The cycle with every internal edge demoted to plain `po` — the shape
+    /// skeleton shared by all flavoured variants.
+    pub fn skeleton(&self) -> CriticalCycle {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| if e.is_internal() { CycleEdge::Po } else { *e })
+            .collect();
+        CriticalCycle {
+            edges,
+            dirs: self.dirs.clone(),
+        }
+        .canonicalize()
+    }
+
+    /// Builds the canonical weak-outcome execution of the cycle, with every
+    /// fence event and dependency edge recorded exactly as the simulator's
+    /// observer would record them.
+    ///
+    /// Events are laid out per thread in cycle order; each read observes the
+    /// write its incoming `rf` edge names (or the initial value when its
+    /// outgoing edge is `fr`); coherence chains follow the `ws` edges.
+    pub fn canonical_execution(&self) -> CandidateExecution {
+        let n = self.len();
+        let locations = self.location_of();
+        let addr = |class: usize| Address(0x100 + 0x40 * class as u64);
+
+        // Assign values: writes get 1, 2, … in event order; reads inherit
+        // their rf source's value (or 0 from the initial state).
+        let mut value = vec![Value(0); n];
+        let mut next = 1u64;
+        for (slot, &dir) in value.iter_mut().zip(self.dirs.iter()) {
+            if dir == Dir::W {
+                *slot = Value(next);
+                next += 1;
+            }
+        }
+        for i in 0..n {
+            if self.edges[i] == CycleEdge::Rf {
+                value[(i + 1) % n] = value[i];
+            }
+        }
+
+        // Insert the events thread by thread, in cycle order within each
+        // thread, so the builder's per-thread program order matches.
+        let mut b = ExecutionBuilder::new();
+        let mut ids: Vec<Option<EventId>> = vec![None; n];
+        let num_threads = self.num_threads();
+        for t in 0..num_threads {
+            let members: Vec<usize> = self.segment_events(t);
+            for (k, &i) in members.iter().enumerate() {
+                let pid = ProcessorId(t as u32);
+                let id = match self.dirs[i] {
+                    Dir::W => b.write(pid, addr(locations[i]), value[i]),
+                    Dir::R => b.read(pid, addr(locations[i]), value[i]),
+                };
+                ids[i] = Some(id);
+                // The internal edge to the next member carries the flavour.
+                if k + 1 < members.len() {
+                    if let CycleEdge::Fenced(kind) = self.edges[i] {
+                        b.fence(pid, kind);
+                    }
+                }
+            }
+        }
+        let id = |i: usize| ids[i].expect("all events inserted");
+
+        // Dependencies, reads-from and coherence.
+        for i in 0..n {
+            let j = (i + 1) % n;
+            match self.edges[i] {
+                CycleEdge::Dep(kind) => b.dependency(kind, id(i), id(j)),
+                CycleEdge::Rf => b.reads_from(id(i), id(j)),
+                _ => {}
+            }
+        }
+        // Reads not fed by an rf edge observe the initial value.
+        for i in 0..n {
+            if self.dirs[i] == Dir::R && self.edges[(i + n - 1) % n] != CycleEdge::Rf {
+                b.reads_from_initial(id(i));
+            }
+        }
+        // Coherence: per location, `ws` edges chain the writes; every
+        // location's co-least write follows the initial write.
+        let mut class_first_write: Vec<Option<usize>> = vec![None; self.num_locations()];
+        for (i, &class) in locations.iter().enumerate() {
+            if self.dirs[i] == Dir::W {
+                // The co-least write of a class is the one without an
+                // incoming ws edge.
+                let has_ws_in = self.edges[(i + n - 1) % n] == CycleEdge::Ws;
+                if !has_ws_in {
+                    debug_assert!(class_first_write[class].is_none());
+                    class_first_write[class] = Some(i);
+                }
+            }
+        }
+        for first in class_first_write.into_iter().flatten() {
+            b.coherence_after_initial(id(first));
+        }
+        for i in 0..n {
+            if self.edges[i] == CycleEdge::Ws {
+                b.coherence(id(i), id((i + 1) % n));
+            }
+        }
+        b.build()
+    }
+
+    /// The event indices of thread `t`, in program order.
+    pub fn segment_events(&self, t: usize) -> Vec<usize> {
+        let threads = self.thread_of();
+        let n = self.len();
+        // Find the segment start (incoming edge external) of thread `t` and
+        // walk internal edges forward.
+        let start = (0..n)
+            .find(|&i| threads[i] == t && self.edges[(i + n - 1) % n].is_external())
+            .expect("thread exists");
+        let mut out = vec![start];
+        let mut i = start;
+        while self.edges[i].is_internal() {
+            i = (i + 1) % n;
+            out.push(i);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CriticalCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{} -{}->", self.dirs[i], self.edges[i])?;
+        }
+        write!(f, " {}", self.dirs[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-model relaxation table
+// ---------------------------------------------------------------------------
+
+/// Is a plain program-order pair `src→dst` (different locations) globally
+/// ordering under `model`?
+///
+/// SC preserves all of `po`; TSO everything except write→read (the store
+/// buffer); the dependency-ordered models preserve only same-address order
+/// and dependencies, so plain `po` orders nothing.
+pub fn po_is_global(model: ModelKind, src: Dir, dst: Dir) -> bool {
+    match model {
+        ModelKind::Sc => true,
+        ModelKind::Tso => !(src == Dir::W && dst == Dir::R),
+        ModelKind::Armish | ModelKind::Powerish | ModelKind::Rmo => false,
+    }
+}
+
+/// Does a fence of `kind` order the pair `src→dst` under `model` (the
+/// fence's *base* order, before any cumulativity)?
+///
+/// This mirrors each model's `fence_order`: TSO honours only `mfence`;
+/// the ARM-ish model gives acquire/release one-directional semantics; the
+/// Power-ish model substitutes `lwsync` (everything but write→read); RMO
+/// knows only the full fence; the store-store/load-load flavours are narrow
+/// barriers everywhere they exist.  SC orders everything anyway.
+pub fn fence_orders_pair(model: ModelKind, kind: FenceKind, src: Dir, dst: Dir) -> bool {
+    match model {
+        ModelKind::Sc => true,
+        ModelKind::Tso => kind == FenceKind::Full,
+        ModelKind::Armish => match kind {
+            FenceKind::Full => true,
+            FenceKind::Acquire => src == Dir::R,
+            FenceKind::Release => dst == Dir::W,
+            FenceKind::StoreStore => src == Dir::W && dst == Dir::W,
+            FenceKind::LoadLoad => src == Dir::R && dst == Dir::R,
+            FenceKind::LightweightSync => false,
+        },
+        ModelKind::Powerish => match kind {
+            FenceKind::Full => true,
+            FenceKind::LightweightSync => !(src == Dir::W && dst == Dir::R),
+            FenceKind::StoreStore => src == Dir::W && dst == Dir::W,
+            FenceKind::LoadLoad => src == Dir::R && dst == Dir::R,
+            FenceKind::Acquire | FenceKind::Release => false,
+        },
+        ModelKind::Rmo => match kind {
+            FenceKind::Full => true,
+            FenceKind::StoreStore => src == Dir::W && dst == Dir::W,
+            FenceKind::LoadLoad => src == Dir::R && dst == Dir::R,
+            _ => false,
+        },
+    }
+}
+
+/// Is a fence of `kind` *cumulative* under `model` — closed with external
+/// reads-from, so an adjacent `rf` edge inherits the fence's ordering?
+///
+/// Only matters for the non-multi-copy-atomic models (under SC/TSO `rf` is
+/// globally ordering by itself).
+pub fn fence_is_cumulative(model: ModelKind, kind: FenceKind) -> bool {
+    match model {
+        ModelKind::Sc | ModelKind::Tso => true,
+        ModelKind::Armish | ModelKind::Rmo => kind == FenceKind::Full,
+        ModelKind::Powerish => matches!(kind, FenceKind::Full | FenceKind::LightweightSync),
+    }
+}
+
+/// Is an external reads-from edge globally ordering by itself under `model`?
+pub fn rf_is_global(model: ModelKind) -> bool {
+    matches!(model, ModelKind::Sc | ModelKind::Tso)
+}
+
+/// Does `model` enforce the no-thin-air axiom (`deps ∪ fence ∪ rfe`
+/// acyclic)?  The strong models do not need it — their `rf` is global.
+pub fn has_no_thin_air(model: ModelKind) -> bool {
+    model.is_relaxed()
+}
+
+impl ModelKind {
+    /// The closed-form oracle: does this model forbid the cycle's weak
+    /// outcome?
+    ///
+    /// The outcome is forbidden iff some acyclicity axiom of the model covers
+    /// *every* edge of the cycle:
+    ///
+    /// * **ghb** — `co`/`fr` are always global; a plain/fenced/dependency
+    ///   edge is global per the relaxation table; an `rf` edge is global
+    ///   when the model is multi-copy atomic, or absorbed when an adjacent
+    ///   internal edge is a cumulative fence (A/B-cumulativity:
+    ///   `rfe;fence ∪ fence;rfe ⊆ ghb`);
+    /// * **no-thin-air** (relaxed models) — `rf` edges, dependency edges and
+    ///   ordering fences are all in `deps ∪ fence ∪ rfe`, so a cycle of only
+    ///   those is forbidden even without a global `rf` (the `LB+deps`
+    ///   causality cycles).
+    pub fn forbids_cycle(self, cycle: &CriticalCycle) -> bool {
+        let n = cycle.len();
+        let edges = cycle.edges();
+        let dirs = cycle.dirs();
+        let pair = |i: usize| (dirs[i], dirs[(i + 1) % n]);
+
+        // A fenced internal edge that both orders its own endpoints and is
+        // cumulative absorbs a neighbouring rf edge into ghb.
+        let absorbs = |i: usize| -> bool {
+            let (s, d) = pair(i);
+            match edges[i] {
+                CycleEdge::Fenced(kind) => {
+                    fence_orders_pair(self, kind, s, d) && fence_is_cumulative(self, kind)
+                }
+                _ => false,
+            }
+        };
+        let ghb_safe = |i: usize| -> bool {
+            let (s, d) = pair(i);
+            match edges[i] {
+                CycleEdge::Ws | CycleEdge::Fr => true,
+                CycleEdge::Rf => {
+                    rf_is_global(self) || absorbs((i + 1) % n) || absorbs((i + n - 1) % n)
+                }
+                CycleEdge::Po => po_is_global(self, s, d),
+                CycleEdge::Fenced(kind) => {
+                    po_is_global(self, s, d) || fence_orders_pair(self, kind, s, d)
+                }
+                CycleEdge::Dep(_) => po_is_global(self, s, d) || self.is_relaxed(),
+            }
+        };
+        if (0..n).all(ghb_safe) {
+            return true;
+        }
+
+        if has_no_thin_air(self) {
+            let thin_air_covered = |i: usize| -> bool {
+                let (s, d) = pair(i);
+                match edges[i] {
+                    CycleEdge::Rf | CycleEdge::Dep(_) => true,
+                    CycleEdge::Fenced(kind) => fence_orders_pair(self, kind, s, d),
+                    _ => false,
+                }
+            };
+            if (0..n).all(thin_air_covered) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`forbids_cycle`](Self::forbids_cycle) for every model, in
+    /// [`ModelKind::ALL`] order.
+    pub fn cycle_verdicts(cycle: &CriticalCycle) -> [bool; ModelKind::ALL.len()] {
+        let mut out = [false; ModelKind::ALL.len()];
+        for (i, model) in ModelKind::ALL.into_iter().enumerate() {
+            out[i] = model.forbids_cycle(cycle);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+
+    fn cycle(edges: Vec<CycleEdge>, dirs: Vec<Dir>) -> CriticalCycle {
+        CriticalCycle::new(edges, dirs).expect("valid cycle")
+    }
+
+    fn mp(writer: CycleEdge, reader: CycleEdge) -> CriticalCycle {
+        use CycleEdge::*;
+        use Dir::*;
+        cycle(vec![writer, Rf, reader, Fr], vec![W, W, R, R])
+    }
+
+    #[test]
+    fn classic_shapes_validate_and_count() {
+        use CycleEdge::*;
+        use Dir::*;
+        let mp = mp(Po, Po);
+        assert_eq!(mp.num_threads(), 2);
+        assert_eq!(mp.num_locations(), 2);
+        assert_eq!(mp.len(), 4);
+        let wrc = cycle(vec![Rf, Po, Rf, Po, Fr], vec![W, R, W, R, R]);
+        assert_eq!(wrc.num_threads(), 3);
+        assert_eq!(wrc.num_locations(), 2);
+        let iriw = cycle(vec![Rf, Po, Fr, Rf, Po, Fr], vec![W, R, R, W, R, R]);
+        assert_eq!(iriw.num_threads(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_cycles() {
+        use CycleEdge::*;
+        use Dir::*;
+        // rf must run W→R.
+        assert!(CriticalCycle::new(vec![Po, Rf, Po, Fr], vec![W, R, R, R]).is_err());
+        // Dependencies are read-sourced.
+        assert!(
+            CriticalCycle::new(vec![Dep(DepKind::Data), Rf, Po, Fr], vec![W, W, R, R]).is_err()
+        );
+        // Addr deps are read-borne.
+        assert!(CriticalCycle::new(
+            vec![Rf, Dep(DepKind::Addr), Rf, Dep(DepKind::Addr)],
+            vec![W, R, W, R]
+        )
+        .is_err());
+        // Single thread / single location.
+        assert!(CriticalCycle::new(vec![Po, Po, Po, Ws], vec![W, W, W, W]).is_err());
+        // Collapsible communication runs (ws ; ws = ws).
+        assert!(CriticalCycle::new(vec![Po, Ws, Ws, Po, Fr], vec![W, W, W, W, R]).is_err());
+        // Three accesses per location at most.
+        assert!(
+            CriticalCycle::new(vec![Po, Fr, Rf, Fr, Rf, Po, Fr], vec![W, R, W, R, W, R, R])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rotations_canonicalize_identically() {
+        use CycleEdge::*;
+        use Dir::*;
+        let a = mp(Fenced(FenceKind::Full), Dep(DepKind::Addr));
+        let rotated = cycle(
+            vec![Dep(DepKind::Addr), Fr, Fenced(FenceKind::Full), Rf],
+            vec![R, R, W, W],
+        );
+        assert_eq!(a.canonicalize(), rotated.canonicalize());
+        // The canonical rotation starts at the writer-side internal edge.
+        let canon = a.canonicalize();
+        assert_eq!(canon.edges()[0], Fenced(FenceKind::Full));
+        assert_eq!(canon.dirs()[0], W);
+    }
+
+    #[test]
+    fn skeleton_erases_flavours() {
+        let flavoured = mp(
+            CycleEdge::Fenced(FenceKind::Full),
+            CycleEdge::Dep(DepKind::Addr),
+        );
+        assert_eq!(
+            flavoured.skeleton(),
+            mp(CycleEdge::Po, CycleEdge::Po).canonicalize()
+        );
+        assert_eq!(flavoured.num_flavoured(), 2);
+    }
+
+    /// The oracle reproduces the pinned cross-model verdicts of the classic
+    /// shapes (`crates/bench/src/matrix.rs` pins the same table against the
+    /// live checker).
+    #[test]
+    fn oracle_matches_known_verdicts() {
+        use CycleEdge::*;
+        use Dir::*;
+        let full = Fenced(FenceKind::Full);
+        let lw = Fenced(FenceKind::LightweightSync);
+        let rel = Fenced(FenceKind::Release);
+        let acq = Fenced(FenceKind::Acquire);
+        let addr = Dep(DepKind::Addr);
+        let data = Dep(DepKind::Data);
+
+        let sb = |f: CycleEdge| cycle(vec![f, Fr, f, Fr], vec![W, R, W, R]);
+        let lb = |f: CycleEdge| cycle(vec![f, Rf, f, Rf], vec![R, W, R, W]);
+        let iriw = |f: CycleEdge| cycle(vec![Rf, f, Fr, Rf, f, Fr], vec![W, R, R, W, R, R]);
+        let wrc = |mid: CycleEdge, tail: CycleEdge| {
+            cycle(vec![Rf, mid, Rf, tail, Fr], vec![W, R, W, R, R])
+        };
+
+        // Expectations in ModelKind::ALL order [SC, TSO, ARMish, POWERish, RMO].
+        let table: Vec<(&str, CriticalCycle, [bool; 5])> = vec![
+            ("MP", mp(Po, Po), [true, true, false, false, false]),
+            ("MP+addr", mp(Po, addr), [true, true, false, false, false]),
+            (
+                "MP+mfence+addr",
+                mp(full, addr),
+                [true, true, true, true, true],
+            ),
+            (
+                "MP+lwsync+addr",
+                mp(lw, addr),
+                [true, true, false, true, false],
+            ),
+            (
+                "MP+rel+addr",
+                mp(rel, addr),
+                [true, true, false, false, false],
+            ),
+            ("MP+mfences", mp(full, full), [true, true, true, true, true]),
+            (
+                "MP+mfence+acq",
+                mp(full, acq),
+                [true, true, true, false, false],
+            ),
+            ("SB", sb(Po), [true, false, false, false, false]),
+            ("SB+mfences", sb(full), [true, true, true, true, true]),
+            ("SB+lwsyncs", sb(lw), [true, false, false, false, false]),
+            ("LB", lb(Po), [true, true, false, false, false]),
+            ("LB+datas", lb(data), [true, true, true, true, true]),
+            ("LB+mfences", lb(full), [true, true, true, true, true]),
+            (
+                "WRC+data+addr",
+                wrc(data, addr),
+                [true, true, false, false, false],
+            ),
+            (
+                "WRC+mfence+addr",
+                wrc(full, addr),
+                [true, true, true, true, true],
+            ),
+            ("IRIW", iriw(Po), [true, true, false, false, false]),
+            ("IRIW+addrs", iriw(addr), [true, true, false, false, false]),
+            ("IRIW+mfences", iriw(full), [true, true, true, true, true]),
+            (
+                "S",
+                cycle(vec![Po, Rf, Po, Ws], vec![W, W, R, W]),
+                [true, true, false, false, false],
+            ),
+            (
+                "R",
+                cycle(vec![Po, Ws, Po, Fr], vec![W, W, W, R]),
+                [true, false, false, false, false],
+            ),
+            (
+                "2+2W",
+                cycle(vec![Po, Ws, Po, Ws], vec![W, W, W, W]),
+                [true, true, false, false, false],
+            ),
+        ];
+        for (name, cyc, expected) in table {
+            assert_eq!(
+                ModelKind::cycle_verdicts(&cyc),
+                expected,
+                "oracle disagrees on {name}"
+            );
+        }
+    }
+
+    /// The canonical execution of every shape above gets the same verdict
+    /// from the axiomatic checker as from the closed-form oracle.
+    #[test]
+    fn oracle_agrees_with_checker_on_canonical_executions() {
+        use CycleEdge::*;
+        use Dir::*;
+        let shapes = vec![
+            mp(Po, Po),
+            mp(Fenced(FenceKind::Full), Dep(DepKind::Addr)),
+            mp(Fenced(FenceKind::LightweightSync), Dep(DepKind::Addr)),
+            mp(Fenced(FenceKind::Full), Fenced(FenceKind::Acquire)),
+            cycle(vec![Po, Fr, Po, Fr], vec![W, R, W, R]),
+            cycle(
+                vec![Dep(DepKind::Data), Rf, Dep(DepKind::Ctrl), Rf],
+                vec![R, W, R, W],
+            ),
+            cycle(vec![Rf, Po, Rf, Po, Fr], vec![W, R, W, R, R]),
+            cycle(vec![Rf, Po, Fr, Rf, Po, Fr], vec![W, R, R, W, R, R]),
+            cycle(vec![Po, Rf, Po, Ws], vec![W, W, R, W]),
+            cycle(vec![Po, Ws, Po, Fr], vec![W, W, W, R]),
+            cycle(vec![Po, Ws, Po, Ws], vec![W, W, W, W]),
+            // WWC and RWC exercise the three-access location runs.
+            cycle(vec![Rf, Po, Ws, Po, Ws], vec![W, R, W, W, W]),
+            cycle(vec![Rf, Po, Fr, Po, Fr], vec![W, R, R, W, R]),
+        ];
+        for cyc in shapes {
+            let exec = cyc.canonical_execution();
+            assert!(
+                exec.validate().is_ok(),
+                "{cyc}: malformed canonical execution: {:?}",
+                exec.validate()
+            );
+            for model in ModelKind::ALL {
+                let checker = Checker::new(model.instance()).check(&exec).is_violation();
+                assert_eq!(
+                    model.forbids_cycle(&cyc),
+                    checker,
+                    "{cyc} under {model}: oracle vs checker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segments_and_locations_are_consistent() {
+        use CycleEdge::*;
+        use Dir::*;
+        let wrc = cycle(vec![Rf, Po, Rf, Po, Fr], vec![W, R, W, R, R]);
+        let threads = wrc.thread_of();
+        let locs = wrc.location_of();
+        assert_eq!(threads.iter().max(), Some(&2));
+        assert_eq!(locs.iter().max(), Some(&1));
+        // External edges keep the location, internal edges change it.
+        for i in 0..wrc.len() {
+            let j = (i + 1) % wrc.len();
+            if wrc.edges()[i].is_external() {
+                assert_eq!(locs[i], locs[j]);
+                assert_ne!(threads[i], threads[j]);
+            } else {
+                assert_ne!(locs[i], locs[j]);
+                assert_eq!(threads[i], threads[j]);
+            }
+        }
+        // Segment events are in program order per thread.
+        for t in 0..3 {
+            let seg = wrc.segment_events(t);
+            assert!(!seg.is_empty());
+            assert!(seg.iter().all(|&i| threads[i] == t));
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mp = mp(
+            CycleEdge::Fenced(FenceKind::Full),
+            CycleEdge::Dep(DepKind::Addr),
+        );
+        let s = format!("{mp}");
+        assert!(s.contains("Rf"), "{s}");
+        assert!(s.contains("mfence"), "{s}");
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod checker;
+pub mod cycle;
 pub mod event;
 pub mod execution;
 pub mod model;
@@ -52,6 +53,7 @@ pub mod program;
 pub mod relation;
 
 pub use checker::{Checker, Verdict, Violation};
+pub use cycle::{CriticalCycle, CycleEdge, CycleError, Dir};
 pub use event::{Address, DepKind, Event, EventId, EventKind, FenceKind, Iiid, ProcessorId, Value};
 pub use execution::{CandidateExecution, DependencySet, ExecutionBuilder};
 pub use model::{Architecture, ModelKind};

@@ -218,29 +218,9 @@ impl SystemConfig {
         }
     }
 
-    /// Selects a protocol, returning a modified copy.
-    #[deprecated(
-        since = "0.5.0",
-        note = "set the `protocol` field directly, or describe the cell with `mcversi_core::ScenarioSpec`"
-    )]
-    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
-        self.protocol = protocol;
-        self
-    }
-
     /// Selects the number of cores, returning a modified copy.
     pub fn with_cores(mut self, num_cores: usize) -> Self {
         self.num_cores = num_cores;
-        self
-    }
-
-    /// Selects the core pipeline strength, returning a modified copy.
-    #[deprecated(
-        since = "0.5.0",
-        note = "set the `core_strength` field directly, or describe the cell with `mcversi_core::ScenarioSpec`"
-    )]
-    pub fn with_core_strength(mut self, strength: CoreStrength) -> Self {
-        self.core_strength = strength;
         self
     }
 
@@ -395,7 +375,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim stays covered until its removal
     fn core_strength_registry_and_builder() {
         assert_eq!(CoreStrength::default(), CoreStrength::Strong);
         assert_eq!(CoreStrength::ALL.len(), 2);
@@ -409,9 +388,9 @@ mod tests {
             assert_eq!(format!("{strength}"), strength.name());
         }
         assert_eq!(CoreStrength::parse("bogus"), None);
-        let cfg = SystemConfig::small(ProtocolKind::Mesi);
+        let mut cfg = SystemConfig::small(ProtocolKind::Mesi);
         assert_eq!(cfg.core_strength, CoreStrength::Strong);
-        let cfg = cfg.with_core_strength(CoreStrength::Relaxed);
+        cfg.core_strength = CoreStrength::Relaxed;
         assert_eq!(cfg.core_strength, CoreStrength::Relaxed);
     }
 }

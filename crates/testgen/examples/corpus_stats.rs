@@ -1,0 +1,38 @@
+//! Prints the enumerated litmus corpus at a given bound (default 4x6):
+//! name, threads, edges and the per-model verdict row.
+//!
+//! Usage: `cargo run -p mcversi-testgen --example corpus_stats [TxE]`
+
+use mcversi_mcm::ModelKind;
+use mcversi_testgen::enumerate::{enumerate, LitmusCorpus};
+
+fn main() {
+    let bounds = std::env::args()
+        .nth(1)
+        .and_then(|arg| LitmusCorpus::parse(&format!("enumerated:{arg}")))
+        .and_then(|c| c.bounds())
+        .unwrap_or_default();
+    let corpus = enumerate(&bounds);
+    println!(
+        "{} canonical tests at {} threads x {} edges",
+        corpus.len(),
+        bounds.max_threads,
+        bounds.max_edges
+    );
+    let header: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+    println!("{:<28} T  E  {}", "name", header.join("  "));
+    for t in corpus.iter() {
+        let row: Vec<&str> = t
+            .forbidden
+            .iter()
+            .map(|&f| if f { "forbid" } else { "allow " })
+            .collect();
+        println!(
+            "{:<28} {}  {}  {}",
+            t.name,
+            t.cycle.num_threads(),
+            t.cycle.len(),
+            row.join("  ")
+        );
+    }
+}

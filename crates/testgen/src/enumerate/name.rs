@@ -1,0 +1,257 @@
+//! Herd-style canonical names for enumerated cycles.
+//!
+//! A cycle's name is its *base* (looked up from the skeleton: `MP`, `SB`,
+//! `LB`, `S`, `R`, `2+2W`, `WRC`, `ISA2`, `RWC`, `WWC`, `W+RWC`, `Z6.3`,
+//! `3.2W`, `3.SB`, `3.LB`, `IRIW`, `IRRWIW`, …; unnamed skeletons get a
+//! systematic `"{threads}T.{edge tokens}"` spelling) plus a flavour suffix
+//! over the internal edges in canonical order:
+//!
+//! * all plain → the base alone (`MP`);
+//! * all the same non-plain flavour → pluralized (`MP+mfences`, `LB+datas`,
+//!   `IRIW+addrs`);
+//! * mixed → every flavour listed (`MP+mfence+addr`, `SB+mfence+po`), with
+//!   plain entries elided when the non-plain flavours are all dependencies
+//!   (`MP+addr`, not `MP+po+addr` — the dependency's typing already pins its
+//!   position).
+//!
+//! The elision can in principle collide two distinct cycles onto one name;
+//! [`assign_names`] detects that and falls back to the fully spelled form
+//! for the colliding cycles, so names are always unique within a corpus.
+
+use mcversi_mcm::cycle::{CriticalCycle, CycleEdge, Dir};
+use std::collections::BTreeMap;
+
+/// Builds the table of known skeletons, canonical-form → base name.
+///
+/// The cycles are spelled out with the same vocabulary the enumerator uses,
+/// so the table doubles as executable documentation of the catalogue.
+pub fn base_table() -> BTreeMap<CriticalCycle, &'static str> {
+    use CycleEdge::{Fr, Po, Rf, Ws};
+    use Dir::{R, W};
+    let cycle = |edges: Vec<CycleEdge>, dirs: Vec<Dir>| {
+        CriticalCycle::new(edges, dirs)
+            .expect("catalogue shapes are valid")
+            .canonicalize()
+    };
+    let mut table = BTreeMap::new();
+    let mut put = |c: CriticalCycle, name: &'static str| {
+        let previous = table.insert(c, name);
+        debug_assert!(previous.is_none(), "duplicate catalogue skeleton {name}");
+    };
+    // ---- two threads ----
+    put(cycle(vec![Po, Rf, Po, Fr], vec![W, W, R, R]), "MP");
+    put(cycle(vec![Po, Fr, Po, Fr], vec![W, R, W, R]), "SB");
+    put(cycle(vec![Po, Rf, Po, Rf], vec![R, W, R, W]), "LB");
+    put(cycle(vec![Po, Rf, Po, Ws], vec![W, W, R, W]), "S");
+    put(cycle(vec![Po, Ws, Po, Fr], vec![W, W, W, R]), "R");
+    put(cycle(vec![Po, Ws, Po, Ws], vec![W, W, W, W]), "2+2W");
+    // ---- three threads ----
+    put(cycle(vec![Rf, Po, Rf, Po, Fr], vec![W, R, W, R, R]), "WRC");
+    put(cycle(vec![Rf, Po, Fr, Po, Fr], vec![W, R, R, W, R]), "RWC");
+    put(cycle(vec![Rf, Po, Ws, Po, Ws], vec![W, R, W, W, W]), "WWC");
+    put(
+        cycle(vec![Po, Rf, Po, Fr, Po, Fr], vec![W, W, R, R, W, R]),
+        "W+RWC",
+    );
+    put(
+        cycle(vec![Po, Rf, Po, Rf, Po, Fr], vec![W, W, R, W, R, R]),
+        "ISA2",
+    );
+    put(
+        cycle(vec![Po, Ws, Po, Ws, Po, Fr], vec![W, W, W, W, W, R]),
+        "Z6.3",
+    );
+    put(
+        cycle(vec![Po, Ws, Po, Ws, Po, Ws], vec![W, W, W, W, W, W]),
+        "3.2W",
+    );
+    put(
+        cycle(vec![Po, Fr, Po, Fr, Po, Fr], vec![W, R, W, R, W, R]),
+        "3.SB",
+    );
+    put(
+        cycle(vec![Po, Rf, Po, Rf, Po, Rf], vec![R, W, R, W, R, W]),
+        "3.LB",
+    );
+    // ---- four threads ----
+    put(
+        cycle(vec![Rf, Po, Fr, Rf, Po, Fr], vec![W, R, R, W, R, R]),
+        "IRIW",
+    );
+    put(
+        cycle(vec![Rf, Po, Fr, Rf, Po, Ws], vec![W, R, R, W, R, W]),
+        "IRRWIW",
+    );
+    table
+}
+
+/// The display token of an internal-edge flavour (`po`, `mfence`, `addr`, …).
+fn flavour_token(edge: CycleEdge) -> String {
+    match edge {
+        CycleEdge::Po => "po".to_string(),
+        CycleEdge::Fenced(k) => k.to_string(),
+        CycleEdge::Dep(k) => k.to_string(),
+        _ => unreachable!("external edges carry no flavour"),
+    }
+}
+
+/// The base name of a canonical cycle: catalogue lookup by skeleton, with a
+/// systematic `"{threads}T.{tokens}"` spelling for uncatalogued shapes.
+pub fn base_name(cycle: &CriticalCycle, table: &BTreeMap<CriticalCycle, &'static str>) -> String {
+    let skeleton = cycle.skeleton();
+    if let Some(name) = table.get(&skeleton) {
+        return (*name).to_string();
+    }
+    let tokens: Vec<String> = skeleton
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| match e {
+            CycleEdge::Rf => "Rf".to_string(),
+            CycleEdge::Fr => "Fr".to_string(),
+            CycleEdge::Ws => "Ws".to_string(),
+            _ => format!(
+                "{}{}",
+                skeleton.dirs()[i],
+                skeleton.dirs()[(i + 1) % skeleton.len()]
+            ),
+        })
+        .collect();
+    format!("{}T.{}", skeleton.num_threads(), tokens.join("-"))
+}
+
+/// The name of one canonical cycle; `elide` controls whether plain entries
+/// may be dropped from a mixed all-dependency suffix.
+fn name_cycle(
+    cycle: &CriticalCycle,
+    table: &BTreeMap<CriticalCycle, &'static str>,
+    elide: bool,
+) -> String {
+    let base = base_name(cycle, table);
+    let flavours: Vec<CycleEdge> = cycle
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| e.is_internal())
+        .collect();
+    if flavours.iter().all(|&e| e == CycleEdge::Po) {
+        return base;
+    }
+    let tokens: Vec<String> = flavours.iter().map(|&e| flavour_token(e)).collect();
+    if tokens.windows(2).all(|w| w[0] == w[1]) {
+        return format!("{base}+{}s", tokens[0]);
+    }
+    let deps_only = flavours
+        .iter()
+        .all(|e| matches!(e, CycleEdge::Po | CycleEdge::Dep(_)));
+    let listed: Vec<String> = if elide && deps_only {
+        tokens.into_iter().filter(|t| t != "po").collect()
+    } else {
+        tokens
+    };
+    format!("{base}+{}", listed.join("+"))
+}
+
+/// Names every cycle of a corpus, resolving elision collisions by falling
+/// back to the fully spelled suffix, and guaranteeing unique names.
+pub fn assign_names(cycles: Vec<CriticalCycle>) -> Vec<(CriticalCycle, String)> {
+    let table = base_table();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut names: Vec<String> = cycles.iter().map(|c| name_cycle(c, &table, true)).collect();
+    for (i, name) in names.iter().enumerate() {
+        by_name.entry(name.clone()).or_default().push(i);
+    }
+    for (_, members) in by_name.into_iter().filter(|(_, m)| m.len() > 1) {
+        for i in members {
+            names[i] = name_cycle(&cycles[i], &table, false);
+        }
+    }
+    cycles.into_iter().zip(names).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcversi_mcm::{DepKind, FenceKind};
+
+    fn named(edges: Vec<CycleEdge>, dirs: Vec<Dir>) -> String {
+        let cycle = CriticalCycle::new(edges, dirs).unwrap().canonicalize();
+        name_cycle(&cycle, &base_table(), true)
+    }
+
+    #[test]
+    fn classic_plain_names() {
+        use CycleEdge::{Fr, Po, Rf, Ws};
+        use Dir::{R, W};
+        assert_eq!(named(vec![Po, Rf, Po, Fr], vec![W, W, R, R]), "MP");
+        assert_eq!(named(vec![Po, Fr, Po, Fr], vec![W, R, W, R]), "SB");
+        assert_eq!(named(vec![Po, Rf, Po, Rf], vec![R, W, R, W]), "LB");
+        assert_eq!(named(vec![Po, Ws, Po, Ws], vec![W, W, W, W]), "2+2W");
+        assert_eq!(
+            named(vec![Rf, Po, Fr, Rf, Po, Fr], vec![W, R, R, W, R, R]),
+            "IRIW"
+        );
+    }
+
+    #[test]
+    fn flavour_suffixes_follow_the_herd_convention() {
+        use CycleEdge::{Dep, Fenced, Fr, Po, Rf};
+        use Dir::{R, W};
+        let full = Fenced(FenceKind::Full);
+        let addr = Dep(DepKind::Addr);
+        let data = Dep(DepKind::Data);
+        // Plural for uniform flavours.
+        assert_eq!(
+            named(vec![full, Rf, full, Fr], vec![W, W, R, R]),
+            "MP+mfences"
+        );
+        assert_eq!(
+            named(vec![data, Rf, data, Rf], vec![R, W, R, W]),
+            "LB+datas"
+        );
+        assert_eq!(
+            named(vec![addr, Fr, Rf, addr, Fr, Rf], vec![R, R, W, R, R, W]),
+            "IRIW+addrs"
+        );
+        // Mixed fence flavours list everything, including plain po.
+        assert_eq!(
+            named(vec![full, Rf, addr, Fr], vec![W, W, R, R]),
+            "MP+mfence+addr"
+        );
+        assert_eq!(
+            named(vec![full, Fr, Po, Fr], vec![W, R, W, R]),
+            "SB+mfence+po"
+        );
+        // All-dependency mixes elide the plain entries.
+        assert_eq!(named(vec![Po, Rf, addr, Fr], vec![W, W, R, R]), "MP+addr");
+        assert_eq!(
+            named(vec![Rf, data, Rf, addr, Fr], vec![W, R, W, R, R]),
+            "WRC+data+addr"
+        );
+    }
+
+    #[test]
+    fn systematic_names_for_uncatalogued_skeletons() {
+        use CycleEdge::{Fr, Po, Rf, Ws};
+        use Dir::{R, W};
+        // A 3-thread shape outside the catalogue: a ws ; rf three-access run
+        // feeding a two-read observer thread.
+        let cycle = CriticalCycle::new(vec![Po, Ws, Rf, Po, Fr], vec![W, W, W, R, R])
+            .unwrap()
+            .canonicalize();
+        let name = name_cycle(&cycle, &base_table(), true);
+        assert!(name.starts_with("3T."), "unexpected systematic name {name}");
+        assert!(name.contains("Ws") && name.contains("Rf"), "{name}");
+    }
+
+    #[test]
+    fn catalogue_is_injective() {
+        let table = base_table();
+        let mut names: Vec<&str> = table.values().copied().collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 17);
+    }
+}

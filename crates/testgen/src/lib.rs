@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod crossover;
+pub mod enumerate;
 pub mod gp;
 pub mod litmus;
 pub mod ndt;
@@ -28,6 +29,7 @@ pub mod random;
 pub mod test;
 
 pub use crossover::{selective_crossover_mutate, single_point_crossover_mutate};
+pub use enumerate::{EnumeratedTest, EnumerationBounds, LitmusCorpus};
 pub use gp::{CrossoverMode, Evaluation, GpEngine};
 pub use ndt::{NdtAnalysis, RunConflicts};
 pub use ops::{Op, OpKind};

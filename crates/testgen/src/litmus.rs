@@ -1,18 +1,30 @@
-//! A diy-style litmus-test suite for x86-TSO (the non-GP baseline, §5.2.2).
+//! The diy-style litmus corpora (the non-GP baseline, §5.2.2).
 //!
 //! The diy tool generates short tests from critical cycles of the target
-//! model.  This module provides the equivalent corpus for x86-TSO: the classic
-//! named two-thread shapes (SB, MP, LB, S, R, 2+2W, …), their fence and
-//! locked-RMW variants, the three- and four-thread shapes (WRC, ISA2, RWC,
-//! WWC, W+RWC, IRIW, …), and a systematic enumeration of all two-thread,
-//! two-location, two-access tests.  In total the suite contains 38+ tests,
-//! matching the "all 38 tests available" for x86-TSO used in the paper.
+//! model.  This module provides two corpora:
+//!
+//! * the **hand-written golden suites** — the classic named x86-TSO shapes
+//!   ([`x86_tso_suite`]: SB, MP, LB, S, R, 2+2W, fence/RMW variants, WRC,
+//!   ISA2, IRIW, …, 38+ tests matching the paper's "all 38 tests available"),
+//!   the flavoured weak shapes ([`handwritten_weak_suite_flavoured`]) and the
+//!   acquire probe ([`acquire_suite`]).  These are kept verbatim as the
+//!   reference the enumerator conformance tests compare against, and as the
+//!   `MCVERSI_LITMUS=handpicked` corpus ([`handpicked_suite_for`]);
+//! * the **auto-enumerated corpus** ([`crate::enumerate`]) — critical cycles
+//!   walked mechanically over the relaxation-edge vocabulary.  The default
+//!   campaign suites ([`suite_for`], [`weak_suite_flavoured`], [`weak_suite`])
+//!   are thin filters over it: `suite_for` orders the whole corpus with the
+//!   target model's forbidden cycles first, `weak_suite_flavoured` selects
+//!   the classic flavoured names from it.
 //!
 //! Unlike diy's self-checking tests (which encode one forbidden outcome), the
 //! McVerSi checker validates every observed execution against the full
 //! axiomatic model, which is strictly stronger; the role of the suite — short
-//! hand-shaped tests exercising the critical cycles — is preserved.
+//! shaped tests exercising the critical cycles — is preserved, and each
+//! enumerated test additionally carries its forbidden outcome and expected
+//! per-model verdict ([`crate::enumerate::EnumeratedTest`]).
 
+use crate::enumerate::{self, EnumerationBounds};
 use crate::ops::{Op, OpKind};
 use crate::test::{Gene, Test};
 use mcversi_mcm::{Address, DepKind, FenceKind, ModelKind};
@@ -291,12 +303,16 @@ fn short(a: A) -> String {
 
 /// The classic weak-model litmus shapes (`MP`, `LB`, `SB`, `WRC`, `IRIW`,
 /// `S`), parameterized by the fence flavour used at the "strong" sites and
-/// the dependency flavour carried by the dependent writes.
+/// the dependency flavour carried by the dependent writes — selected by
+/// canonical name from the enumerated corpus (a thin filter over
+/// [`crate::enumerate::enumerate`]).
 ///
 /// Dependent *reads* always use address dependencies (the only read-borne
 /// flavour); `write_dep` selects between data and control dependencies for
 /// the dependent writes (`LB+deps`, `WRC`, `S`).  Names follow the herd
 /// convention, with the fence's display name inline (e.g. `MP+lwsync+addr`).
+/// [`handwritten_weak_suite_flavoured`] builds the same seventeen shapes by
+/// hand and is pinned equal by the corpus conformance tests.
 ///
 /// # Panics
 ///
@@ -306,6 +322,75 @@ fn short(a: A) -> String {
 /// [`DepKind::Addr`] (address dependencies are read-borne; pick `Data` or
 /// `Ctrl` for the dependent writes).
 pub fn weak_suite_flavoured(
+    locations: &[Address],
+    fence: FenceKind,
+    write_dep: DepKind,
+) -> Vec<LitmusTest> {
+    assert!(
+        locations.len() >= 3,
+        "litmus suite needs at least 3 locations"
+    );
+    assert!(
+        OpKind::for_fence(fence).is_some(),
+        "fence flavour {fence} has no test-operation form"
+    );
+    assert!(
+        write_dep != DepKind::Addr,
+        "write-borne dependencies are data or ctrl"
+    );
+    let f = fence.to_string();
+    let d = write_dep.to_string();
+    let names = [
+        "MP".to_string(),
+        "MP+addr".to_string(),
+        format!("MP+{f}+addr"),
+        format!("MP+{f}s"),
+        "LB".to_string(),
+        format!("LB+{d}s"),
+        format!("LB+{f}s"),
+        "SB".to_string(),
+        format!("SB+{f}s"),
+        "WRC".to_string(),
+        format!("WRC+{d}+addr"),
+        format!("WRC+{f}+addr"),
+        "IRIW".to_string(),
+        "IRIW+addrs".to_string(),
+        format!("IRIW+{f}s"),
+        "S".to_string(),
+        format!("S+{f}+{d}"),
+    ];
+    select_by_name(&names, locations)
+}
+
+/// Selects tests from the default-bound enumerated corpus by canonical name.
+///
+/// # Panics
+///
+/// Panics when a requested name is not in the corpus — a filter asking for a
+/// shape the enumerator cannot produce is a bug, not a fallback case.
+fn select_by_name(names: &[String], locations: &[Address]) -> Vec<LitmusTest> {
+    let corpus = enumerate::enumerate(&EnumerationBounds::default());
+    names
+        .iter()
+        .map(|name| {
+            corpus
+                .iter()
+                .find(|t| &t.name == name)
+                .unwrap_or_else(|| panic!("enumerated corpus lacks shape {name}"))
+                .litmus(locations)
+        })
+        .collect()
+}
+
+/// The hand-written golden reference of [`weak_suite_flavoured`]: the same
+/// seventeen flavoured shapes, spelled out access by access.  The corpus
+/// conformance tests assert the enumerator regenerates every one of them
+/// (matched by canonical name, with identical thread structure).
+///
+/// # Panics
+///
+/// Same contract as [`weak_suite_flavoured`].
+pub fn handwritten_weak_suite_flavoured(
     locations: &[Address],
     fence: FenceKind,
     write_dep: DepKind,
@@ -513,19 +598,104 @@ pub fn model_flavours(model: ModelKind) -> &'static [(FenceKind, DepKind)] {
     }
 }
 
-/// The litmus corpus for a target model over the given locations: the x86-TSO
-/// suite for the strong models, extended with the model's natural weak-shape
-/// flavours (see [`model_flavours`]) for the relaxed ones.
+/// The single-location coherence anchors (`CoRR`, `CoWW`, `CoRW`, `CoWR`).
 ///
-/// For relaxed targets the weak shapes come *first*: a campaign's test-run
-/// budget may be far smaller than the corpus, and the shapes that exercise
-/// the target model's dependency/fence machinery are the ones its bugs hide
-/// behind — the diy round-robin should reach them before the generic x86
-/// enumeration.
+/// These are the cycles of `po-loc ∪ com` — outside the critical-cycle
+/// vocabulary (their communication edges can stay inside one thread), but
+/// forbidden under *every* model by the sc-per-location axiom, so they anchor
+/// the enumerated suites: any corpus family starts with them.
+///
+/// # Panics
+///
+/// Panics if no location is supplied.
+pub fn coherence_suite(locations: &[Address]) -> Vec<LitmusTest> {
+    assert!(!locations.is_empty(), "coherence suite needs a location");
+    let l = locations;
+    vec![
+        build("CoRR", &[&[A::W(0)], &[A::R(0), A::R(0)]], l),
+        build("CoWW", &[&[A::W(0), A::W(0)]], l),
+        build("CoRW", &[&[A::R(0), A::W(0)], &[A::W(0)]], l),
+        build("CoWR", &[&[A::W(0), A::R(0)], &[A::W(0)]], l),
+    ]
+}
+
+/// The litmus corpus for a target model over the given locations: the
+/// coherence anchors followed by the *entire enumerated corpus* at the
+/// default bound, with the cycles whose weak outcome the model **forbids**
+/// first (see [`suite_for_bounded`]).
+///
+/// A campaign's test-run budget may be far smaller than the corpus, and the
+/// forbidden cycles are the discriminating ones — the shapes a bug in the
+/// model's ordering machinery hides behind — so the diy round-robin reaches
+/// them before the architecturally-allowed remainder.
 pub fn suite_for(model: ModelKind, locations: &[Address]) -> Vec<LitmusTest> {
+    suite_for_bounded(model, locations, &EnumerationBounds::default())
+}
+
+/// [`suite_for_bounded`] behind a shared per-(model, bounds, locations)
+/// cache: campaign samples re-create their litmus test sources with
+/// identical parameters, and lowering the whole corpus (~2000 tests at the
+/// default bound) per sample would dominate small-budget start-up.
+pub fn shared_suite_for_bounded(
+    model: ModelKind,
+    locations: &[Address],
+    bounds: &EnumerationBounds,
+) -> std::sync::Arc<Vec<LitmusTest>> {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Key = (ModelKind, EnumerationBounds, Vec<Address>);
+    static CACHE: OnceLock<Mutex<BTreeMap<Key, Arc<Vec<LitmusTest>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let key = (model, bounds.clone(), locations.to_vec());
+    let mut cache = cache.lock().expect("suite cache lock");
+    if let Some(hit) = cache.get(&key) {
+        return Arc::clone(hit);
+    }
+    let suite = Arc::new(suite_for_bounded(model, locations, bounds));
+    cache.insert(key, Arc::clone(&suite));
+    suite
+}
+
+/// [`suite_for`] over an explicit enumeration bound (the
+/// `MCVERSI_LITMUS=enumerated:<threads>x<edges>` axis).
+///
+/// Ordering is deterministic: coherence anchors, then the model-forbidden
+/// cycles, then the allowed ones; within each group the corpus order (thread
+/// count, edge count, flavour count, name) puts small plain shapes first.
+pub fn suite_for_bounded(
+    model: ModelKind,
+    locations: &[Address],
+    bounds: &EnumerationBounds,
+) -> Vec<LitmusTest> {
+    let corpus = enumerate::enumerate(bounds);
+    // Cycles at larger bounds may use more locations than the caller
+    // provides; extend with line-separated addresses past the last one.
+    let mut locs = locations.to_vec();
+    let needed = corpus
+        .iter()
+        .map(|t| t.cycle.num_locations())
+        .max()
+        .unwrap_or(0);
+    let top = locs.iter().map(|a| a.0).max().unwrap_or(0x10_0000);
+    for extra in 0..needed.saturating_sub(locs.len()) {
+        locs.push(Address(top + 0x40 * (extra as u64 + 1)));
+    }
+
+    let mut suite = coherence_suite(&locs);
+    let (forbidden, allowed): (Vec<_>, Vec<_>) =
+        corpus.iter().partition(|t| t.forbidden_under(model));
+    suite.extend(forbidden.iter().map(|t| t.litmus(&locs)));
+    suite.extend(allowed.iter().map(|t| t.litmus(&locs)));
+    dedup_by_name(suite)
+}
+
+/// The original hand-picked corpus (`MCVERSI_LITMUS=handpicked`): the x86-TSO
+/// suite for the strong models, extended with the model's natural weak-shape
+/// flavours (see [`model_flavours`]) for the relaxed ones, weak shapes first.
+pub fn handpicked_suite_for(model: ModelKind, locations: &[Address]) -> Vec<LitmusTest> {
     let mut suite = Vec::new();
     for &(fence, dep) in model_flavours(model) {
-        suite.extend(weak_suite_flavoured(locations, fence, dep));
+        suite.extend(handwritten_weak_suite_flavoured(locations, fence, dep));
     }
     if model == ModelKind::Armish {
         // The only model with acquire-fence semantics also tests them.
@@ -751,29 +921,107 @@ mod tests {
     }
 
     #[test]
-    fn per_model_default_suites_grow_with_weakness() {
-        let strong = default_suite_for(ModelKind::Tso);
-        assert_eq!(strong.len(), default_suite().len());
-        for model in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+    fn per_model_default_suites_cover_the_corpus_forbidden_first() {
+        use crate::enumerate::{enumerate, EnumerationBounds};
+        let corpus_len = enumerate(&EnumerationBounds::default()).len();
+        for model in ModelKind::ALL {
             let suite = default_suite_for(model);
-            assert!(
-                suite.len() > strong.len(),
-                "{model} suite should add weak shapes"
-            );
+            // Coherence anchors plus the whole enumerated corpus.
+            assert_eq!(suite.len(), corpus_len + 4, "{model} suite size");
             let mut names: Vec<&str> = suite.iter().map(|t| t.name.as_str()).collect();
             let before = names.len();
             names.sort();
             names.dedup();
             assert_eq!(names.len(), before, "{model} suite has duplicate names");
             assert!(suite.iter().any(|t| t.name == "MP+mfence+addr"));
+            assert_eq!(suite[0].name, "CoRR", "coherence anchors lead the suite");
         }
-        // The Power flavour uses lwsync, the ARM flavour release fences.
+        // Forbidden-first ordering: the first post-anchor tests of a relaxed
+        // campaign exercise that model's critical cycles (`LB+datas`-style
+        // shapes sit inside any realistic test-run budget), while the plain
+        // TSO-only shapes front the TSO suite.
+        let armish = default_suite_for(ModelKind::Armish);
+        let pos = |suite: &[LitmusTest], name: &str| {
+            suite
+                .iter()
+                .position(|t| t.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert!(
+            pos(&armish, "LB+datas") < 40,
+            "LB+datas out of budget reach"
+        );
+        assert!(pos(&armish, "MP+mfence+acq") < 40);
+        assert!(
+            pos(&armish, "LB+datas") < pos(&armish, "MP"),
+            "allowed MP sorts later"
+        );
+        let tso = default_suite_for(ModelKind::Tso);
+        assert!(pos(&tso, "MP") < 10, "plain MP fronts the TSO suite");
+        assert!(
+            pos(&tso, "SB") > pos(&tso, "MP"),
+            "TSO-allowed SB sorts later"
+        );
+        // The Power and ARM flavours stay reachable.
         assert!(default_suite_for(ModelKind::Powerish)
             .iter()
             .any(|t| t.name == "SB+lwsyncs"));
         assert!(default_suite_for(ModelKind::Armish)
             .iter()
             .any(|t| t.name == "MP+rel+addr"));
+    }
+
+    #[test]
+    fn handpicked_suites_keep_the_original_composition() {
+        let strong = handpicked_suite_for(ModelKind::Tso, &locs3());
+        assert_eq!(strong.len(), x86_tso_suite(&locs3()).len());
+        for model in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+            let suite = handpicked_suite_for(model, &locs3());
+            assert!(
+                suite.len() > strong.len(),
+                "{model} handpicked suite should add weak shapes"
+            );
+            assert!(suite.iter().any(|t| t.name == "MP+mfence+addr"));
+        }
+        assert!(handpicked_suite_for(ModelKind::Armish, &locs3())
+            .iter()
+            .any(|t| t.name == "MP+rel+addr"));
+    }
+
+    fn locs3() -> [Address; 3] {
+        [Address(0x1000), Address(0x2000), Address(0x3000)]
+    }
+
+    #[test]
+    fn enumerated_and_handwritten_flavoured_suites_agree_by_name() {
+        let locs = locs3();
+        for (fence, dep) in [
+            (FenceKind::Full, DepKind::Data),
+            (FenceKind::LightweightSync, DepKind::Data),
+            (FenceKind::Release, DepKind::Ctrl),
+        ] {
+            let enumerated = weak_suite_flavoured(&locs, fence, dep);
+            let handwritten = handwritten_weak_suite_flavoured(&locs, fence, dep);
+            let names = |suite: &[LitmusTest]| -> Vec<String> {
+                suite.iter().map(|t| t.name.clone()).collect()
+            };
+            assert_eq!(
+                names(&enumerated),
+                names(&handwritten),
+                "{fence}/{dep} flavour"
+            );
+        }
+    }
+
+    #[test]
+    fn coherence_suite_is_the_sc_per_location_family() {
+        let suite = coherence_suite(&locs3());
+        let names: Vec<&str> = suite.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["CoRR", "CoWW", "CoRW", "CoWR"]);
+        for t in &suite {
+            // Single location throughout.
+            assert_eq!(t.test.addresses().len(), 1, "{}", t.name);
+        }
     }
 
     #[test]

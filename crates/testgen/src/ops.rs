@@ -14,7 +14,7 @@ use std::fmt;
 /// The kind of a high-level test operation (paper Table 3, grown with the
 /// dependency-carrying ops and fence flavours that targeting MCMs weaker than
 /// TSO requires — §5.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Read into a register.
     Read,

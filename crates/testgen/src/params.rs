@@ -1,5 +1,6 @@
 //! Test generation parameters (paper Table 3).
 
+use crate::enumerate::LitmusCorpus;
 use crate::ops::OpKind;
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +142,10 @@ pub struct TestGenParams {
     pub bias: OperationBias,
     /// Maximum delay (cycles) of a `Delay` operation.
     pub max_delay_cycles: u32,
+    /// Which corpus the `diy-litmus` baseline draws from (the
+    /// `MCVERSI_LITMUS` axis; defaults to the enumerated corpus at the
+    /// default bound).
+    pub litmus: LitmusCorpus,
     // ---- GP parameters ----
     /// Population size.
     pub population_size: usize,
@@ -171,6 +176,7 @@ impl TestGenParams {
             base_address: 0x10_0000,
             bias: OperationBias::paper_default(),
             max_delay_cycles: 32,
+            litmus: LitmusCorpus::enumerated_default(),
             population_size: 100,
             tournament_size: 2,
             mutation_probability: 0.005,
@@ -193,6 +199,7 @@ impl TestGenParams {
             base_address: 0x10_0000,
             bias: OperationBias::paper_default(),
             max_delay_cycles: 16,
+            litmus: LitmusCorpus::enumerated_default(),
             population_size: 16,
             tournament_size: 2,
             mutation_probability: 0.02,

@@ -45,3 +45,74 @@ fn litmus_suite_passes_on_correct_tsocc() {
 fn suite_has_the_paper_size() {
     assert!(litmus::default_suite().len() >= 38);
 }
+
+/// End-to-end oracle cross-check (sound-by-construction): run the toy-scale
+/// enumerated corpus through the simulator on both core strengths and every
+/// model, and assert the checker verdict never contradicts the enumerator's
+/// "forbidden" prediction.
+///
+/// The contract: correct hardware of strength `H` only produces executions
+/// its architectural contract allows (strong core: TSO and weaker; relaxed
+/// core: ARMish/POWERish/RMO).  A cycle the enumerator marks *forbidden*
+/// under such a model is therefore unreachable on the correct design — if
+/// the checker nevertheless reports a violation, either the oracle, the
+/// checker or the lowering is wrong.  For models *stronger* than the
+/// hardware (SC everywhere; TSO on the relaxed core) violations are
+/// architecturally expected; those pairs still run (exercising checker and
+/// corpus) and must at least stay free of protocol faults and hangs.
+#[test]
+fn enumerated_corpus_oracle_cross_check_at_toy_scale() {
+    use mcversi::mcm::ModelKind;
+    use mcversi::sim::CoreStrength;
+    use mcversi::testgen::enumerate::{enumerate, EnumerationBounds};
+
+    let corpus = enumerate(&EnumerationBounds::new(2, 4));
+    assert!(corpus.len() >= 50, "toy corpus too small: {}", corpus.len());
+    let locations = [
+        mcversi::mcm::Address(0x10_0000),
+        mcversi::mcm::Address(0x10_0040),
+        mcversi::mcm::Address(0x10_0080),
+    ];
+    let sound = |core: CoreStrength, model: ModelKind| match core {
+        CoreStrength::Strong => model != ModelKind::Sc,
+        CoreStrength::Relaxed => model.is_relaxed(),
+    };
+
+    let mut expected_violations = 0usize;
+    for core in CoreStrength::ALL {
+        for model in ModelKind::ALL {
+            let mut config = McVerSiConfig::small().with_iterations(1).with_seed(97);
+            config.system.core_strength = core;
+            let config = config.retarget(model);
+            let mut runner = TestRunner::new(config, BugConfig::none());
+            for test in corpus.iter() {
+                let lowered = test.litmus(&locations);
+                let repeated = litmus::repeat_test(&lowered.test, 4);
+                let result = runner.run_test(&repeated);
+                match &result.verdict {
+                    v if !v.is_bug() => {}
+                    mcversi::core::RunVerdict::McmViolation(violation) => {
+                        assert!(
+                            !sound(core, model),
+                            "{} on the correct {core} core violated {model} \
+                             (axiom {}), contradicting the enumerator's prediction \
+                             (forbidden={})",
+                            test.name,
+                            violation.axiom,
+                            test.forbidden_under(model),
+                        );
+                        expected_violations += 1;
+                    }
+                    other => panic!("{} under {model}/{core}: {other:?}", test.name),
+                }
+            }
+        }
+    }
+    // The sweep must bite: hardware weaker than the model does get flagged
+    // (the strong core's store buffer alone breaks SC), otherwise the
+    // soundness half of the check would be vacuous.
+    assert!(
+        expected_violations > 0,
+        "no architecturally-expected violation observed — toy runs too short?"
+    );
+}

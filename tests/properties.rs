@@ -208,6 +208,37 @@ proptest! {
         }
     }
 
+    /// Enumerated-corpus verdicts are monotone along the strength chain: a
+    /// cycle forbidden under a weak model is forbidden under every stronger
+    /// one — and the closed-form oracle agrees with the axiomatic checker on
+    /// the cycle's canonical weak-outcome execution, for every model.
+    /// (Proptest samples the default-bound corpus; the full sweep runs in
+    /// `mcversi-bench`'s enumerated matrix.)
+    #[test]
+    fn enumerated_verdicts_are_monotone_and_checker_backed(pick in 0usize..10_000) {
+        use mcversi::testgen::enumerate::{enumerate, EnumerationBounds};
+        let corpus = enumerate(&EnumerationBounds::default());
+        let test = &corpus[pick % corpus.len()];
+        let [sc, tso, armish, powerish, rmo] = test.forbidden;
+        let chain = [(sc, tso), (tso, armish), (tso, powerish), (armish, rmo), (powerish, rmo)];
+        for (stronger, weaker) in chain {
+            prop_assert!(
+                stronger || !weaker,
+                "{}: forbidden under the weaker model only", test.name
+            );
+        }
+        prop_assert!(sc, "{}: SC forbids every critical cycle", test.name);
+        let exec = test.cycle.canonical_execution();
+        prop_assert!(exec.validate().is_ok(), "{}: {:?}", test.name, exec.validate());
+        for (i, model) in ModelKind::ALL.into_iter().enumerate() {
+            let checker = Checker::new(model.instance()).check(&exec).is_violation();
+            prop_assert_eq!(
+                test.forbidden[i], checker,
+                "{} under {}: oracle vs checker", &test.name, model
+            );
+        }
+    }
+
     #[test]
     fn closure_is_idempotent_and_topo_sort_matches_acyclicity(
         edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40)
@@ -432,6 +463,14 @@ fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
         parallelism: pick(16),
         base_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         full: pick(2) == 1,
+        litmus: match pick(3) {
+            0 => None,
+            1 => Some(mcversi::testgen::LitmusCorpus::Handpicked),
+            _ => Some(mcversi::testgen::LitmusCorpus::Enumerated {
+                max_threads: 2 + pick(3),
+                max_edges: 4 + pick(4),
+            }),
+        },
         label: if pick(2) == 0 {
             None
         } else {
@@ -456,13 +495,13 @@ proptest! {
 }
 
 /// The grid-driven declarative path reproduces the *exact* campaign results
-/// of the old setter-built configuration — for 20 seeds across a strong-core
-/// TSO cell and a relaxed-core ARMish cell.  (Everything except wall-clock
-/// time must match bit-for-bit; this is the compatibility contract of the
-/// `ScenarioSpec` redesign.)
+/// of a configuration assembled by hand from the config structs — for 20
+/// seeds across a strong-core TSO cell and a relaxed-core ARMish cell.
+/// (Everything except wall-clock time must match bit-for-bit; this is the
+/// compatibility contract of the `ScenarioSpec` redesign, kept after the
+/// deprecated setter shims were deleted.)
 #[test]
-#[allow(deprecated)] // the comparison target *is* the deprecated setter path
-fn grid_cells_reproduce_setter_built_campaigns() {
+fn grid_cells_reproduce_field_built_campaigns() {
     use mcversi::core::{
         run_campaign, CampaignConfig, CampaignResult, GeneratorKind, ScenarioGrid, ScenarioSpec,
     };
@@ -481,10 +520,10 @@ fn grid_cells_reproduce_setter_built_campaigns() {
         )
     }
 
-    /// The old construction path: `Scale::mcversi_config` + `with_model` +
-    /// `with_core_strength`, exactly as the experiment binaries built cells
-    /// before the redesign.
-    fn setter_built(
+    /// The imperative construction path: config structs assembled field by
+    /// field (plus the `retarget` bias policy), exactly what the deleted
+    /// `with_model`/`with_core_strength` shims used to do.
+    fn field_built(
         generator: GeneratorKind,
         bug: Bug,
         memory: u64,
@@ -501,9 +540,9 @@ fn grid_cells_reproduce_setter_built_campaigns() {
         mcversi.system = system;
         mcversi.testgen = testgen;
         mcversi.testgen.iterations = 2;
+        let mut mcversi = mcversi.retarget(model);
+        mcversi.system.core_strength = core;
         CampaignConfig::new(generator, Some(bug), mcversi, 6, Duration::from_secs(60))
-            .with_model(model)
-            .with_core_strength(core)
     }
 
     let mut base = ScenarioSpec::small();
@@ -531,7 +570,7 @@ fn grid_cells_reproduce_setter_built_campaigns() {
     ];
 
     for (generator, bug, memory, model, core) in cells {
-        let old_config = setter_built(generator, bug, memory, model, core);
+        let old_config = field_built(generator, bug, memory, model, core);
         let grid = ScenarioGrid::new(
             base.clone()
                 .generator(generator)
