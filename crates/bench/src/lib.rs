@@ -5,6 +5,8 @@
 //! fitness, litmus end-to-end), and `src/bin/` contains one binary per table
 //! or figure of the paper's evaluation (see DESIGN.md for the index).
 
+#![forbid(unsafe_code)]
+
 pub mod core_matrix;
 pub mod experiment;
 pub mod matrix;

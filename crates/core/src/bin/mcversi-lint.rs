@@ -1,0 +1,172 @@
+//! `mcversi-lint`: static analysis of test programs before any simulation.
+//!
+//! Runs the [`mcversi_analysis`] lint registry over a litmus corpus or over
+//! the programs a [`ScenarioSpec`]'s random generator produces, and reports
+//! [`Diagnostic`]s as human-readable lines or JSON (`--json`).
+//!
+//! ```text
+//! mcversi-lint [--json] corpus <handpicked|enumerated[:<threads>x<edges>]>
+//! mcversi-lint [--json] spec <path.json> [count]
+//! ```
+//!
+//! Exit status: `0` when no error-severity diagnostic was produced, `1` when
+//! at least one was, `2` on usage errors.  CI runs
+//! `mcversi-lint corpus enumerated:2x4` and expects a clean exit — every
+//! enumerated test is a conflict-bearing critical-cycle program, so an error
+//! diagnostic there means either a corpus or a lint regression.
+
+use mcversi_analysis::{run_lints, Diagnostic, Severity};
+use mcversi_core::lowering::lower;
+use mcversi_core::ScenarioSpec;
+use mcversi_mcm::{Address, ModelKind};
+use mcversi_sim::TestProgram;
+use mcversi_testgen::{litmus, LitmusCorpus, RandomTestGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::process::ExitCode;
+
+/// Four line-separated test-memory locations, enough for every corpus bound
+/// (cycles of up to eight edges use at most four location classes).
+const LOCATIONS: [Address; 4] = [
+    Address(0x10_0000),
+    Address(0x10_0040),
+    Address(0x10_0080),
+    Address(0x10_00c0),
+];
+
+/// One linted program's findings, as serialized in `--json` mode.
+#[derive(Debug, Serialize)]
+struct Report {
+    /// Program name (litmus test name or `spec:<index>`).
+    name: String,
+    /// The diagnostics the lint registry produced.
+    diagnostics: Vec<Diagnostic>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mcversi-lint [--json] corpus <handpicked|enumerated[:<threads>x<edges>]>\n\
+         \x20      mcversi-lint [--json] spec <path.json> [count]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.first().is_some_and(|a| a == "--json");
+    if json {
+        args.remove(0);
+    }
+    let programs = match args.first().map(String::as_str) {
+        Some("corpus") => {
+            let Some(corpus) = args.get(1).and_then(|raw| LitmusCorpus::parse(raw)) else {
+                eprintln!(
+                    "mcversi-lint: corpus mode needs `handpicked` or \
+                     `enumerated[:<threads>x<edges>]`, got {:?}",
+                    args.get(1).map(String::as_str).unwrap_or("")
+                );
+                return usage();
+            };
+            corpus_programs(corpus)
+        }
+        Some("spec") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let spec = match ScenarioSpec::from_json_file(path) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("mcversi-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let count = match args.get(2) {
+                None => 10,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("mcversi-lint: invalid program count {raw:?}");
+                        return usage();
+                    }
+                },
+            };
+            spec_programs(&spec, count)
+        }
+        _ => return usage(),
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (name, program) in &programs {
+        let diagnostics = run_lints(program);
+        errors += count(&diagnostics, Severity::Error);
+        warnings += count(&diagnostics, Severity::Warning);
+        if json {
+            let report = Report {
+                name: name.clone(),
+                diagnostics,
+            };
+            println!(
+                "{}",
+                serde_json::to_string(&report).expect("reports serialize")
+            );
+        } else {
+            for diagnostic in &diagnostics {
+                println!("{name}: {diagnostic}");
+            }
+        }
+    }
+    if !json {
+        eprintln!(
+            "mcversi-lint: {} program(s), {errors} error(s), {warnings} warning(s)",
+            programs.len()
+        );
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn count(diagnostics: &[Diagnostic], severity: Severity) -> usize {
+    diagnostics
+        .iter()
+        .filter(|d| d.severity == severity)
+        .count()
+}
+
+/// Lowers every test of the corpus.  The handpicked corpus is per-model;
+/// lint the union over all models, deduplicated by name.
+fn corpus_programs(corpus: LitmusCorpus) -> Vec<(String, TestProgram)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut programs = Vec::new();
+    match corpus.bounds() {
+        Some(bounds) => {
+            for test in mcversi_testgen::enumerate::enumerate(&bounds).iter() {
+                let litmus = test.litmus(&LOCATIONS);
+                programs.push((litmus.name, lower(&litmus.test)));
+            }
+        }
+        None => {
+            for model in ModelKind::ALL {
+                for test in litmus::handpicked_suite_for(model, &LOCATIONS[..3]) {
+                    if seen.insert(test.name.clone()) {
+                        programs.push((test.name, lower(&test.test)));
+                    }
+                }
+            }
+        }
+    }
+    programs
+}
+
+/// Generates `count` programs the way the spec's random generator would.
+fn spec_programs(spec: &ScenarioSpec, count: usize) -> Vec<(String, TestProgram)> {
+    let generator = RandomTestGenerator::new(spec.testgen());
+    let mut rng = StdRng::seed_from_u64(spec.base_seed);
+    (0..count)
+        .map(|i| (format!("spec:{i}"), lower(&generator.generate(&mut rng))))
+        .collect()
+}

@@ -10,11 +10,15 @@
 
 use crate::config::McVerSiConfig;
 use crate::generator::{GeneratorKind, TestSource};
-use crate::runner::{RunVerdict, TestRunner};
+use crate::lowering::lower;
+use crate::runner::{RunVerdict, TestRunResult, TestRunner};
 use crate::sink::{CampaignEvent, CampaignSink, NullSink};
+use mcversi_analysis::{forbids_any, ClassifyBounds, Dataflow};
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, BugConfig, CoreStrength};
+use mcversi_testgen::NdtAnalysis;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -23,6 +27,40 @@ use std::time::{Duration, Instant};
 /// Events buffered per worker before the bounded channel applies
 /// backpressure to the sample workers.
 const EVENT_CHANNEL_DEPTH: usize = 64;
+
+/// How many statically rejected tests a [`StaticPrune::Skip`] campaign may
+/// discard per unit of test-run budget before the sample gives up.  The cap
+/// bounds the wall-clock spent generating and classifying when a generator
+/// produces (almost) exclusively inert tests.
+const PRUNE_SKIP_CAP_FACTOR: usize = 50;
+
+/// Pre-simulation pruning of statically inert tests.
+///
+/// Before a test is simulated, the campaign can consult the static
+/// discrimination classifier ([`mcversi_analysis::classify()`]): a test whose
+/// candidate critical-cycle set contains no cycle the target model forbids
+/// cannot produce an MCM violation under that model, so simulating it only
+/// spends budget on coverage.
+///
+/// Pruning is a *may*-analysis over critical cycles of two or more
+/// locations: single-location coherence violations and protocol faults can
+/// still surface in tests the classifier calls inert.  It is therefore
+/// off by default and opt-in per scenario.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticPrune {
+    /// No pruning (the default): every generated test is simulated.
+    #[default]
+    Off,
+    /// Statically inert tests are not simulated at all.  The generator still
+    /// receives zero-fitness feedback for them (so a GP population evolves
+    /// away from inert chromosomes), and they do not count against the
+    /// test-run budget.
+    Skip,
+    /// Statically inert tests still run (no detection loss), but their
+    /// fitness is forced to zero before the generator feedback, steering the
+    /// GP search toward discriminating tests.
+    Penalize,
+}
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone)]
@@ -48,6 +86,9 @@ pub struct CampaignConfig {
     /// colder machine); a shared deadline bounds the whole batch instead.
     /// `None` (the default) bounds each sample only by `max_wall_time`.
     pub shared_wall_time: Option<Duration>,
+    /// Pre-simulation pruning of statically inert tests (default
+    /// [`StaticPrune::Off`]; see [`StaticPrune`] for the soundness caveat).
+    pub prune: StaticPrune,
 }
 
 impl CampaignConfig {
@@ -67,6 +108,7 @@ impl CampaignConfig {
             max_wall_time,
             parallelism: 0,
             shared_wall_time: None,
+            prune: StaticPrune::Off,
         }
     }
 
@@ -80,6 +122,12 @@ impl CampaignConfig {
     /// Sets a wall-clock budget shared by all samples of a batch.
     pub fn with_shared_wall_time(mut self, budget: Duration) -> Self {
         self.shared_wall_time = Some(budget);
+        self
+    }
+
+    /// Sets the pre-simulation prune mode (see [`StaticPrune`]).
+    pub fn with_prune(mut self, prune: StaticPrune) -> Self {
+        self.prune = prune;
         self
     }
 
@@ -160,6 +208,9 @@ pub struct CampaignResult {
     pub max_total_coverage: f64,
     /// Mean NDT of the GP population at the end (0 for stateless generators).
     pub final_mean_ndt: f64,
+    /// Number of generated tests the static classifier rejected (skipped or
+    /// fitness-penalized, per [`CampaignConfig::prune`]; 0 with pruning off).
+    pub pruned: usize,
 }
 
 impl CampaignResult {
@@ -247,15 +298,53 @@ pub fn run_campaign_observed(
     let mut detail = None;
     let mut found_at_run = None;
     let mut test_runs = 0usize;
+    let mut pruned = 0usize;
+    let prune_bounds = ClassifyBounds::default();
 
     while test_runs < config.max_test_runs
         && start.elapsed() < config.max_wall_time
         && !budget.expired()
     {
         let (id, test, name) = source.next_test();
+        // Pre-simulation prune: a test with no statically reachable cycle the
+        // target model forbids cannot produce an MCM violation under it.
+        let inert = config.prune != StaticPrune::Off
+            && !forbids_any(&Dataflow::new(&lower(&test)), model, &prune_bounds);
+        if inert && config.prune == StaticPrune::Skip {
+            pruned += 1;
+            // Feed back a zero-signal result so a GP population evolves away
+            // from inert chromosomes; the skipped test does not count against
+            // the test-run budget.
+            source.feedback(
+                id,
+                &TestRunResult {
+                    verdict: RunVerdict::Passed,
+                    fitness: 0.0,
+                    analysis: NdtAnalysis::empty(),
+                    covered: BTreeSet::new(),
+                    iterations_run: 0,
+                    cycles: 0,
+                    retired_ops: 0,
+                },
+            );
+            if pruned >= config.max_test_runs.saturating_mul(PRUNE_SKIP_CAP_FACTOR) {
+                break;
+            }
+            continue;
+        }
         let result = runner.run_test(&test);
         test_runs += 1;
-        source.feedback(id, &result);
+        if inert {
+            // Penalize: the test still ran (no detection loss), but the
+            // generator sees it as worthless.
+            pruned += 1;
+            let mut penalized = result.clone();
+            penalized.fitness = 0.0;
+            penalized.analysis = NdtAnalysis::empty();
+            source.feedback(id, &penalized);
+        } else {
+            source.feedback(id, &result);
+        }
         emit(CampaignEvent::TestRun {
             seed,
             run: test_runs,
@@ -299,6 +388,7 @@ pub fn run_campaign_observed(
         wall_time: start.elapsed(),
         max_total_coverage: runner.total_coverage(),
         final_mean_ndt: source.population_mean_ndt(),
+        pruned,
     }
 }
 
@@ -346,6 +436,7 @@ impl SampleOutcome {
                     wall_time: Duration::ZERO,
                     max_total_coverage: 0.0,
                     final_mean_ndt: 0.0,
+                    pruned: 0,
                 }
             }
         }
@@ -654,6 +745,78 @@ mod tests {
         let result = run_campaign(&cfg, 1);
         assert_eq!(result.model, ModelKind::Armish);
         assert!(!result.found, "correct design under a weaker model");
+    }
+
+    /// Penalize mode must not change what gets simulated — for a stateless
+    /// generator the run sequence is identical to pruning off; only the
+    /// generator-facing fitness and the `pruned` count differ.
+    #[test]
+    fn penalize_prune_runs_every_test_and_counts_inert_ones() {
+        let base = quick_cell(
+            GeneratorKind::McVerSiRand,
+            Some(Bug::SqNoDataDep),
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        );
+        let off = run_campaign(&base, 1);
+        let penalized = run_campaign(&base.clone().with_prune(StaticPrune::Penalize), 1);
+        assert_eq!(off.pruned, 0, "pruning is off by default");
+        assert!(
+            penalized.pruned > 0,
+            "small random tests include statically inert ones: {penalized:?}"
+        );
+        assert_eq!(penalized.test_runs, off.test_runs);
+        assert_eq!(penalized.found, off.found);
+        assert_eq!(penalized.simulated_cycles, off.simulated_cycles);
+    }
+
+    /// Skip mode spends the test-run budget only on statically capable
+    /// tests; discarded ones are counted but not simulated.
+    #[test]
+    fn skip_prune_discards_inert_tests_without_spending_budget() {
+        let cfg = quick_cell(
+            GeneratorKind::McVerSiRand,
+            Some(Bug::SqNoDataDep),
+            ModelKind::Armish,
+            CoreStrength::Relaxed,
+        )
+        .with_prune(StaticPrune::Skip);
+        let result = run_campaign(&cfg, 1);
+        assert_eq!(
+            result.test_runs, 40,
+            "the budget is still filled with simulated runs"
+        );
+        assert!(
+            result.pruned > 40,
+            "most small random tests are inert under ARMish: {result:?}"
+        );
+    }
+
+    /// When a generator produces exclusively inert tests, the skip cap stops
+    /// the sample instead of classifying forever.
+    #[test]
+    fn skip_prune_cap_stops_generators_with_no_capable_tests() {
+        let mut cfg = quick_cell(
+            GeneratorKind::McVerSiRand,
+            None,
+            ModelKind::Rmo,
+            CoreStrength::Relaxed,
+        )
+        .with_prune(StaticPrune::Skip);
+        // Without dependency-carrying or fence ops no cycle is RMO-forbidden,
+        // so every generated test is statically inert.
+        cfg.mcversi.testgen.bias.read_addr_dp = 0;
+        cfg.mcversi.testgen.bias.write_data_dp = 0;
+        cfg.mcversi.testgen.bias.write_ctrl_dp = 0;
+        cfg.mcversi.testgen.bias.fence = 0;
+        cfg.mcversi.testgen.bias.fence_acquire = 0;
+        cfg.mcversi.testgen.bias.fence_release = 0;
+        cfg.mcversi.testgen.bias.fence_lw = 0;
+        cfg.max_test_runs = 2;
+        let result = run_campaign(&cfg, 1);
+        assert_eq!(result.test_runs, 0, "nothing capable was ever simulated");
+        assert_eq!(result.pruned, 2 * PRUNE_SKIP_CAP_FACTOR);
+        assert!(!result.found);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod sink;
 
 pub use campaign::{
     run_campaign, run_campaign_budgeted, run_campaign_observed, run_samples, run_samples_outcomes,
-    run_samples_streamed, CampaignConfig, CampaignResult, SampleOutcome, WallBudget,
+    run_samples_streamed, CampaignConfig, CampaignResult, SampleOutcome, StaticPrune, WallBudget,
 };
 pub use config::McVerSiConfig;
 pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};

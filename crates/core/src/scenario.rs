@@ -48,7 +48,7 @@
 //! become the sweep axes unless `MCVERSI_MODELS` / `MCVERSI_CORES` name
 //! their own (see [`grid_from_env`]).
 
-use crate::campaign::CampaignConfig;
+use crate::campaign::{CampaignConfig, StaticPrune};
 use crate::config::McVerSiConfig;
 use crate::generator::GeneratorKind;
 use mcversi_mcm::ModelKind;
@@ -115,6 +115,9 @@ pub struct ScenarioSpec {
     /// Litmus corpus of the `diy-litmus` baseline (`None` = the default
     /// enumerated corpus; see [`LitmusCorpus`] and `MCVERSI_LITMUS`).
     pub litmus: Option<LitmusCorpus>,
+    /// Opt-in pre-simulation pruning of statically inert tests (`None` =
+    /// [`StaticPrune::Off`]; see [`StaticPrune`] for the soundness caveat).
+    pub prune: Option<StaticPrune>,
     /// Optional display label (defaults to the paper's column naming).
     pub label: Option<String>,
 }
@@ -141,6 +144,7 @@ impl ScenarioSpec {
             base_seed: 1,
             full: false,
             litmus: None,
+            prune: None,
             label: None,
         }
     }
@@ -206,6 +210,12 @@ impl ScenarioSpec {
     /// Replaces the litmus corpus, returning a modified copy.
     pub fn litmus(mut self, corpus: LitmusCorpus) -> Self {
         self.litmus = Some(corpus);
+        self
+    }
+
+    /// Replaces the prune mode, returning a modified copy.
+    pub fn prune(mut self, prune: StaticPrune) -> Self {
+        self.prune = Some(prune);
         self
     }
 
@@ -292,6 +302,7 @@ impl ScenarioSpec {
         );
         cfg.parallelism = self.parallelism;
         cfg.shared_wall_time = self.shared_wall_secs.map(Duration::from_secs);
+        cfg.prune = self.prune.unwrap_or_default();
         cfg
     }
 
@@ -800,6 +811,24 @@ mod tests {
         let json = spec.to_json();
         let back = ScenarioSpec::from_json(&json).expect("round trip");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn prune_mode_threads_into_the_campaign_and_is_optional_in_json() {
+        let spec = ScenarioSpec::small().prune(StaticPrune::Skip);
+        assert_eq!(spec.campaign().prune, StaticPrune::Skip);
+        assert_eq!(ScenarioSpec::small().campaign().prune, StaticPrune::Off);
+        // Spec files written before the field existed (no `prune` key) still
+        // parse, defaulting to no pruning.
+        let json: String = spec
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"prune\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ScenarioSpec::from_json(&json).expect("prune-less spec parses");
+        assert_eq!(back.prune, None);
+        assert_eq!(back.campaign().prune, StaticPrune::Off);
     }
 
     #[test]

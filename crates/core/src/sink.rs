@@ -225,9 +225,12 @@ impl<W: Write + Send> CampaignSink for ProgressSink<W> {
 }
 
 /// Machine-readable event stream: one JSON object per line (JSONL), flushed
-/// per event so a consumer can tail the file while the campaign runs.
+/// per event so a consumer can tail the file while the campaign runs, and
+/// once more on drop (so a buffered writer wrapped in the sink cannot lose
+/// its tail when a campaign binary returns early).
 pub struct JsonlSink<W: Write + Send> {
-    out: W,
+    /// `None` only after [`JsonlSink::into_inner`] moved the writer out.
+    out: Option<W>,
     lines: u64,
 }
 
@@ -246,7 +249,10 @@ impl JsonlSink<std::fs::File> {
 impl<W: Write + Send> JsonlSink<W> {
     /// Streams events into an arbitrary writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, lines: 0 }
+        JsonlSink {
+            out: Some(out),
+            lines: 0,
+        }
     }
 
     /// Number of event lines written so far.
@@ -254,9 +260,19 @@ impl<W: Write + Send> JsonlSink<W> {
         self.lines
     }
 
-    /// Consumes the sink, returning the writer.
-    pub fn into_inner(self) -> W {
-        self.out
+    /// Consumes the sink, returning the (flushed) writer.
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer present until into_inner");
+        let _ = out.flush();
+        out
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -270,12 +286,15 @@ impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
 
 impl<W: Write + Send> CampaignSink for JsonlSink<W> {
     fn on_event(&mut self, event: &CampaignEvent) {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
         if let Ok(line) = serde_json::to_string(event) {
             debug_assert!(!line.contains('\n'), "events must be single-line");
-            if writeln!(self.out, "{line}").is_ok() {
+            if writeln!(out, "{line}").is_ok() {
                 self.lines += 1;
             }
-            let _ = self.out.flush();
+            let _ = out.flush();
         }
     }
 }
@@ -320,6 +339,7 @@ mod tests {
             wall_time: Duration::from_millis(10),
             max_total_coverage: 0.25,
             final_mean_ndt: 1.5,
+            pruned: 0,
         }
     }
 
@@ -388,6 +408,43 @@ mod tests {
             }
             other => panic!("expected SampleDone, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_and_on_into_inner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Counts `flush` calls so the test can observe the drop-time flush.
+        struct FlushProbe(Arc<AtomicUsize>);
+        impl Write for FlushProbe {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+
+        let flushes = Arc::new(AtomicUsize::new(0));
+        {
+            let mut sink = JsonlSink::new(FlushProbe(Arc::clone(&flushes)));
+            sink.on_event(&sample_events()[0]);
+            assert_eq!(flushes.load(Ordering::SeqCst), 1, "one flush per event");
+        }
+        assert_eq!(
+            flushes.load(Ordering::SeqCst),
+            2,
+            "dropping the sink flushes the writer once more"
+        );
+
+        // `into_inner` flushes too, and taking the writer out means the
+        // subsequent drop of the (now writer-less) sink cannot flush again.
+        let probe = JsonlSink::new(FlushProbe(Arc::clone(&flushes))).into_inner();
+        assert_eq!(flushes.load(Ordering::SeqCst), 3);
+        drop(probe);
+        assert_eq!(flushes.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -657,18 +657,24 @@ impl CoreModel {
                     });
                 }
                 TestOpKind::Read | TestOpKind::ReadAddrDp => {
+                    let Some(value) = front.read_value else {
+                        unreachable!("retired load has a value");
+                    };
                     out.observed.push(ObservedOp::Load {
                         poi: front.idx as u32,
                         addr: front.op.addr,
-                        value: front.read_value.expect("retired load has a value"),
+                        value,
                     });
                 }
                 TestOpKind::ReadModifyWrite { value } => {
+                    let Some(read_value) = front.read_value else {
+                        unreachable!("retired RMW has a read value");
+                    };
                     out.observed.push(ObservedOp::Rmw {
                         poi: front.idx as u32,
                         addr: front.op.addr,
                         write_value: value,
-                        read_value: front.read_value.expect("retired RMW has a read value"),
+                        read_value,
                     });
                 }
                 TestOpKind::Fence { kind } => {
@@ -721,7 +727,9 @@ impl CoreModel {
                     pos += 1;
                     continue;
                 }
-                let value = op.op.kind.written_value().expect("stores carry a value");
+                let Some(value) = op.op.kind.written_value() else {
+                    unreachable!("stores carry a value");
+                };
                 self.store_buffer.push(StoreBufferEntry {
                     poi: op.idx as u32,
                     addr: op.op.addr,

@@ -7,11 +7,22 @@ use mcversi_mcm::ModelKind;
 use mcversi_testgen::enumerate::{enumerate, LitmusCorpus};
 
 fn main() {
-    let bounds = std::env::args()
-        .nth(1)
-        .and_then(|arg| LitmusCorpus::parse(&format!("enumerated:{arg}")))
-        .and_then(|c| c.bounds())
-        .unwrap_or_default();
+    let bounds = match std::env::args().nth(1) {
+        None => Default::default(),
+        Some(arg) => {
+            let parsed = LitmusCorpus::parse(&format!("enumerated:{arg}")).and_then(|c| c.bounds());
+            match parsed {
+                Some(bounds) => bounds,
+                None => {
+                    eprintln!(
+                        "corpus_stats: invalid bounds `{arg}` (expected TxE, \
+                         e.g. 2x4, with 2..=6 threads and 4..=8 edges)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let corpus = enumerate(&bounds);
     println!(
         "{} canonical tests at {} threads x {} edges",

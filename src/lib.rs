@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the McVerSi framework.
+#![forbid(unsafe_code)]
+pub use mcversi_analysis as analysis;
 pub use mcversi_core as core;
 pub use mcversi_mcm as mcm;
 pub use mcversi_sim as sim;

@@ -471,6 +471,12 @@ fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
                 max_edges: 4 + pick(4),
             }),
         },
+        prune: match pick(4) {
+            0 => None,
+            1 => Some(mcversi::core::StaticPrune::Off),
+            2 => Some(mcversi::core::StaticPrune::Skip),
+            _ => Some(mcversi::core::StaticPrune::Penalize),
+        },
         label: if pick(2) == 0 {
             None
         } else {

@@ -5,6 +5,8 @@
 //! uses: non-generic structs (named, tuple, unit) and enums (unit, tuple and
 //! struct variants).  Generic types are rejected with a clear error.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving type.

@@ -1,0 +1,113 @@
+//! Repo-level static checks, run by CI next to `fmt`/`clippy`
+//! (`cargo run -p xtask`).
+//!
+//! Two source-hygiene rules the compiler cannot express, checked textually
+//! over the *production* portion of every `crates/*/src/**.rs` file (each
+//! file is truncated at its first `#[cfg(test)]` line, so test modules are
+//! exempt):
+//!
+//! 1. **Environment reads are centralised**: `env::var` may appear only in
+//!    `crates/core/src/scenario.rs`.  All `MCVERSI_*` parsing lives there so
+//!    experiment binaries cannot grow divergent environment handling.
+//! 2. **No `.unwrap()` / `.expect()` in the simulator hot paths**
+//!    (`crates/sim/src/{core,lsq,cache}.rs`): a poisoned `Option` in the
+//!    pipeline or cache must surface as an explicit `unreachable!` with a
+//!    documented invariant, not as a generic panic.
+//!
+//! Exit status: `0` when clean, `1` with `file:line` diagnostics otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+/// The single file allowed to read the environment.
+const ENV_ALLOWED: &str = "crates/core/src/scenario.rs";
+
+/// Simulator hot paths in which `.unwrap()` / `.expect()` are banned.
+const NO_PANIC_HELPERS: [&str; 3] = [
+    "crates/sim/src/core.rs",
+    "crates/sim/src/lsq.rs",
+    "crates/sim/src/cache.rs",
+];
+
+fn main() -> std::process::ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    match collect_rust_files(&root.join("crates"), &mut files) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("xtask: cannot walk crates/: {e}");
+            return std::process::ExitCode::from(1);
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            violations.push(format!("{}: unreadable", path.display()));
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        check_file(&rel, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!("xtask: OK ({} files checked)", files.len());
+        std::process::ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("xtask: {violation}");
+        }
+        eprintln!("xtask: {} violation(s)", violations.len());
+        std::process::ExitCode::from(1)
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `<root>/xtask`.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+/// Collects `.rs` files under `dir`, recursively.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Applies both rules to one file's production lines.
+fn check_file(rel: &str, text: &str, violations: &mut Vec<String>) {
+    let no_panic = NO_PANIC_HELPERS.contains(&rel);
+    let env_allowed = rel == ENV_ALLOWED;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break; // test code below this point is exempt
+        }
+        if !env_allowed && line.contains("env::var") {
+            violations.push(format!(
+                "{rel}:{}: environment read outside {ENV_ALLOWED} \
+                 (route it through ScenarioSpec::from_env)",
+                idx + 1
+            ));
+        }
+        if no_panic && (line.contains(".unwrap(") || line.contains(".expect(")) {
+            violations.push(format!(
+                "{rel}:{}: .unwrap()/.expect() in a simulator hot path \
+                 (use let-else with unreachable! and a documented invariant)",
+                idx + 1
+            ));
+        }
+    }
+}
