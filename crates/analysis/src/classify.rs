@@ -27,7 +27,19 @@
 
 use crate::dataflow::{Access, Dataflow};
 use mcversi_mcm::{CriticalCycle, CycleEdge, Dir, ModelKind};
+use mcversi_telemetry as telemetry;
 use std::collections::BTreeSet;
+
+/// Full classifications performed ([`classify`] calls).
+static CLASSIFY_CALLS: telemetry::Counter = telemetry::Counter::new("analysis.classify.calls");
+/// Early-exit forbids queries ([`forbids_any`] calls).
+static FORBIDS_CALLS: telemetry::Counter = telemetry::Counter::new("analysis.forbids.calls");
+/// Forbids queries answering `true` (test kept by the prune).
+static FORBIDS_HITS: telemetry::Counter = telemetry::Counter::new("analysis.forbids.hits");
+/// Candidate cycles visited by the bounded DFS (pre-dedup).
+static CYCLES_VISITED: telemetry::Counter = telemetry::Counter::new("analysis.cycles.visited");
+/// Searches that exhausted the step budget.
+static SEARCH_TRUNCATED: telemetry::Counter = telemetry::Counter::new("analysis.search.truncated");
 
 /// Search bounds of the candidate-cycle enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +119,7 @@ fn model_index(model: ModelKind) -> usize {
 /// Enumerates the candidate critical cycles of a program and classifies each
 /// against the model chain.
 pub fn classify(df: &Dataflow, bounds: &ClassifyBounds) -> Discrimination {
+    CLASSIFY_CALLS.incr();
     let mut seen: BTreeSet<CriticalCycle> = BTreeSet::new();
     let truncated = search(df, bounds, |cycle| {
         seen.insert(cycle);
@@ -127,6 +140,7 @@ pub fn classify(df: &Dataflow, bounds: &ClassifyBounds) -> Discrimination {
 /// A truncated search answers `true` (never prune a test the search could
 /// not finish classifying).
 pub fn forbids_any(df: &Dataflow, model: ModelKind, bounds: &ClassifyBounds) -> bool {
+    FORBIDS_CALLS.incr();
     let mut hit = false;
     let truncated = search(df, bounds, |cycle| {
         if model.forbids_cycle(&cycle) {
@@ -134,7 +148,11 @@ pub fn forbids_any(df: &Dataflow, model: ModelKind, bounds: &ClassifyBounds) -> 
         }
         hit
     });
-    hit || truncated
+    let keep = hit || truncated;
+    if keep {
+        FORBIDS_HITS.incr();
+    }
+    keep
 }
 
 /// The flavour options of one same-thread program-order pair: plain `po`,
@@ -175,6 +193,10 @@ fn search(
     bounds: &ClassifyBounds,
     mut visit: impl FnMut(CriticalCycle) -> bool,
 ) -> bool {
+    let mut visit = |cycle: CriticalCycle| {
+        CYCLES_VISITED.incr();
+        visit(cycle)
+    };
     let nodes = df.accesses();
     let n = nodes.len();
     // Candidate edges between every ordered node pair, computed once:
@@ -223,6 +245,9 @@ fn search(
         state.threads_used.remove(&node.thread);
         state.on_path[start] = false;
         state.path.pop();
+    }
+    if state.truncated {
+        SEARCH_TRUNCATED.incr();
     }
     state.truncated
 }

@@ -16,8 +16,14 @@
 use crate::classify::{classify, ClassifyBounds};
 use crate::dataflow::Dataflow;
 use mcversi_sim::TestProgram;
+use mcversi_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Programs linted ([`run_lints_on`] calls).
+static LINT_RUNS: telemetry::Counter = telemetry::Counter::new("analysis.lint.runs");
+/// Diagnostics emitted across all lint runs.
+static LINT_DIAGNOSTICS: telemetry::Counter = telemetry::Counter::new("analysis.lint.diagnostics");
 
 /// How serious a diagnostic is.
 ///
@@ -316,10 +322,12 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
 
 /// Runs every registered lint over an already-built dataflow.
 pub fn run_lints_on(df: &Dataflow) -> Vec<Diagnostic> {
+    LINT_RUNS.incr();
     let mut out = Vec::new();
     for lint in all_lints() {
         lint.check(df, &mut out);
     }
+    LINT_DIAGNOSTICS.add(out.len() as u64);
     out
 }
 

@@ -1,0 +1,81 @@
+//! Criterion bench: the telemetry facade's hot-path cost.
+//!
+//! Pins the central promise of the instrumentation layer: with telemetry
+//! disabled a counter increment or span is a single relaxed atomic load, so
+//! the fully-instrumented simulator runs at the same speed as an
+//! uninstrumented one (<1% end-to-end overhead).  The enabled variants bound
+//! what a metrics-collecting campaign pays.
+//!
+//! `telemetry::enable()` is sticky for the whole process, so every disabled
+//! measurement runs before the first `enable()` call — keep the bench order.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcversi_core::lowering::lower;
+use mcversi_sim::{BugConfig, ProtocolKind, System, SystemConfig};
+use mcversi_telemetry as telemetry;
+use mcversi_testgen::{RandomTestGenerator, TestGenParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static BENCH_COUNTER: telemetry::Counter = telemetry::Counter::new("bench.counter");
+static BENCH_HIST: telemetry::Histogram = telemetry::Histogram::new("bench.hist");
+static BENCH_TIMER: telemetry::Timer = telemetry::Timer::new("bench.timer");
+
+/// One simulator iteration over a small random MESI program, the same setup
+/// as the `simulator` bench — here run with telemetry off and then on to
+/// expose the facade's end-to-end overhead.
+fn sim_iteration(c: &mut Criterion, label: &str) {
+    let system_cfg = SystemConfig::small(ProtocolKind::Mesi);
+    let params = TestGenParams::small()
+        .with_threads(system_cfg.num_cores)
+        .with_test_size(256)
+        .with_test_memory(1024);
+    let test = RandomTestGenerator::new(params).generate(&mut StdRng::seed_from_u64(5));
+    let program = lower(&test);
+    let mut system = System::new(system_cfg, BugConfig::none(), 11);
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(20);
+    group.bench_function(label, |bench| {
+        bench.iter(|| system.run_iteration(&program).cycles);
+    });
+    group.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    // -- disabled path (must precede the first enable(), which is sticky) --
+    {
+        let mut group = c.benchmark_group("telemetry");
+        group.bench_function("counter-disabled", |bench| {
+            bench.iter(|| BENCH_COUNTER.incr());
+        });
+        group.bench_function("histogram-disabled", |bench| {
+            bench.iter(|| BENCH_HIST.record(black_box(37)));
+        });
+        group.bench_function("span-disabled", |bench| {
+            bench.iter(|| drop(BENCH_TIMER.span()));
+        });
+        group.finish();
+    }
+    sim_iteration(c, "sim-iteration-disabled");
+
+    // -- enabled path --
+    telemetry::enable();
+    telemetry::reset_local();
+    {
+        let mut group = c.benchmark_group("telemetry");
+        group.bench_function("counter-enabled", |bench| {
+            bench.iter(|| BENCH_COUNTER.incr());
+        });
+        group.bench_function("histogram-enabled", |bench| {
+            bench.iter(|| BENCH_HIST.record(black_box(37)));
+        });
+        group.bench_function("span-enabled", |bench| {
+            bench.iter(|| drop(BENCH_TIMER.span()));
+        });
+        group.finish();
+    }
+    sim_iteration(c, "sim-iteration-enabled");
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

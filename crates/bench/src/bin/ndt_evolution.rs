@@ -12,6 +12,7 @@
 use mcversi_bench::{banner, write_artifact};
 use mcversi_core::{ScenarioGrid, ScenarioSpec, TestRunner, TestSource};
 use mcversi_sim::BugConfig;
+use mcversi_telemetry as telemetry;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -31,6 +32,12 @@ fn main() {
     use mcversi_core::GeneratorKind::*;
     let base = ScenarioSpec::from_env().seed(7);
     banner("NDT evolution (paper §6.1)", &base);
+    // This binary drives the runner directly (no campaign loop), so the
+    // telemetry opt-in and the final snapshot are handled here.
+    if base.metrics.is_some() {
+        telemetry::enable();
+    }
+    telemetry::reset_local();
     let grid = ScenarioGrid::new(base).generator_columns([
         (McVerSiAll, 1024, None),
         (McVerSiAll, 8 * 1024, None),
@@ -75,6 +82,15 @@ fn main() {
             print!(" {:.2}", p.mean_population_ndt);
         }
         println!();
+    }
+
+    let snapshot = telemetry::local_snapshot();
+    if !snapshot.is_empty() {
+        println!(
+            "\ntelemetry: {} counter(s), {} ns in phase timers",
+            snapshot.counters.len(),
+            snapshot.timer_sum_ns("phase.")
+        );
     }
 
     if let Ok(path) = write_artifact("ndt_evolution.json", &traces) {

@@ -25,7 +25,7 @@
 
 use mcversi_bench::core_matrix::run_core_matrix;
 use mcversi_bench::matrix::{render_matrix, verify_enumerated_corpus};
-use mcversi_bench::{banner, table_columns, write_artifact};
+use mcversi_bench::{banner, metrics_summary, table_columns, write_artifact};
 use mcversi_core::report::{aggregate_cell, BugCoverageTable};
 use mcversi_core::scenario::jsonl_sink_from_env;
 use mcversi_core::sink::NullSink;
@@ -136,6 +136,9 @@ fn main() {
         render_group(group);
     }
 
+    if let Some(line) = metrics_summary(&all_raw) {
+        println!("{line}");
+    }
     if let Some(sink) = &jsonl {
         println!("event stream: {} JSONL lines", sink.lines());
     }

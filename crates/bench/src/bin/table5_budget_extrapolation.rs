@@ -8,7 +8,7 @@
 //! row sweeps the paper's Table 4 bug corpus, and the fraction of bugs found
 //! within 1×, 5× and 10× the per-sample budget is reported.
 
-use mcversi_bench::{banner, write_artifact};
+use mcversi_bench::{banner, metrics_summary, write_artifact};
 use mcversi_core::report::{aggregate_cell, budget_extrapolation};
 use mcversi_core::scenario::jsonl_sink_from_env;
 use mcversi_core::sink::NullSink;
@@ -28,6 +28,7 @@ fn main() {
     ];
     let multiples = [1usize, 5, 10];
     let mut report: BTreeMap<String, BTreeMap<usize, f64>> = BTreeMap::new();
+    let mut all_raw = Vec::new();
 
     for (generator, memory) in rows {
         let grid = ScenarioGrid::new(base.clone().generator(generator).test_memory(memory))
@@ -54,6 +55,7 @@ fn main() {
                 bug,
                 aggregate_cell(cell.generator, &label, &results, cell.max_test_runs),
             ));
+            all_raw.extend(results);
         }
         let table = budget_extrapolation(&cells, &multiples);
         report.insert(label, table);
@@ -76,6 +78,9 @@ fn main() {
     println!("\n(The GP-based McVerSi-ALL row is only meaningful at 1 budget: its state");
     println!(" does not compose across independent samples, matching the paper's N/A cells.)");
 
+    if let Some(line) = metrics_summary(&all_raw) {
+        println!("\n{line}");
+    }
     if let Some(sink) = &jsonl {
         println!("\nevent stream: {} JSONL lines", sink.lines());
     }

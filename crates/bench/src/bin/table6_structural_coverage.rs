@@ -9,7 +9,7 @@
 //! generator columns — and sample progress streams live through a
 //! [`mcversi_core::ProgressSink`] on stderr.
 
-use mcversi_bench::{banner, table_columns, write_artifact};
+use mcversi_bench::{banner, metrics_summary, table_columns, write_artifact};
 use mcversi_core::report::CoverageRow;
 use mcversi_core::scenario::jsonl_sink_from_env;
 use mcversi_core::sink::ProgressSink;
@@ -29,6 +29,7 @@ fn main() {
     let mut jsonl = jsonl_sink_from_env();
     let mut per_protocol: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     let mut protocol_order: Vec<String> = Vec::new();
+    let mut all_raw = Vec::new();
     for cell in grid.cells() {
         let protocol = cell.protocol.name().to_string();
         if !protocol_order.contains(&protocol) {
@@ -50,6 +51,7 @@ fn main() {
             .entry(protocol)
             .or_default()
             .insert(label, max_cov);
+        all_raw.extend(results);
     }
 
     let rows: Vec<CoverageRow> = protocol_order
@@ -70,6 +72,9 @@ fn main() {
         println!("{}", row.render(&column_labels));
     }
 
+    if let Some(line) = metrics_summary(&all_raw) {
+        println!("\n{line}");
+    }
     if let Some(sink) = &jsonl {
         println!("\nevent stream: {} JSONL lines", sink.lines());
     }

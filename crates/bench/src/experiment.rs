@@ -15,7 +15,8 @@
 //! event to a JSONL file while the sweep runs.
 
 use mcversi_core::scenario::GeneratorColumn;
-use mcversi_core::{GeneratorKind, ScenarioSpec};
+use mcversi_core::{CampaignResult, GeneratorKind, ScenarioSpec};
+use mcversi_telemetry::MetricsSnapshot;
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -41,6 +42,44 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) -> std::io::Result<Pa
     let path = dir.join(name);
     std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
     Ok(path)
+}
+
+/// One-line telemetry summary over a sweep's collected results, or `None`
+/// when the campaign ran without telemetry (`MCVERSI_METRICS` unset).
+///
+/// The line reports how many per-sample snapshots were collected, the
+/// counter-name count, and the share of sample wall time the `phase.*`
+/// timers attribute — the quantity the acceptance bar of the telemetry layer
+/// is phrased in (full per-counter tables come from `mcversi-report` over a
+/// `MCVERSI_JSONL` stream).
+pub fn metrics_summary(results: &[CampaignResult]) -> Option<String> {
+    let mut total = MetricsSnapshot::default();
+    let mut snapshots = 0usize;
+    for result in results {
+        if let Some(snapshot) = &result.metrics {
+            total.merge(snapshot);
+            snapshots += 1;
+        }
+    }
+    if snapshots == 0 || total.is_empty() {
+        return None;
+    }
+    let phase_ns = total.timer_sum_ns("phase.");
+    let wall_ns: u64 = results
+        .iter()
+        .filter(|r| r.metrics.is_some())
+        .map(|r| r.wall_time.as_nanos() as u64)
+        .sum();
+    let share = if wall_ns > 0 {
+        100.0 * phase_ns as f64 / wall_ns as f64
+    } else {
+        0.0
+    };
+    Some(format!(
+        "telemetry: {snapshots} sample snapshot(s), {} counter(s), \
+         phase timers cover {share:.1}% of sample wall time",
+        total.counters.len()
+    ))
 }
 
 /// Prints the standard experiment banner for a sweep's base spec.

@@ -12,7 +12,7 @@ pub mod experiment;
 pub mod matrix;
 
 pub use core_matrix::{core_matrix_rows, run_core_matrix};
-pub use experiment::{banner, table_columns, write_artifact};
+pub use experiment::{banner, metrics_summary, table_columns, write_artifact};
 
 pub use matrix::{render_matrix, shape_expectations, verify_enumerated_corpus};
 

@@ -16,6 +16,8 @@ use crate::sink::{CampaignEvent, CampaignSink, NullSink};
 use mcversi_analysis::{forbids_any, ClassifyBounds, Dataflow};
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, BugConfig, CoreStrength};
+use mcversi_telemetry as telemetry;
+use mcversi_telemetry::MetricsSnapshot;
 use mcversi_testgen::NdtAnalysis;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -33,6 +35,16 @@ const EVENT_CHANNEL_DEPTH: usize = 64;
 /// bounds the wall-clock spent generating and classifying when a generator
 /// produces (almost) exclusively inert tests.
 const PRUNE_SKIP_CAP_FACTOR: usize = 50;
+
+/// Phase timer: generating the next candidate test.
+static PHASE_GENERATE: telemetry::Timer = telemetry::Timer::new("phase.generate");
+/// Phase timer: static classification for the pre-simulation prune.
+static PHASE_CLASSIFY: telemetry::Timer = telemetry::Timer::new("phase.classify");
+/// Phase timer: generator feedback (fitness accounting, GP evolution).
+static PHASE_FITNESS: telemetry::Timer = telemetry::Timer::new("phase.fitness");
+/// Sample panics observed while draining a streamed batch (countable even
+/// when the panic messages themselves scroll past in a sink).
+static EVT_SAMPLE_PANIC: telemetry::Counter = telemetry::Counter::new("events.sample_panic");
 
 /// Pre-simulation pruning of statically inert tests.
 ///
@@ -89,6 +101,12 @@ pub struct CampaignConfig {
     /// Pre-simulation pruning of statically inert tests (default
     /// [`StaticPrune::Off`]; see [`StaticPrune`] for the soundness caveat).
     pub prune: StaticPrune,
+    /// Telemetry cadence. `None` (the default) leaves metric recording off;
+    /// `Some(0)` records metrics and snapshots them once into
+    /// [`CampaignResult::metrics`]; `Some(n)` additionally emits a cumulative
+    /// [`CampaignEvent::Metrics`] record every `n` test-runs.  Metrics never
+    /// affect campaign behaviour, only what is recorded and reported.
+    pub metrics: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -109,6 +127,7 @@ impl CampaignConfig {
             parallelism: 0,
             shared_wall_time: None,
             prune: StaticPrune::Off,
+            metrics: None,
         }
     }
 
@@ -128,6 +147,14 @@ impl CampaignConfig {
     /// Sets the pre-simulation prune mode (see [`StaticPrune`]).
     pub fn with_prune(mut self, prune: StaticPrune) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Enables telemetry with the given cadence (see
+    /// [`CampaignConfig::metrics`]): `0` snapshots once per sample, `n > 0`
+    /// additionally streams a cumulative snapshot every `n` test-runs.
+    pub fn with_metrics(mut self, cadence: usize) -> Self {
+        self.metrics = Some(cadence);
         self
     }
 
@@ -211,6 +238,10 @@ pub struct CampaignResult {
     /// Number of generated tests the static classifier rejected (skipped or
     /// fitness-penalized, per [`CampaignConfig::prune`]; 0 with pruning off).
     pub pruned: usize,
+    /// Final cumulative telemetry snapshot of the sample (present only when
+    /// [`CampaignConfig::metrics`] was set; absent in older serialized
+    /// results, which deserialize to `None`).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl CampaignResult {
@@ -281,6 +312,14 @@ pub fn run_campaign_observed(
     budget: &WallBudget,
     emit: &mut dyn FnMut(CampaignEvent),
 ) -> CampaignResult {
+    if config.metrics.is_some() {
+        telemetry::enable();
+    }
+    // Start every sample from a clean thread-local slate so its final
+    // snapshot attributes exactly this sample's work (each sample runs
+    // entirely on one worker thread).
+    telemetry::reset_local();
+
     let mcversi = config.effective_mcversi().with_seed(seed);
     let model = mcversi.model;
     let core = mcversi.system.core_strength;
@@ -305,16 +344,22 @@ pub fn run_campaign_observed(
         && start.elapsed() < config.max_wall_time
         && !budget.expired()
     {
-        let (id, test, name) = source.next_test();
+        let (id, test, name) = {
+            let _span = PHASE_GENERATE.span();
+            source.next_test()
+        };
         // Pre-simulation prune: a test with no statically reachable cycle the
         // target model forbids cannot produce an MCM violation under it.
-        let inert = config.prune != StaticPrune::Off
-            && !forbids_any(&Dataflow::new(&lower(&test)), model, &prune_bounds);
+        let inert = config.prune != StaticPrune::Off && {
+            let _span = PHASE_CLASSIFY.span();
+            !forbids_any(&Dataflow::new(&lower(&test)), model, &prune_bounds)
+        };
         if inert && config.prune == StaticPrune::Skip {
             pruned += 1;
             // Feed back a zero-signal result so a GP population evolves away
             // from inert chromosomes; the skipped test does not count against
             // the test-run budget.
+            let _span = PHASE_FITNESS.span();
             source.feedback(
                 id,
                 &TestRunResult {
@@ -334,16 +379,19 @@ pub fn run_campaign_observed(
         }
         let result = runner.run_test(&test);
         test_runs += 1;
-        if inert {
-            // Penalize: the test still ran (no detection loss), but the
-            // generator sees it as worthless.
-            pruned += 1;
-            let mut penalized = result.clone();
-            penalized.fitness = 0.0;
-            penalized.analysis = NdtAnalysis::empty();
-            source.feedback(id, &penalized);
-        } else {
-            source.feedback(id, &result);
+        {
+            let _span = PHASE_FITNESS.span();
+            if inert {
+                // Penalize: the test still ran (no detection loss), but the
+                // generator sees it as worthless.
+                pruned += 1;
+                let mut penalized = result.clone();
+                penalized.fitness = 0.0;
+                penalized.analysis = NdtAnalysis::empty();
+                source.feedback(id, &penalized);
+            } else {
+                source.feedback(id, &result);
+            }
         }
         emit(CampaignEvent::TestRun {
             seed,
@@ -352,6 +400,15 @@ pub fn run_campaign_observed(
             fitness: result.fitness,
             cycles: result.cycles,
         });
+        if let Some(cadence) = config.metrics {
+            if cadence > 0 && test_runs.is_multiple_of(cadence) {
+                emit(CampaignEvent::Metrics {
+                    seed,
+                    run: test_runs,
+                    snapshot: telemetry::local_snapshot(),
+                });
+            }
+        }
         if result.verdict.is_bug() {
             found = true;
             found_at_run = Some(test_runs);
@@ -389,6 +446,7 @@ pub fn run_campaign_observed(
         max_total_coverage: runner.total_coverage(),
         final_mean_ndt: source.population_mean_ndt(),
         pruned,
+        metrics: config.metrics.map(|_| telemetry::local_snapshot()),
     }
 }
 
@@ -437,6 +495,7 @@ impl SampleOutcome {
                     max_total_coverage: 0.0,
                     final_mean_ndt: 0.0,
                     pruned: 0,
+                    metrics: None,
                 }
             }
         }
@@ -554,6 +613,7 @@ pub fn run_samples_streamed(
                     outcomes[i] = Some(SampleOutcome::Completed(result.clone()));
                 }
                 CampaignEvent::SamplePanic { seed, message } => {
+                    EVT_SAMPLE_PANIC.incr();
                     outcomes[i] = Some(SampleOutcome::Panicked {
                         seed: *seed,
                         message: message.clone(),
@@ -917,8 +977,10 @@ mod tests {
                     CampaignEvent::SampleStart { seed: s, .. }
                     | CampaignEvent::TestRun { seed: s, .. }
                     | CampaignEvent::Violation { seed: s, .. }
-                    | CampaignEvent::SamplePanic { seed: s, .. } => *s == seed,
+                    | CampaignEvent::SamplePanic { seed: s, .. }
+                    | CampaignEvent::Metrics { seed: s, .. } => *s == seed,
                     CampaignEvent::SampleDone { result } => result.seed == seed,
+                    CampaignEvent::Schema { .. } => false,
                 })
                 .collect();
             assert!(
@@ -949,6 +1011,122 @@ mod tests {
                 .any(|e| matches!(e, CampaignEvent::Violation { .. }));
             assert_eq!(done_found, violated);
         }
+    }
+
+    /// The telemetry differential: metric recording must never change what a
+    /// campaign does.  A metrics-enabled run (with the global telemetry flag
+    /// forced on) produces the same deterministic result fields as a
+    /// metrics-off run — i.e. results are bit-identical to the pre-telemetry
+    /// behaviour.
+    #[test]
+    fn metrics_do_not_change_campaign_results() {
+        let base = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso))
+            .with_prune(StaticPrune::Penalize);
+        let off = run_campaign(&base, 11);
+        assert!(off.metrics.is_none(), "metrics off leaves no snapshot");
+        let on = run_campaign(&base.clone().with_metrics(0), 11);
+        assert_eq!(fingerprint(&off), fingerprint(&on));
+        assert_eq!(off.pruned, on.pruned);
+        let snapshot = on.metrics.expect("metrics on yields a snapshot");
+        assert!(
+            snapshot.timers.contains_key("phase.generate"),
+            "phase timers recorded: {:?}",
+            snapshot.timers.keys().collect::<Vec<_>>()
+        );
+    }
+
+    /// Counters and histograms (the deterministic part of a snapshot) are
+    /// identical across repeated runs with the same seed; wall-clock timers
+    /// are exempt.
+    #[test]
+    fn metrics_snapshots_are_deterministic_under_a_fixed_seed() {
+        let cfg = quick_config(GeneratorKind::McVerSiRand, Some(Bug::LqNoTso)).with_metrics(0);
+        let first = run_campaign(&cfg, 13).metrics.unwrap();
+        let second = run_campaign(&cfg, 13).metrics.unwrap();
+        assert!(!first.counters.is_empty(), "simulator counters recorded");
+        assert_eq!(first.deterministic_part(), second.deterministic_part());
+    }
+
+    /// With a streaming cadence, cumulative `Metrics` events arrive inside
+    /// the sample's event window, at exactly the configured run indices.
+    #[test]
+    fn metrics_events_stream_at_the_configured_cadence() {
+        #[derive(Debug, Default)]
+        struct Recorder(Vec<CampaignEvent>);
+        impl CampaignSink for Recorder {
+            fn on_event(&mut self, event: &CampaignEvent) {
+                self.0.push(event.clone());
+            }
+        }
+
+        let mut cfg = quick_config(GeneratorKind::McVerSiRand, None).with_metrics(2);
+        cfg.max_test_runs = 6;
+        let mut recorder = Recorder::default();
+        let outcomes = run_samples_streamed(&cfg, 1, 21, &mut recorder);
+        assert_eq!(outcomes.len(), 1);
+
+        let metric_runs: Vec<usize> = recorder
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Metrics { run, .. } => Some(*run),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(metric_runs, vec![2, 4, 6]);
+        // Cumulative: later snapshots dominate earlier ones counter-wise.
+        let snapshots: Vec<&MetricsSnapshot> = recorder
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Metrics { snapshot, .. } => Some(snapshot),
+                _ => None,
+            })
+            .collect();
+        for pair in snapshots.windows(2) {
+            for (name, count) in &pair[0].counters {
+                assert!(
+                    pair[1].counters.get(name).is_some_and(|c| c >= count),
+                    "counter {name} must be cumulative"
+                );
+            }
+        }
+        // The metrics events sit between SampleStart and SampleDone.
+        let start = recorder
+            .0
+            .iter()
+            .position(|e| matches!(e, CampaignEvent::SampleStart { .. }))
+            .unwrap();
+        let done = recorder
+            .0
+            .iter()
+            .position(|e| matches!(e, CampaignEvent::SampleDone { .. }))
+            .unwrap();
+        for (i, event) in recorder.0.iter().enumerate() {
+            if matches!(event, CampaignEvent::Metrics { .. }) {
+                assert!(start < i && i < done, "metrics inside the sample window");
+            }
+        }
+    }
+
+    /// Panic isolation holds with metrics enabled, and the drained panics are
+    /// countable through the telemetry event counter.
+    #[test]
+    fn panicking_samples_are_isolated_and_counted_with_metrics_enabled() {
+        let mut cfg = quick_config(GeneratorKind::McVerSiRand, None).with_metrics(1);
+        cfg.mcversi.testgen.num_threads = cfg.mcversi.system.num_cores + 1;
+        telemetry::enable();
+        telemetry::reset_local();
+        let mut sink = CollectSink::new();
+        let outcomes = run_samples_streamed(&cfg.clone().with_parallelism(2), 3, 5, &mut sink);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, SampleOutcome::Panicked { .. })));
+        assert!(sink.results().is_empty(), "no sample completed");
+        // The drain loop runs on this thread, so its counter is visible here.
+        let snapshot = telemetry::local_snapshot();
+        assert_eq!(snapshot.counters["events.sample_panic"], 3);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::campaign::CampaignResult;
 use crate::generator::GeneratorKind;
+use crate::sink::{CampaignEvent, EVENT_SCHEMA_VERSION};
 use mcversi_sim::Bug;
+use mcversi_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -220,6 +222,191 @@ impl CoverageRow {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry reporting (`mcversi-report`)
+// ---------------------------------------------------------------------------
+
+/// An error interpreting a campaign-event JSONL stream as a metrics report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReportError(pub String);
+
+impl std::fmt::Display for MetricsReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for MetricsReportError {}
+
+/// The telemetry of one campaign-event JSONL stream (see
+/// [`crate::sink::JsonlSink`]), reduced to one final snapshot per sample.
+///
+/// A [`CampaignEvent::SampleDone`] closes its sample with the result's final
+/// snapshot; a sample that never completed (crashed or still running) is
+/// represented by its last streamed [`CampaignEvent::Metrics`] snapshot,
+/// which is cumulative by construction.  Samples are kept individually —
+/// sweep streams interleave many cells whose seeds repeat, so keying by seed
+/// alone would silently drop data.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// One `(seed, final snapshot)` entry per completed sample, in stream
+    /// order.
+    pub completed: Vec<(u64, MetricsSnapshot)>,
+    /// Last streamed snapshot of each sample that never reported done.
+    pub unfinished: BTreeMap<u64, MetricsSnapshot>,
+    /// Total wall time over all completed samples, in nanoseconds.
+    pub wall_ns: u64,
+    /// Total number of events in the stream (including the schema header).
+    pub events: usize,
+}
+
+impl MetricsReport {
+    /// Parses a campaign-event JSONL stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unparseable line or a [`CampaignEvent::Schema`] header
+    /// whose version differs from this build's [`EVENT_SCHEMA_VERSION`]; a
+    /// stream without a header (pre-versioning producer) is accepted.
+    pub fn from_jsonl(text: &str) -> Result<Self, MetricsReportError> {
+        let mut report = MetricsReport::default();
+        let mut streamed: BTreeMap<u64, MetricsSnapshot> = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: CampaignEvent = serde_json::from_str(line)
+                .map_err(|e| MetricsReportError(format!("line {}: {e}", idx + 1)))?;
+            report.events += 1;
+            match event {
+                CampaignEvent::Schema { version } if version != EVENT_SCHEMA_VERSION => {
+                    return Err(MetricsReportError(format!(
+                        "line {}: schema version {version} (this build reads \
+                         {EVENT_SCHEMA_VERSION})",
+                        idx + 1
+                    )));
+                }
+                CampaignEvent::Schema { .. } => {}
+                CampaignEvent::Metrics { seed, snapshot, .. } => {
+                    streamed.insert(seed, snapshot);
+                }
+                CampaignEvent::SampleDone { result } => {
+                    report.wall_ns += result.wall_time.as_nanos() as u64;
+                    // The final snapshot subsumes the sample's streamed ones
+                    // (all snapshots are cumulative).
+                    let last_streamed = streamed.remove(&result.seed);
+                    if let Some(snapshot) = result.metrics.or(last_streamed) {
+                        report.completed.push((result.seed, snapshot));
+                    }
+                }
+                _ => {}
+            }
+        }
+        report.unfinished = streamed;
+        Ok(report)
+    }
+
+    /// Number of samples represented (completed plus unfinished).
+    pub fn samples(&self) -> usize {
+        self.completed.len() + self.unfinished.len()
+    }
+
+    /// Returns `true` if the stream carried no telemetry at all.
+    pub fn is_empty(&self) -> bool {
+        self.completed.iter().all(|(_, s)| s.is_empty())
+            && self.unfinished.values().all(|s| s.is_empty())
+    }
+
+    /// Folds the per-sample snapshots into one campaign-wide snapshot.
+    pub fn aggregate(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for (_, snapshot) in &self.completed {
+            total.merge(snapshot);
+        }
+        for snapshot in self.unfinished.values() {
+            total.merge(snapshot);
+        }
+        total
+    }
+
+    /// Total wall time across all completed samples, in nanoseconds.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// Renders the aggregated telemetry as aligned plain text: the phase
+    /// timers with their share of sample wall time, then every counter, then
+    /// every histogram.
+    pub fn render(&self) -> String {
+        let total = self.aggregate();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Telemetry report: {} sample(s), {} event(s)",
+            self.samples(),
+            self.events
+        );
+        if total.is_empty() {
+            out.push_str("no telemetry recorded (run with MCVERSI_METRICS=sample or a cadence)\n");
+            return out;
+        }
+
+        let wall = self.total_wall_ns();
+        let phase_total = total.timer_sum_ns("phase.");
+        out.push('\n');
+        if wall > 0 {
+            let _ = writeln!(
+                out,
+                "Phase timers ({:.1}% of {} ns sample wall time):",
+                100.0 * phase_total as f64 / wall as f64,
+                wall
+            );
+        } else {
+            let _ = writeln!(out, "Phase timers ({phase_total} ns total):");
+        }
+        let name_width = column_width(total.timers.keys().chain(total.counters.keys()));
+        for (name, hist) in &total.timers {
+            let share = if name.starts_with("phase.") && phase_total > 0 {
+                format!("{:>5.1}%", 100.0 * hist.sum as f64 / phase_total as f64)
+            } else {
+                format!("{:>6}", "-")
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<name_width$}  {share}  {:>14} ns  {:>10} spans",
+                hist.sum, hist.count
+            );
+        }
+
+        out.push('\n');
+        out.push_str("Counters:\n");
+        for (name, value) in &total.counters {
+            let _ = writeln!(out, "  {name:<name_width$}  {value:>14}");
+        }
+
+        if !total.histograms.is_empty() {
+            out.push('\n');
+            out.push_str("Histograms:\n");
+            let hist_width = column_width(total.histograms.keys());
+            for (name, hist) in &total.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<hist_width$}  count {:>10}  sum {:>14}  mean {:>10.1}",
+                    hist.count,
+                    hist.sum,
+                    hist.mean()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Column width fitting every name in `names`.
+fn column_width<'a>(names: impl Iterator<Item = &'a String>) -> usize {
+    names.map(|n| n.len()).max().unwrap_or(8).max(8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +428,7 @@ mod tests {
             max_total_coverage: 0.5,
             final_mean_ndt: 1.0,
             pruned: 0,
+            metrics: None,
         }
     }
 
@@ -296,6 +484,106 @@ mod tests {
         assert!(table[&1] <= table[&2]);
         assert!(table[&2] <= table[&10]);
         assert!(table[&10] <= 1.0);
+    }
+
+    fn snapshot(hits: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("sim.l1.mesi.hit".to_string(), hits);
+        let spans = mcversi_telemetry::HistogramSnapshot {
+            count: 1,
+            sum: 900,
+            ..Default::default()
+        };
+        s.timers.insert("phase.simulate".to_string(), spans);
+        s
+    }
+
+    fn jsonl(events: &[CampaignEvent]) -> String {
+        events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("events serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn metrics_report_prefers_final_snapshots_and_keeps_streamed_fallbacks() {
+        let mut done = result(true, Some(10));
+        done.seed = 1;
+        done.metrics = Some(snapshot(10));
+        let text = jsonl(&[
+            CampaignEvent::Schema {
+                version: EVENT_SCHEMA_VERSION,
+            },
+            CampaignEvent::Metrics {
+                seed: 1,
+                run: 2,
+                snapshot: snapshot(5),
+            },
+            CampaignEvent::SampleDone { result: done },
+            // Seed 2 never completed: its last streamed snapshot stands in.
+            CampaignEvent::Metrics {
+                seed: 2,
+                run: 2,
+                snapshot: snapshot(7),
+            },
+        ]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        assert_eq!(report.events, 4);
+        assert_eq!(report.samples(), 2);
+        assert_eq!(report.completed, vec![(1, snapshot(10))]);
+        assert_eq!(report.unfinished[&2].counters["sim.l1.mesi.hit"], 7);
+        assert_eq!(report.total_wall_ns(), 1_000_000_000);
+        let total = report.aggregate();
+        assert_eq!(total.counters["sim.l1.mesi.hit"], 17);
+        assert_eq!(total.timer_sum_ns("phase."), 1800);
+        let rendered = report.render();
+        assert!(rendered.contains("phase.simulate"));
+        assert!(rendered.contains("sim.l1.mesi.hit"));
+        assert!(rendered.contains("Counters:"));
+    }
+
+    #[test]
+    fn metrics_report_rejects_future_schemas_and_bad_lines() {
+        let future = jsonl(&[CampaignEvent::Schema { version: 99 }]);
+        let err = MetricsReport::from_jsonl(&future).unwrap_err();
+        assert!(format!("{err}").contains("schema version 99"));
+        assert!(MetricsReport::from_jsonl("not json\n").is_err());
+        // A header-less stream (pre-versioning producer) still parses.
+        let headerless = jsonl(&[CampaignEvent::Metrics {
+            seed: 3,
+            run: 1,
+            snapshot: snapshot(1),
+        }]);
+        let report = MetricsReport::from_jsonl(&headerless).expect("headerless parses");
+        assert_eq!(report.samples(), 1);
+    }
+
+    #[test]
+    fn metrics_report_keeps_samples_whose_seeds_repeat_across_cells() {
+        // Sweep streams interleave cells that reuse seeds; every sample must
+        // still count.
+        let mut first = result(true, Some(1));
+        first.seed = 1;
+        first.metrics = Some(snapshot(3));
+        let mut second = result(false, None);
+        second.seed = 1;
+        second.metrics = Some(snapshot(4));
+        let text = jsonl(&[
+            CampaignEvent::SampleDone { result: first },
+            CampaignEvent::SampleDone { result: second },
+        ]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        assert_eq!(report.samples(), 2);
+        assert_eq!(report.aggregate().counters["sim.l1.mesi.hit"], 7);
+        assert_eq!(report.total_wall_ns(), 2_000_000_000);
+    }
+
+    #[test]
+    fn empty_metrics_report_renders_a_hint() {
+        let report = MetricsReport::from_jsonl("").expect("empty stream parses");
+        assert!(report.is_empty());
+        assert!(report.render().contains("MCVERSI_METRICS"));
     }
 
     #[test]

@@ -24,9 +24,19 @@ use crate::host::{HostInterface, SimHost};
 use mcversi_mcm::checker::Verdict;
 use mcversi_mcm::Violation;
 use mcversi_sim::{BugConfig, ProtocolError, Transition};
+use mcversi_telemetry as telemetry;
 use mcversi_testgen::{NdtAnalysis, RunConflicts, Test};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+/// Phase timer: lowering the test into its executable program.
+static PHASE_LOWER: telemetry::Timer = telemetry::Timer::new("phase.lower");
+/// Phase timer: resetting the test memory between iterations.
+static PHASE_RESET: telemetry::Timer = telemetry::Timer::new("phase.reset");
+/// Phase timer: the per-iteration MCM check (`verify_reset_conflict`).
+static PHASE_CHECK: telemetry::Timer = telemetry::Timer::new("phase.check");
+/// Phase timer: end-of-run fitness evaluation and NDT analysis.
+static PHASE_FITNESS: telemetry::Timer = telemetry::Timer::new("phase.fitness");
 
 /// The verdict of one test-run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,11 +145,17 @@ impl TestRunner {
         let mut iterations_run = 0usize;
 
         self.host.barrier_wait_coarse();
-        self.host.make_test_thread(test);
+        {
+            let _span = PHASE_LOWER.span();
+            self.host.make_test_thread(test);
+        }
 
         for _ in 0..iterations {
             self.host.barrier_wait_precise();
-            self.host.reset_test_mem();
+            {
+                let _span = PHASE_RESET.span();
+                self.host.reset_test_mem();
+            }
             let outcome = self.host.execute_test();
             iterations_run += 1;
             cycles += outcome.cycles;
@@ -154,6 +170,7 @@ impl TestRunner {
                 break;
             }
             conflicts.add_iteration(&outcome.execution);
+            let _span = PHASE_CHECK.span();
             match self.host.verify_reset_conflict(&outcome) {
                 Verdict::Valid => {}
                 Verdict::Invalid(v) => {
@@ -165,12 +182,14 @@ impl TestRunner {
 
         // End of test-run bookkeeping (verify_reset_all): fitness from the
         // run's coverage, NDT analysis from the accumulated conflict orders.
+        let fitness_span = PHASE_FITNESS.span();
         let covered = self.host.system_mut().finish_coverage_run();
         let universe = self.host.system().coverage_universe().to_vec();
         let fitness = self
             .adaptive
             .fitness(&covered, self.host.system().coverage(), &universe);
         let analysis = conflicts.analyze(test);
+        drop(fitness_span);
         self.total_cycles += cycles;
 
         TestRunResult {

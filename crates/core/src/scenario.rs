@@ -35,6 +35,7 @@
 //! | `MCVERSI_MODELS`       | comma-separated target models, or `all`  | `SC,TSO,ARMish,RMO` |
 //! | `MCVERSI_LITMUS`       | litmus corpus of the `diy-litmus` baseline: `handpicked` or `enumerated[:<threads>x<edges>]` | `enumerated:4x6` |
 //! | `MCVERSI_JSONL`        | path; streams campaign events there as JSONL ([`crate::sink::JsonlSink`]) | unset |
+//! | `MCVERSI_METRICS`      | telemetry: `off`, `sample` (final snapshot only), or a cadence `n` (also stream a snapshot every `n` test-runs) | unset (off) |
 //!
 //! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
 //! set the simulated core count, named parts select the pipeline strengths to
@@ -53,6 +54,7 @@ use crate::config::McVerSiConfig;
 use crate::generator::GeneratorKind;
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, CoreStrength, ProtocolKind, SystemConfig};
+use mcversi_telemetry as telemetry;
 use mcversi_testgen::{LitmusCorpus, OperationBias, TestGenParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -118,6 +120,10 @@ pub struct ScenarioSpec {
     /// Opt-in pre-simulation pruning of statically inert tests (`None` =
     /// [`StaticPrune::Off`]; see [`StaticPrune`] for the soundness caveat).
     pub prune: Option<StaticPrune>,
+    /// Telemetry collection (`None` = off; `Some(0)` = final snapshot only;
+    /// `Some(n)` = also stream a [`crate::sink::CampaignEvent::Metrics`]
+    /// snapshot every `n` test-runs).  See `MCVERSI_METRICS`.
+    pub metrics: Option<usize>,
     /// Optional display label (defaults to the paper's column naming).
     pub label: Option<String>,
 }
@@ -145,6 +151,7 @@ impl ScenarioSpec {
             full: false,
             litmus: None,
             prune: None,
+            metrics: None,
             label: None,
         }
     }
@@ -216,6 +223,13 @@ impl ScenarioSpec {
     /// Replaces the prune mode, returning a modified copy.
     pub fn prune(mut self, prune: StaticPrune) -> Self {
         self.prune = Some(prune);
+        self
+    }
+
+    /// Enables telemetry with the given streaming cadence (`0` = final
+    /// snapshot only), returning a modified copy.
+    pub fn metrics(mut self, cadence: usize) -> Self {
+        self.metrics = Some(cadence);
         self
     }
 
@@ -303,6 +317,7 @@ impl ScenarioSpec {
         cfg.parallelism = self.parallelism;
         cfg.shared_wall_time = self.shared_wall_secs.map(Duration::from_secs);
         cfg.prune = self.prune.unwrap_or_default();
+        cfg.metrics = self.metrics;
         cfg
     }
 
@@ -369,6 +384,15 @@ impl ScenarioSpec {
                 None => warn_once(&format!(
                     "warning: MCVERSI_LITMUS: unknown corpus '{raw}' ignored \
                      (expected handpicked or enumerated[:<threads>x<edges>])"
+                )),
+            }
+        }
+        if let Ok(raw) = std::env::var("MCVERSI_METRICS") {
+            match parse_metrics(&raw) {
+                Some(metrics) => spec.metrics = metrics,
+                None => warn_once(&format!(
+                    "warning: MCVERSI_METRICS: unknown value '{raw}' ignored \
+                     (expected off, sample, or a cadence in test-runs)"
                 )),
             }
         }
@@ -676,6 +700,9 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Distinct once-per-process warnings actually emitted (see [`warn_once`]).
+static WARNINGS_EMITTED: telemetry::Counter = telemetry::Counter::new("events.warn_once");
+
 /// Emits `message` to stderr at most once per process (keyed by the message
 /// text), so per-cell re-parsing of the environment cannot flood a table run
 /// with identical warnings.
@@ -683,7 +710,20 @@ fn warn_once(message: &str) {
     static SEEN: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
     let mut seen = SEEN.lock().expect("warning registry lock");
     if seen.insert(message.to_string()) {
+        WARNINGS_EMITTED.incr();
         eprintln!("{message}");
+    }
+}
+
+/// Parses a `MCVERSI_METRICS` value: `off` disables telemetry, `sample` (or
+/// `on`) collects final per-sample snapshots only, and an integer `n`
+/// additionally streams a cumulative snapshot every `n` test-runs (`0` is
+/// equivalent to `sample`).  Returns `None` when the value is not understood.
+fn parse_metrics(raw: &str) -> Option<Option<usize>> {
+    match raw.trim() {
+        "off" => Some(None),
+        "sample" | "on" => Some(Some(0)),
+        n => n.parse().ok().map(Some),
     }
 }
 
@@ -829,6 +869,34 @@ mod tests {
         let back = ScenarioSpec::from_json(&json).expect("prune-less spec parses");
         assert_eq!(back.prune, None);
         assert_eq!(back.campaign().prune, StaticPrune::Off);
+    }
+
+    #[test]
+    fn metrics_cadence_threads_into_the_campaign_and_is_optional_in_json() {
+        let spec = ScenarioSpec::small().metrics(25);
+        assert_eq!(spec.campaign().metrics, Some(25));
+        assert_eq!(ScenarioSpec::small().campaign().metrics, None);
+        // Spec files written before the field existed (no `metrics` key)
+        // still parse, defaulting to telemetry off.
+        let json: String = spec
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"metrics\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ScenarioSpec::from_json(&json).expect("metrics-less spec parses");
+        assert_eq!(back.metrics, None);
+        assert_eq!(back.campaign().metrics, None);
+    }
+
+    #[test]
+    fn metrics_values_parse_like_the_env_variable() {
+        assert_eq!(parse_metrics("off"), Some(None));
+        assert_eq!(parse_metrics("sample"), Some(Some(0)));
+        assert_eq!(parse_metrics("on"), Some(Some(0)));
+        assert_eq!(parse_metrics("0"), Some(Some(0)));
+        assert_eq!(parse_metrics(" 50 "), Some(Some(50)));
+        assert_eq!(parse_metrics("every-other-day"), None);
     }
 
     #[test]

@@ -15,12 +15,25 @@
 //! * sinks compose: a `(&mut a, &mut b)` tuple fans events out to both.
 
 use crate::campaign::CampaignResult;
+use mcversi_telemetry::{MetricsSnapshot, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
+
+/// Version of the JSONL event format. Bumped whenever a [`CampaignEvent`]
+/// variant changes incompatibly; [`JsonlSink`] writes it as a
+/// [`CampaignEvent::Schema`] header line so downstream tooling (and the
+/// future distributed fabric) can detect event-format drift.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
 
 /// One event of a streaming campaign run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum CampaignEvent {
+    /// Stream header identifying the event-format version (first line of
+    /// every [`JsonlSink`] stream; never emitted by campaign workers).
+    Schema {
+        /// The [`EVENT_SCHEMA_VERSION`] the stream was written with.
+        version: u32,
+    },
     /// A sample was claimed by a worker and is about to run.
     SampleStart {
         /// The sample's seed.
@@ -63,6 +76,16 @@ pub enum CampaignEvent {
         /// The panic payload rendered as text.
         message: String,
     },
+    /// A cumulative telemetry snapshot of one sample, emitted at the cadence
+    /// configured by `CampaignConfig::metrics` (see `MCVERSI_METRICS`).
+    Metrics {
+        /// The sample's seed.
+        seed: u64,
+        /// 1-based test-run index after which the snapshot was taken.
+        run: usize,
+        /// Cumulative metrics since the sample started.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 /// A consumer of streaming campaign events.
@@ -87,10 +110,17 @@ pub trait CampaignSink: Send {
     /// A sample panicked.
     fn on_sample_panic(&mut self, _seed: u64, _message: &str) {}
 
+    /// A stream schema header was observed.
+    fn on_schema(&mut self, _version: u32) {}
+
+    /// A telemetry snapshot arrived.
+    fn on_metrics(&mut self, _seed: u64, _run: usize, _snapshot: &MetricsSnapshot) {}
+
     /// Dispatches one event to the matching method (the channel-drain entry
     /// point; implementations normally override the specific methods).
     fn on_event(&mut self, event: &CampaignEvent) {
         match event {
+            CampaignEvent::Schema { version } => self.on_schema(*version),
             CampaignEvent::SampleStart { seed, index } => self.on_sample_start(*seed, *index),
             CampaignEvent::TestRun {
                 seed,
@@ -104,6 +134,11 @@ pub trait CampaignSink: Send {
             }
             CampaignEvent::SampleDone { result } => self.on_sample_done(result),
             CampaignEvent::SamplePanic { seed, message } => self.on_sample_panic(*seed, message),
+            CampaignEvent::Metrics {
+                seed,
+                run,
+                snapshot,
+            } => self.on_metrics(*seed, *run, snapshot),
         }
     }
 }
@@ -144,20 +179,25 @@ impl CampaignSink for CollectSink {
     }
 }
 
+/// How many test-runs pass between `ProgressSink` throughput lines.
+const PROGRESS_RATE_EVERY: u64 = 100;
+
 /// Live progress reporting: one line per sample start/finish and per
-/// violation, written as events arrive.
+/// violation, written as events arrive, plus a rolling runs/sec throughput
+/// line every `PROGRESS_RATE_EVERY` (100) test-runs.
 pub struct ProgressSink<W: Write + Send> {
     out: W,
     prefix: String,
+    /// Started at sink construction; basis of the rolling runs/sec line.
+    clock: Stopwatch,
+    /// Test-run events observed so far, across all samples.
+    runs: u64,
 }
 
 impl ProgressSink<std::io::Stderr> {
     /// Progress lines on stderr.
     pub fn stderr() -> Self {
-        ProgressSink {
-            out: std::io::stderr(),
-            prefix: String::new(),
-        }
+        ProgressSink::new(std::io::stderr())
     }
 }
 
@@ -167,6 +207,8 @@ impl<W: Write + Send> ProgressSink<W> {
         ProgressSink {
             out,
             prefix: String::new(),
+            clock: Stopwatch::start(),
+            runs: 0,
         }
     }
 
@@ -174,6 +216,11 @@ impl<W: Write + Send> ProgressSink<W> {
     pub fn with_prefix(mut self, prefix: &str) -> Self {
         self.prefix = format!("{prefix} ");
         self
+    }
+
+    /// Test-runs per second since the sink was constructed.
+    fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 / self.clock.elapsed().as_secs_f64().max(1e-9)
     }
 }
 
@@ -194,6 +241,18 @@ impl<W: Write + Send> CampaignSink for ProgressSink<W> {
         );
     }
 
+    fn on_test_run(&mut self, _seed: u64, _run: usize, _found: bool, _fitness: f64, _cycles: u64) {
+        self.runs += 1;
+        if self.runs.is_multiple_of(PROGRESS_RATE_EVERY) {
+            let rate = self.runs_per_sec();
+            let _ = writeln!(
+                self.out,
+                "{}{} runs, {rate:.1} runs/s",
+                self.prefix, self.runs
+            );
+        }
+    }
+
     fn on_violation(&mut self, seed: u64, run: usize, detail: &str) {
         let _ = writeln!(
             self.out,
@@ -208,9 +267,10 @@ impl<W: Write + Send> CampaignSink for ProgressSink<W> {
         } else {
             "not found".to_string()
         };
+        let rate = self.runs_per_sec();
         let _ = writeln!(
             self.out,
-            "{}sample seed {} done: {verdict} after {} runs ({} cycles)",
+            "{}sample seed {} done: {verdict} after {} runs ({} cycles, {rate:.1} runs/s overall)",
             self.prefix, result.seed, result.test_runs, result.simulated_cycles
         );
     }
@@ -228,10 +288,16 @@ impl<W: Write + Send> CampaignSink for ProgressSink<W> {
 /// per event so a consumer can tail the file while the campaign runs, and
 /// once more on drop (so a buffered writer wrapped in the sink cannot lose
 /// its tail when a campaign binary returns early).
+///
+/// The first line of every stream is a [`CampaignEvent::Schema`] header
+/// carrying [`EVENT_SCHEMA_VERSION`], written lazily just before the first
+/// event.
 pub struct JsonlSink<W: Write + Send> {
     /// `None` only after [`JsonlSink::into_inner`] moved the writer out.
     out: Option<W>,
     lines: u64,
+    /// Whether the schema header line has been written yet.
+    header_written: bool,
 }
 
 impl JsonlSink<std::fs::File> {
@@ -252,10 +318,11 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink {
             out: Some(out),
             lines: 0,
+            header_written: false,
         }
     }
 
-    /// Number of event lines written so far.
+    /// Number of lines written so far, including the schema header.
     pub fn lines(&self) -> u64 {
         self.lines
     }
@@ -289,6 +356,19 @@ impl<W: Write + Send> CampaignSink for JsonlSink<W> {
         let Some(out) = self.out.as_mut() else {
             return;
         };
+        if !self.header_written {
+            self.header_written = true;
+            if !matches!(event, CampaignEvent::Schema { .. }) {
+                let header = CampaignEvent::Schema {
+                    version: EVENT_SCHEMA_VERSION,
+                };
+                if let Ok(line) = serde_json::to_string(&header) {
+                    if writeln!(out, "{line}").is_ok() {
+                        self.lines += 1;
+                    }
+                }
+            }
+        }
         if let Ok(line) = serde_json::to_string(event) {
             debug_assert!(!line.contains('\n'), "events must be single-line");
             if writeln!(out, "{line}").is_ok() {
@@ -340,6 +420,7 @@ mod tests {
             max_total_coverage: 0.25,
             final_mean_ndt: 1.5,
             pruned: 0,
+            metrics: None,
         }
     }
 
@@ -365,6 +446,15 @@ mod tests {
                 seed: 8,
                 message: "boom".to_string(),
             },
+            CampaignEvent::Metrics {
+                seed: 7,
+                run: 2,
+                snapshot: {
+                    let mut snapshot = MetricsSnapshot::default();
+                    snapshot.counters.insert("sim.l1.hit".to_string(), 11);
+                    snapshot
+                },
+            },
         ]
     }
 
@@ -385,22 +475,31 @@ mod tests {
         for event in &events {
             sink.on_event(event);
         }
-        assert_eq!(sink.lines(), events.len() as u64);
+        // One line per event, plus the lazily written schema header.
+        assert_eq!(sink.lines(), events.len() as u64 + 1);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), events.len());
+        assert_eq!(lines.len(), events.len() + 1);
         for line in &lines {
             let value = serde_json::value_from_str(line)
                 .unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"));
             assert!(value.as_object().is_some(), "events render as objects");
         }
-        // The stream round-trips back into events.
-        let first: CampaignEvent = serde_json::from_str(lines[0]).unwrap();
+        // The stream starts with the schema header and round-trips back into
+        // events.
+        let header: CampaignEvent = serde_json::from_str(lines[0]).unwrap();
+        assert!(matches!(
+            header,
+            CampaignEvent::Schema {
+                version: EVENT_SCHEMA_VERSION
+            }
+        ));
+        let first: CampaignEvent = serde_json::from_str(lines[1]).unwrap();
         assert!(matches!(
             first,
             CampaignEvent::SampleStart { seed: 7, index: 0 }
         ));
-        let done: CampaignEvent = serde_json::from_str(lines[3]).unwrap();
+        let done: CampaignEvent = serde_json::from_str(lines[4]).unwrap();
         match done {
             CampaignEvent::SampleDone { result } => {
                 assert_eq!(result.seed, 7);
@@ -408,6 +507,33 @@ mod tests {
             }
             other => panic!("expected SampleDone, got {other:?}"),
         }
+        let metrics: CampaignEvent = serde_json::from_str(lines[6]).unwrap();
+        match metrics {
+            CampaignEvent::Metrics {
+                seed,
+                run,
+                snapshot,
+            } => {
+                assert_eq!((seed, run), (7, 2));
+                assert_eq!(snapshot.counters["sim.l1.hit"], 11);
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_the_schema_header_exactly_once() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for event in sample_events().iter().take(2) {
+            sink.on_event(event);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let headers = text
+            .lines()
+            .filter(|line| line.contains("\"Schema\""))
+            .count();
+        assert_eq!(headers, 1);
+        assert!(text.lines().next().unwrap().contains("\"Schema\""));
     }
 
     #[test]
@@ -470,6 +596,29 @@ mod tests {
             pair.on_event(&event);
         }
         assert_eq!(pair.0.results().len(), 1);
-        assert_eq!(pair.1.lines(), 5);
+        // Six events plus the JSONL schema header.
+        assert_eq!(pair.1.lines(), 7);
+    }
+
+    #[test]
+    fn progress_sink_reports_rolling_runs_per_sec() {
+        let mut out = Vec::new();
+        {
+            let mut sink = ProgressSink::new(&mut out);
+            for run in 1..=(PROGRESS_RATE_EVERY as usize) {
+                sink.on_event(&CampaignEvent::TestRun {
+                    seed: 7,
+                    run,
+                    found: false,
+                    fitness: 0.5,
+                    cycles: 100,
+                });
+            }
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains(&format!("{PROGRESS_RATE_EVERY} runs, ")) && text.contains(" runs/s"),
+            "expected a rolling throughput line, got: {text}"
+        );
     }
 }

@@ -11,8 +11,16 @@
 use crate::event::EventId;
 use crate::execution::{CandidateExecution, WellFormednessError};
 use crate::model::{Architecture, Axiom};
+use mcversi_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Executions checked (`try_check` invocations).
+static CHECKS: telemetry::Counter = telemetry::Counter::new("mcm.checks");
+/// Axioms evaluated across all checks.
+static AXIOM_EVALS: telemetry::Counter = telemetry::Counter::new("mcm.axiom_evals");
+/// Size (pair count) of each axiom's derived relation at evaluation time.
+static RELATION_SIZE: telemetry::Histogram = telemetry::Histogram::new("mcm.relation.size");
 
 /// A consistency violation found by the checker.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -151,9 +159,12 @@ impl<'m> Checker<'m> {
         if self.validate_well_formedness {
             exec.validate()?;
         }
+        CHECKS.incr();
         for axiom in self.model.axioms(exec) {
+            AXIOM_EVALS.incr();
             match axiom {
                 Axiom::Acyclic { name, relation } => {
+                    RELATION_SIZE.record(relation.len() as u64);
                     if let Some(cycle) = relation.find_cycle() {
                         return Ok(Verdict::Invalid(Violation {
                             model: self.model.name().to_string(),
@@ -163,6 +174,7 @@ impl<'m> Checker<'m> {
                     }
                 }
                 Axiom::Empty { name, relation } => {
+                    RELATION_SIZE.record(relation.len() as u64);
                     if !relation.is_empty() {
                         let witness = relation.iter().flat_map(|(a, b)| [a, b]).collect();
                         return Ok(Verdict::Invalid(Violation {

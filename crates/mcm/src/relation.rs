@@ -8,9 +8,15 @@
 //! with cycle extraction, and topological ordering.
 
 use crate::event::EventId;
+use mcversi_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Transitive-closure computations.
+static CLOSURE_CALLS: telemetry::Counter = telemetry::Counter::new("mcm.closure.calls");
+/// Word-wise bitset row ORs performed inside closure sweeps (hot path).
+static CLOSURE_ROW_SWEEPS: telemetry::Counter = telemetry::Counter::new("mcm.closure.row_sweeps");
 
 /// A binary relation over [`EventId`]s.
 ///
@@ -185,6 +191,7 @@ impl Relation {
     /// operations; cyclic relations fall back to a per-node bitset BFS with
     /// identical semantics to the original implementation.
     pub fn transitive_closure(&self) -> Relation {
+        CLOSURE_CALLS.incr();
         let dense = match DenseGraph::from_relation(self) {
             Some(dense) => dense,
             None => return Relation::new(),
@@ -375,6 +382,7 @@ impl DenseGraph {
     /// `rows[dst] |= rows[src]` for two distinct flattened bitset rows.
     fn or_row(rows: &mut [u64], words: usize, dst: usize, src: usize) {
         debug_assert_ne!(dst, src);
+        CLOSURE_ROW_SWEEPS.incr();
         let (dst_row, src_row) = if dst < src {
             let (lo, hi) = rows.split_at_mut(src * words);
             (&mut lo[dst * words..(dst + 1) * words], &hi[..words])

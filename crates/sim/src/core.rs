@@ -57,9 +57,27 @@ use crate::program::{TestOp, TestOpKind, ThreadProgram};
 use crate::protocol::{CoreReqKind, CoreRequest, CoreRespKind, CoreResponse};
 use crate::types::{Cycle, LineAddr};
 use mcversi_mcm::{Address, FenceKind};
+use mcversi_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Load-queue squashes (the invalidation "Peekaboo" repair).
+static SQUASHES: telemetry::Counter = telemetry::Counter::new("sim.core.squashes");
+/// Load issue stalls: blocked behind an incomplete fence or atomic.
+static STALL_FENCE: telemetry::Counter = telemetry::Counter::new("sim.core.stall.fence");
+/// Load issue stalls: same-address (coherence / po-loc) ordering.
+static STALL_COHERENCE: telemetry::Counter = telemetry::Counter::new("sim.core.stall.coherence");
+/// Load issue stalls: dependency on an unperformed source load.
+static STALL_DEP: telemetry::Counter = telemetry::Counter::new("sim.core.stall.dep");
+/// Loads satisfied by store→load forwarding from the store buffer.
+static SB_FORWARDS: telemetry::Counter = telemetry::Counter::new("sim.core.sb.forward");
+/// Stores drained from the store buffer to the L1.
+static SB_DRAINS: telemetry::Counter = telemetry::Counter::new("sim.core.sb.drain");
+/// Completed stores committed early past incomplete older ops (relaxed core).
+static SB_EARLY_COMMITS: telemetry::Counter = telemetry::Counter::new("sim.core.sb.early_commit");
+/// Requests issued by cores to their L1s (loads, RMWs, fences, flushes).
+static ISSUED_REQUESTS: telemetry::Counter = telemetry::Counter::new("sim.core.requests");
 
 /// Returns `true` if a fence of `kind` orders program-order-later *loads*
 /// (so the relaxed core must not let younger loads issue past it while it is
@@ -295,6 +313,7 @@ impl CoreModel {
             }
             if let Some(from) = squash_from {
                 self.squashes += 1;
+                SQUASHES.incr();
                 for op in self.window.iter_mut().skip(from) {
                     if op.is_load() && op.state != OpState::Waiting {
                         op.state = OpState::Waiting;
@@ -456,13 +475,18 @@ impl CoreModel {
                     TestOpKind::Fence { .. } | TestOpKind::ReadModifyWrite { .. }
                 ) && o.state != OpState::Done
             }) {
+                STALL_FENCE.incr();
                 return true;
             }
             // An address-dependent read waits for the previous load.
-            if matches!(op.op.kind, TestOpKind::ReadAddrDp) && !bugs.has(Bug::LqNoAddrDep) {
-                return window
+            if matches!(op.op.kind, TestOpKind::ReadAddrDp)
+                && !bugs.has(Bug::LqNoAddrDep)
+                && window
                     .iter()
-                    .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done);
+                    .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done)
+            {
+                STALL_DEP.incr();
+                return true;
             }
             return false;
         }
@@ -473,31 +497,37 @@ impl CoreModel {
             if o.state == OpState::Done {
                 continue;
             }
-            let blocking = match o.op.kind {
+            let blocking: Option<&telemetry::Counter> = match o.op.kind {
                 // Only fence flavours that order later loads stall them; the
                 // Fence+no-acquire bug drops exactly the acquire stall.
-                TestOpKind::Fence { kind } => {
-                    fence_orders_later_loads(kind)
-                        && !(kind == FenceKind::Acquire && bugs.has(Bug::FenceNoAcquire))
-                }
+                TestOpKind::Fence { kind } => (fence_orders_later_loads(kind)
+                    && !(kind == FenceKind::Acquire && bugs.has(Bug::FenceNoAcquire)))
+                .then_some(&STALL_FENCE),
                 // Locked RMWs keep their full-fence semantics.
-                TestOpKind::ReadModifyWrite { .. } => true,
+                TestOpKind::ReadModifyWrite { .. } => Some(&STALL_FENCE),
                 // Same-address ordering (coherence / po-loc) is preserved by
                 // stalling, since the relaxed core has no squash to repair it.
-                TestOpKind::Read | TestOpKind::ReadAddrDp => o.op.addr == op.op.addr,
-                _ => false,
+                TestOpKind::Read | TestOpKind::ReadAddrDp => {
+                    (o.op.addr == op.op.addr).then_some(&STALL_COHERENCE)
+                }
+                _ => None,
             };
-            if blocking {
+            if let Some(cause) = blocking {
+                cause.incr();
                 return true;
             }
         }
         // Dependency-carrying loads stall on their source load; the
         // LQ+no-addr-dep bug drops the stall (the dependency edge is still
         // recorded by the observer, which is what makes the bug detectable).
-        if matches!(op.op.kind, TestOpKind::ReadAddrDp) && !bugs.has(Bug::LqNoAddrDep) {
-            return window
+        if matches!(op.op.kind, TestOpKind::ReadAddrDp)
+            && !bugs.has(Bug::LqNoAddrDep)
+            && window
                 .iter()
-                .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done);
+                .any(|(p, o)| *p < pos && o.is_load() && o.state != OpState::Done)
+        {
+            STALL_DEP.incr();
+            return true;
         }
         false
     }
@@ -547,6 +577,7 @@ impl CoreModel {
                         continue;
                     }
                     if let Some(value) = self.forwarded_value(op.op.addr, op.idx) {
+                        SB_FORWARDS.incr();
                         let slot = &mut self.window[*pos];
                         slot.read_value = Some(value);
                         slot.state = OpState::Done;
@@ -628,6 +659,7 @@ impl CoreModel {
                 }
             }
         }
+        ISSUED_REQUESTS.add(new_requests.len() as u64);
         for (pos, kind, addr) in new_requests {
             let tag = self.alloc_tag();
             self.window[pos].state = OpState::Issued { tag };
@@ -730,6 +762,7 @@ impl CoreModel {
                 let Some(value) = op.op.kind.written_value() else {
                     unreachable!("stores carry a value");
                 };
+                SB_EARLY_COMMITS.incr();
                 self.store_buffer.push(StoreBufferEntry {
                     poi: op.idx as u32,
                     addr: op.op.addr,
@@ -780,6 +813,7 @@ impl CoreModel {
             self.store_buffer.begin_drain(out_of_order, rng)
         };
         if let Some(entry) = next {
+            SB_DRAINS.incr();
             let tag = self.alloc_tag();
             self.outstanding_store = Some((tag, entry));
             out.requests.push(CoreRequest {

@@ -15,8 +15,16 @@
 use crate::config::SystemConfig;
 use crate::msg::{Msg, VirtualNetwork};
 use crate::types::{Cycle, NodeId};
+use mcversi_telemetry as telemetry;
 use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Messages injected on the request virtual network.
+static NET_REQUEST: telemetry::Counter = telemetry::Counter::new("sim.net.msg.request");
+/// Messages injected on the forward virtual network.
+static NET_FORWARD: telemetry::Counter = telemetry::Counter::new("sim.net.msg.forward");
+/// Messages injected on the response virtual network.
+static NET_RESPONSE: telemetry::Counter = telemetry::Counter::new("sim.net.msg.response");
 
 type ChannelKey = (NodeId, NodeId, VirtualNetwork);
 
@@ -85,6 +93,11 @@ impl Network {
         queue.push_back((deliver_at, msg));
         self.in_flight += 1;
         self.total_sent += 1;
+        match vnet {
+            VirtualNetwork::Request => NET_REQUEST.incr(),
+            VirtualNetwork::Forward => NET_FORWARD.incr(),
+            VirtualNetwork::Response => NET_RESPONSE.incr(),
+        }
     }
 
     /// Removes and returns every message whose delivery time has been reached,

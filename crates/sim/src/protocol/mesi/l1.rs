@@ -28,7 +28,13 @@ use crate::protocol::{
 };
 use crate::system::ProtocolError;
 use crate::types::{Cycle, LineAddr, LineData, NodeId};
+use mcversi_telemetry as telemetry;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Core requests served from a resident line with sufficient permission.
+static L1_HITS: telemetry::Counter = telemetry::Counter::new("sim.l1.mesi.hit");
+/// Core requests needing a coherence transaction (fill or upgrade).
+static L1_MISSES: telemetry::Counter = telemetry::Counter::new("sim.l1.mesi.miss");
 
 /// Stable states of a resident L1 line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,12 +301,14 @@ impl MesiL1 {
             // ---- Loads ----
             (CoreReqKind::Load, Some(state)) => {
                 ctx.coverage.record(Transition::l1(state.name(), "Load"));
+                L1_HITS.incr();
                 let value = self.cache.get_mut(line).expect("resident").data.word(word);
                 self.respond(ctx, req.tag, CoreRespKind::LoadDone { value });
                 true
             }
             (CoreReqKind::Load, None) => {
                 ctx.coverage.record(Transition::l1("I", "Load"));
+                L1_MISSES.incr();
                 if !self.make_room(out, ctx, line) {
                     return false;
                 }
@@ -322,6 +330,7 @@ impl MesiL1 {
             // ---- Stores ----
             (CoreReqKind::Store { value }, Some(L1State::Modified)) => {
                 ctx.coverage.record(Transition::l1("M", "Store"));
+                L1_HITS.incr();
                 let entry = self.cache.get_mut(line).expect("resident");
                 let overwritten = entry.data.set_word(word, value);
                 entry.dirty = true;
@@ -330,6 +339,7 @@ impl MesiL1 {
             }
             (CoreReqKind::Store { value }, Some(L1State::Exclusive)) => {
                 ctx.coverage.record(Transition::l1("E", "Store"));
+                L1_HITS.incr();
                 let entry = self.cache.get_mut(line).expect("resident");
                 let overwritten = entry.data.set_word(word, value);
                 entry.dirty = true;
@@ -339,6 +349,7 @@ impl MesiL1 {
             }
             (CoreReqKind::Store { .. }, Some(L1State::Shared)) => {
                 ctx.coverage.record(Transition::l1("S", "Store"));
+                L1_MISSES.incr();
                 let mut mshr = Mshr::new(Transient::SM);
                 mshr.pending.push(PendingOp {
                     tag: req.tag,
@@ -355,6 +366,7 @@ impl MesiL1 {
             }
             (CoreReqKind::Store { .. }, None) => {
                 ctx.coverage.record(Transition::l1("I", "Store"));
+                L1_MISSES.incr();
                 if !self.make_room(out, ctx, line) {
                     return false;
                 }
@@ -377,6 +389,7 @@ impl MesiL1 {
             (CoreReqKind::Rmw { write_value }, Some(L1State::Modified | L1State::Exclusive)) => {
                 let state = resident_state.expect("resident");
                 ctx.coverage.record(Transition::l1(state.name(), "Rmw"));
+                L1_HITS.incr();
                 let entry = self.cache.get_mut(line).expect("resident");
                 let read_value = entry.data.set_word(word, write_value);
                 entry.dirty = true;
@@ -386,6 +399,7 @@ impl MesiL1 {
             }
             (CoreReqKind::Rmw { .. }, Some(L1State::Shared)) => {
                 ctx.coverage.record(Transition::l1("S", "Rmw"));
+                L1_MISSES.incr();
                 let mut mshr = Mshr::new(Transient::SM);
                 mshr.pending.push(PendingOp {
                     tag: req.tag,
@@ -402,6 +416,7 @@ impl MesiL1 {
             }
             (CoreReqKind::Rmw { .. }, None) => {
                 ctx.coverage.record(Transition::l1("I", "Rmw"));
+                L1_MISSES.incr();
                 if !self.make_room(out, ctx, line) {
                     return false;
                 }

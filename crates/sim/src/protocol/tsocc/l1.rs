@@ -22,7 +22,14 @@ use crate::protocol::{
 };
 use crate::system::ProtocolError;
 use crate::types::{Cycle, LineAddr, LineData, NodeId};
+use mcversi_telemetry as telemetry;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Core requests served from a resident line with sufficient permission.
+static L1_HITS: telemetry::Counter = telemetry::Counter::new("sim.l1.tsocc.hit");
+/// Core requests needing a coherence transaction (fill, upgrade, or expired
+/// staleness budget).
+static L1_MISSES: telemetry::Counter = telemetry::Counter::new("sim.l1.tsocc.miss");
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum L1State {
@@ -359,6 +366,7 @@ impl TsoCcL1 {
                 if expired {
                     // The staleness budget is exhausted: re-fetch.
                     ctx.coverage.record(Transition::l1("S", "Expired"));
+                    L1_MISSES.incr();
                     self.cache.remove(line);
                     out.lq_notices.push(line);
                     let mut mshr = Mshr::new(Transient::IS);
@@ -372,6 +380,7 @@ impl TsoCcL1 {
                     return true;
                 }
                 ctx.coverage.record(Transition::l1("S", "Load"));
+                L1_HITS.incr();
                 let entry = self.cache.get_mut(line).expect("resident");
                 entry.accesses_left = entry.accesses_left.saturating_sub(1);
                 let value = entry.data.word(word);
@@ -380,12 +389,14 @@ impl TsoCcL1 {
             }
             (CoreReqKind::Load, Some(st @ (L1State::Exclusive | L1State::Modified))) => {
                 ctx.coverage.record(Transition::l1(st.name(), "Load"));
+                L1_HITS.incr();
                 let value = self.cache.get_mut(line).expect("resident").data.word(word);
                 self.respond(ctx, req.tag, CoreRespKind::LoadDone { value });
                 true
             }
             (CoreReqKind::Load, None) => {
                 ctx.coverage.record(Transition::l1("I", "Load"));
+                L1_MISSES.incr();
                 if !self.make_room(out, ctx, line) {
                     return false;
                 }
@@ -403,6 +414,7 @@ impl TsoCcL1 {
             // ---- Stores ----
             (CoreReqKind::Store { value }, Some(st @ (L1State::Exclusive | L1State::Modified))) => {
                 ctx.coverage.record(Transition::l1(st.name(), "Store"));
+                L1_HITS.incr();
                 let ts = self.bump_write_ts(ctx);
                 let entry = self.cache.get_mut(line).expect("resident");
                 let overwritten = entry.data.set_word(word, value);
@@ -416,6 +428,7 @@ impl TsoCcL1 {
                 // The stale Shared copy is dropped; exclusive ownership is
                 // requested.  Dropping the copy is a loss of read permission.
                 ctx.coverage.record(Transition::l1("S", "Store"));
+                L1_MISSES.incr();
                 self.cache.remove(line);
                 out.lq_notices.push(line);
                 let mut mshr = Mshr::new(Transient::IM);
@@ -430,6 +443,7 @@ impl TsoCcL1 {
             }
             (CoreReqKind::Store { .. }, None) => {
                 ctx.coverage.record(Transition::l1("I", "Store"));
+                L1_MISSES.incr();
                 if !self.make_room(out, ctx, line) {
                     return false;
                 }
@@ -450,6 +464,7 @@ impl TsoCcL1 {
                 match st {
                     Some(s @ (L1State::Exclusive | L1State::Modified)) => {
                         ctx.coverage.record(Transition::l1(s.name(), "Rmw"));
+                        L1_HITS.incr();
                         let ts = self.bump_write_ts(ctx);
                         let entry = self.cache.get_mut(line).expect("resident");
                         let read_value = entry.data.set_word(word, write_value);
@@ -463,6 +478,7 @@ impl TsoCcL1 {
                         // (The Shared copy, if any, was just self-invalidated.)
                         ctx.coverage
                             .record(Transition::l1(st.map_or("I", |s| s.name()), "Rmw"));
+                        L1_MISSES.incr();
                         if !self.make_room(out, ctx, line) {
                             return false;
                         }

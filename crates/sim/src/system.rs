@@ -23,11 +23,19 @@ use crate::program::TestProgram;
 use crate::protocol::{mesi, tsocc, L1Controller, L2Controller, TickCtx};
 use crate::types::{Cycle, LineAddr};
 use mcversi_mcm::execution::CandidateExecution;
+use mcversi_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Phase timer: the cycle-by-cycle simulation loop of one iteration.
+static PHASE_SIMULATE: telemetry::Timer = telemetry::Timer::new("phase.simulate");
+/// Phase timer: assembling the candidate execution from the observer.
+static PHASE_OBSERVE: telemetry::Timer = telemetry::Timer::new("phase.observe");
+/// Simulated cycles per iteration (distribution).
+static ITERATION_CYCLES: telemetry::Histogram = telemetry::Histogram::new("sim.iteration.cycles");
 
 /// A protocol-level error detected by the simulator's monitor (the analogue of
 /// Ruby aborting on an invalid transition).
@@ -285,6 +293,7 @@ impl System {
         let mut retired_ops = 0usize;
         let mut hung = false;
 
+        let simulate_span = PHASE_SIMULATE.span();
         loop {
             if cores.iter().all(|c| c.is_finished()) {
                 break;
@@ -358,8 +367,13 @@ impl System {
             }
         }
 
+        drop(simulate_span);
+        ITERATION_CYCLES.record(self.cycle - start_cycle);
+
+        let observe_span = PHASE_OBSERVE.span();
         let complete = observer.is_complete() && !hung && errors.is_empty();
         let execution = observer.finish();
+        drop(observe_span);
         self.observer_cache = Some((cached_program, observer));
         IterationOutcome {
             execution,

@@ -4,4 +4,5 @@ pub use mcversi_analysis as analysis;
 pub use mcversi_core as core;
 pub use mcversi_mcm as mcm;
 pub use mcversi_sim as sim;
+pub use mcversi_telemetry as telemetry;
 pub use mcversi_testgen as testgen;

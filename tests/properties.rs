@@ -477,6 +477,11 @@ fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
             2 => Some(mcversi::core::StaticPrune::Skip),
             _ => Some(mcversi::core::StaticPrune::Penalize),
         },
+        metrics: match pick(3) {
+            0 => None,
+            1 => Some(0),
+            _ => Some(1 + pick(100)),
+        },
         label: if pick(2) == 0 {
             None
         } else {

@@ -1,7 +1,7 @@
 //! Repo-level static checks, run by CI next to `fmt`/`clippy`
 //! (`cargo run -p xtask`).
 //!
-//! Two source-hygiene rules the compiler cannot express, checked textually
+//! Three source-hygiene rules the compiler cannot express, checked textually
 //! over the *production* portion of every `crates/*/src/**.rs` file (each
 //! file is truncated at its first `#[cfg(test)]` line, so test modules are
 //! exempt):
@@ -13,6 +13,11 @@
 //!    (`crates/sim/src/{core,lsq,cache}.rs`): a poisoned `Option` in the
 //!    pipeline or cache must surface as an explicit `unreachable!` with a
 //!    documented invariant, not as a generic panic.
+//! 3. **Wall-clock reads go through the telemetry crate**: `Instant::now`
+//!    may appear only inside `crates/telemetry/` (whose `Span`/`Stopwatch`
+//!    keep the disabled path free of syscalls) and in the campaign deadline
+//!    logic of `crates/core/src/campaign.rs`.  Scattered ad-hoc timing would
+//!    bypass the metrics facade and its disabled-path cost guarantee.
 //!
 //! Exit status: `0` when clean, `1` with `file:line` diagnostics otherwise.
 
@@ -29,6 +34,11 @@ const NO_PANIC_HELPERS: [&str; 3] = [
     "crates/sim/src/lsq.rs",
     "crates/sim/src/cache.rs",
 ];
+
+/// The places allowed to read the wall clock directly: the telemetry crate
+/// (prefix) and the campaign deadline logic (exact file).
+const CLOCK_ALLOWED_PREFIX: &str = "crates/telemetry/";
+const CLOCK_ALLOWED_FILE: &str = "crates/core/src/campaign.rs";
 
 fn main() -> std::process::ExitCode {
     let root = repo_root();
@@ -87,10 +97,11 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()>
     Ok(())
 }
 
-/// Applies both rules to one file's production lines.
+/// Applies all three rules to one file's production lines.
 fn check_file(rel: &str, text: &str, violations: &mut Vec<String>) {
     let no_panic = NO_PANIC_HELPERS.contains(&rel);
     let env_allowed = rel == ENV_ALLOWED;
+    let clock_allowed = rel.starts_with(CLOCK_ALLOWED_PREFIX) || rel == CLOCK_ALLOWED_FILE;
     for (idx, line) in text.lines().enumerate() {
         if line.trim_start().starts_with("#[cfg(test)]") {
             break; // test code below this point is exempt
@@ -106,6 +117,13 @@ fn check_file(rel: &str, text: &str, violations: &mut Vec<String>) {
             violations.push(format!(
                 "{rel}:{}: .unwrap()/.expect() in a simulator hot path \
                  (use let-else with unreachable! and a documented invariant)",
+                idx + 1
+            ));
+        }
+        if !clock_allowed && line.contains("Instant::now(") {
+            violations.push(format!(
+                "{rel}:{}: direct wall-clock read outside {CLOCK_ALLOWED_PREFIX} \
+                 (use a telemetry Timer span or Stopwatch)",
                 idx + 1
             ));
         }
