@@ -1,0 +1,85 @@
+//! Criterion bench: collective checking vs. per-execution checking.
+//!
+//! A repeated-litmus campaign re-runs each staged test for many iterations,
+//! so most iterations reproduce an already-seen outcome.  Per-execution
+//! checking pays one `Checker::check` per iteration; collective checking
+//! deduplicates by execution signature and lets the cycle oracle certify
+//! most novel outcomes with zero checker runs.  The preamble pins the
+//! checker-invocation reduction (>= 5x, measured through the `mcm.checks`
+//! telemetry counter) and reports the end-to-end speedup; the criterion
+//! groups then measure both modes' full campaign wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcversi_core::McVerSiConfig;
+use mcversi_core::{run_campaign, CampaignConfig, CampaignResult, CheckingMode, GeneratorKind};
+use mcversi_telemetry::Stopwatch;
+use std::time::Duration;
+
+/// A heavy repeated-test campaign: every staged litmus test runs for 30
+/// iterations, so signature deduplication has plenty to collapse.
+fn campaign(checking: CheckingMode) -> CampaignConfig {
+    let mcversi = McVerSiConfig::small()
+        .with_test_size(32)
+        .with_iterations(30);
+    CampaignConfig::new(
+        GeneratorKind::DiyLitmus,
+        None,
+        mcversi,
+        12,
+        Duration::from_secs(600),
+    )
+    .with_checking(checking)
+}
+
+fn checker_calls(result: &CampaignResult) -> u64 {
+    *result
+        .metrics
+        .as_ref()
+        .expect("metrics enabled")
+        .counters
+        .get("mcm.checks")
+        .unwrap_or(&0)
+}
+
+fn bench_collective(c: &mut Criterion) {
+    // Preamble: one instrumented pass per mode pins the reduction factor the
+    // acceptance criterion asks for and reports the end-to-end speedup.
+    let watch = Stopwatch::start();
+    let per = run_campaign(&campaign(CheckingMode::PerExec).with_metrics(0), 5);
+    let per_wall = watch.elapsed();
+    let watch = Stopwatch::start();
+    let coll = run_campaign(&campaign(CheckingMode::Collective).with_metrics(0), 5);
+    let coll_wall = watch.elapsed();
+    let (per_checks, coll_checks) = (checker_calls(&per), checker_calls(&coll));
+    let dedup = coll.dedup.expect("collective mode reports dedup stats");
+    eprintln!(
+        "collective checking: {per_checks} -> {coll_checks} Checker::check calls \
+         ({:.1}x fewer), {} oracle-certified of {} executions; \
+         end-to-end {:?} -> {:?} ({:.2}x)",
+        per_checks as f64 / coll_checks.max(1) as f64,
+        dedup.oracle_valid,
+        dedup.executions,
+        per_wall,
+        coll_wall,
+        per_wall.as_secs_f64() / coll_wall.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        per_checks >= 5 * coll_checks.max(1),
+        "the >=5x checker-invocation reduction regressed: \
+         per_exec={per_checks} collective={coll_checks}"
+    );
+
+    let mut group = c.benchmark_group("collective");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("per_exec", CheckingMode::PerExec),
+        ("collective", CheckingMode::Collective),
+    ] {
+        let cfg = campaign(mode);
+        group.bench_function(name, |b| b.iter(|| run_campaign(&cfg, 7)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collective);
+criterion_main!(benches);

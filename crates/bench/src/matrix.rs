@@ -12,6 +12,7 @@
 //! expectations double as differential regression tests.
 
 use mcversi_mcm::checker::Checker;
+use mcversi_mcm::signature::{classify_execution, OracleVerdict};
 use mcversi_mcm::{
     Address, CandidateExecution, DepKind, ExecutionBuilder, FenceKind, ModelKind, ProcessorId,
     Value,
@@ -387,6 +388,57 @@ pub fn verify_one(test: &mcversi_testgen::EnumeratedTest) -> Result<[bool; 5], S
     }
 }
 
+/// Verifies the signature-layer cycle oracle (the zero-checker fast path of
+/// collective checking) against the axiomatic checker over the enumerated
+/// corpus: for every test × model, an oracle verdict that certifies validity
+/// must coincide with a passing `Checker::check`, a forbidden-cycle verdict
+/// with a violation, and the oracle must never abstain — these canonical
+/// weak-outcome executions are exactly the critical cycles the oracle is
+/// built to classify.  Returns `(summary, mismatches)`.
+pub fn verify_oracle_conformance(bounds: &EnumerationBounds) -> (String, usize) {
+    use std::fmt::Write as _;
+    let corpus = enumerate(bounds);
+    let mut mismatches = 0usize;
+    let mut certified_valid = 0usize;
+    let mut forbidden = 0usize;
+    let mut out = String::new();
+    for test in corpus.iter() {
+        let exec = test.cycle.canonical_execution();
+        for model in ModelKind::ALL {
+            let oracle = classify_execution(&exec, model);
+            let checker_forbids = is_forbidden(&exec, model);
+            let agrees = match oracle {
+                OracleVerdict::Undecided => false,
+                OracleVerdict::ForbiddenCycle => checker_forbids,
+                OracleVerdict::ScConsistent | OracleVerdict::AllowedCycles => !checker_forbids,
+            };
+            if !agrees {
+                mismatches += 1;
+                let _ = writeln!(
+                    out,
+                    "{} under {}: oracle says {:?}, checker says forbidden={}",
+                    test.name, model, oracle, checker_forbids
+                );
+            } else if checker_forbids {
+                forbidden += 1;
+            } else {
+                certified_valid += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} enumerated tests x {} models: {} oracle-certified valid, \
+         {} forbidden, {} mismatches",
+        corpus.len(),
+        ModelKind::ALL.len(),
+        certified_valid,
+        forbidden,
+        mismatches
+    );
+    (out, mismatches)
+}
+
 /// Renders the verdict matrix and compares live checker verdicts against the
 /// pinned expectations.  Returns `(rendered table, mismatches)`.
 pub fn render_matrix() -> (String, usize) {
@@ -517,6 +569,16 @@ mod tests {
         let (summary, mismatches) = verify_enumerated_corpus(&EnumerationBounds::new(2, 4));
         assert_eq!(mismatches, 0, "{summary}");
         assert!(summary.contains("enumerated tests"));
+    }
+
+    /// Satellite conformance pin: the collective-checking cycle oracle's
+    /// short-circuit decisions agree with `Checker::check` on every
+    /// enumerated `2x4` test under every model, and it never abstains there.
+    #[test]
+    fn oracle_conforms_to_the_checker_on_the_toy_corpus() {
+        let (summary, mismatches) = verify_oracle_conformance(&EnumerationBounds::new(2, 4));
+        assert_eq!(mismatches, 0, "{summary}");
+        assert!(summary.contains("0 mismatches"));
     }
 
     /// And a deterministic stride of the default bound, so three-and

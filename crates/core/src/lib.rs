@@ -43,7 +43,7 @@ pub use campaign::{
 pub use config::McVerSiConfig;
 pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};
 pub use generator::{GeneratorKind, TestSource};
-pub use runner::{RunVerdict, TestRunResult, TestRunner};
+pub use runner::{CheckingMode, DedupStats, RunVerdict, TestRunResult, TestRunner};
 pub use scenario::{grid_from_env, ScenarioGrid, ScenarioSpec, SeedPolicy, SpecError};
 pub use sink::{CampaignEvent, CampaignSink, CollectSink, JsonlSink, NullSink, ProgressSink};
 

@@ -8,6 +8,7 @@
 
 use crate::campaign::CampaignResult;
 use crate::generator::GeneratorKind;
+use crate::runner::DedupStats;
 use crate::sink::{CampaignEvent, EVENT_SCHEMA_VERSION};
 use mcversi_sim::Bug;
 use mcversi_telemetry::MetricsSnapshot;
@@ -258,6 +259,11 @@ pub struct MetricsReport {
     pub wall_ns: u64,
     /// Total number of events in the stream (including the schema header).
     pub events: usize,
+    /// Signature-dedup statistics summed over every completed sample that
+    /// ran with [`crate::runner::CheckingMode::Collective`].
+    pub dedup: DedupStats,
+    /// Number of completed samples that contributed to [`Self::dedup`].
+    pub dedup_samples: usize,
 }
 
 impl MetricsReport {
@@ -292,6 +298,10 @@ impl MetricsReport {
                 }
                 CampaignEvent::SampleDone { result } => {
                     report.wall_ns += result.wall_time.as_nanos() as u64;
+                    if let Some(dedup) = &result.dedup {
+                        report.dedup.merge(dedup);
+                        report.dedup_samples += 1;
+                    }
                     // The final snapshot subsumes the sample's streamed ones
                     // (all snapshots are cumulative).
                     let last_streamed = streamed.remove(&result.seed);
@@ -348,6 +358,7 @@ impl MetricsReport {
         );
         if total.is_empty() {
             out.push_str("no telemetry recorded (run with MCVERSI_METRICS=sample or a cadence)\n");
+            self.render_dedup(&mut out);
             return out;
         }
 
@@ -384,6 +395,8 @@ impl MetricsReport {
             let _ = writeln!(out, "  {name:<name_width$}  {value:>14}");
         }
 
+        self.render_dedup(&mut out);
+
         if !total.histograms.is_empty() {
             out.push('\n');
             out.push_str("Histograms:\n");
@@ -399,6 +412,29 @@ impl MetricsReport {
             }
         }
         out
+    }
+
+    /// Appends the collective-checking summary line, if any sample ran with
+    /// signature deduplication.
+    fn render_dedup(&self, out: &mut String) {
+        if self.dedup_samples == 0 {
+            return;
+        }
+        let d = &self.dedup;
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Collective checking ({} sample(s)): {} execution(s), \
+             {} cache hit(s), {} cache miss(es), {} oracle-certified, \
+             {} checker call(s) ({:.1}x fewer than per-exec)",
+            self.dedup_samples,
+            d.executions,
+            d.cache_hits,
+            d.cache_misses,
+            d.oracle_valid,
+            d.checker_calls,
+            d.executions as f64 / d.checker_calls.max(1) as f64,
+        );
     }
 }
 
@@ -429,6 +465,7 @@ mod tests {
             final_mean_ndt: 1.0,
             pruned: 0,
             metrics: None,
+            dedup: None,
         }
     }
 
@@ -577,6 +614,41 @@ mod tests {
         assert_eq!(report.samples(), 2);
         assert_eq!(report.aggregate().counters["sim.l1.mesi.hit"], 7);
         assert_eq!(report.total_wall_ns(), 2_000_000_000);
+    }
+
+    #[test]
+    fn metrics_report_aggregates_and_renders_dedup_stats() {
+        let stats = DedupStats {
+            executions: 120,
+            cache_hits: 100,
+            cache_misses: 20,
+            oracle_valid: 14,
+            checker_calls: 6,
+        };
+        let mut done = result(false, None);
+        done.metrics = Some(snapshot(1));
+        done.dedup = Some(stats);
+        let mut per_exec = result(false, None);
+        per_exec.seed = 2;
+        per_exec.metrics = Some(snapshot(2));
+        let text = jsonl(&[
+            CampaignEvent::SampleDone {
+                result: done.clone(),
+            },
+            CampaignEvent::SampleDone { result: per_exec },
+            CampaignEvent::SampleDone { result: done },
+        ]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        assert_eq!(report.dedup_samples, 2, "per-exec samples don't count");
+        let mut expected = stats;
+        expected.merge(&stats);
+        assert_eq!(report.dedup, expected);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("Collective checking (2 sample(s)): 240 execution(s)"),
+            "dedup summary rendered: {rendered}"
+        );
+        assert!(rendered.contains("12 checker call(s) (20.0x fewer than per-exec)"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! | `MCVERSI_LITMUS`       | litmus corpus of the `diy-litmus` baseline: `handpicked` or `enumerated[:<threads>x<edges>]` | `enumerated:4x6` |
 //! | `MCVERSI_JSONL`        | path; streams campaign events there as JSONL ([`crate::sink::JsonlSink`]) | unset |
 //! | `MCVERSI_METRICS`      | telemetry: `off`, `sample` (final snapshot only), or a cadence `n` (also stream a snapshot every `n` test-runs) | unset (off) |
+//! | `MCVERSI_CHECKING`     | execution checking mode: `per_exec` (check every iteration) or `collective` (signature-deduplicated collective checking) | `per_exec` |
 //!
 //! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
 //! set the simulated core count, named parts select the pipeline strengths to
@@ -52,6 +53,7 @@
 use crate::campaign::{CampaignConfig, StaticPrune};
 use crate::config::McVerSiConfig;
 use crate::generator::GeneratorKind;
+use crate::runner::CheckingMode;
 use mcversi_mcm::ModelKind;
 use mcversi_sim::{Bug, CoreStrength, ProtocolKind, SystemConfig};
 use mcversi_telemetry as telemetry;
@@ -124,6 +126,9 @@ pub struct ScenarioSpec {
     /// `Some(n)` = also stream a [`crate::sink::CampaignEvent::Metrics`]
     /// snapshot every `n` test-runs).  See `MCVERSI_METRICS`.
     pub metrics: Option<usize>,
+    /// Execution checking mode (`None` = [`CheckingMode::PerExec`];
+    /// serialized as `"per_exec"` / `"collective"`).  See `MCVERSI_CHECKING`.
+    pub checking: Option<CheckingMode>,
     /// Optional display label (defaults to the paper's column naming).
     pub label: Option<String>,
 }
@@ -152,6 +157,7 @@ impl ScenarioSpec {
             litmus: None,
             prune: None,
             metrics: None,
+            checking: None,
             label: None,
         }
     }
@@ -230,6 +236,12 @@ impl ScenarioSpec {
     /// snapshot only), returning a modified copy.
     pub fn metrics(mut self, cadence: usize) -> Self {
         self.metrics = Some(cadence);
+        self
+    }
+
+    /// Replaces the execution checking mode, returning a modified copy.
+    pub fn checking(mut self, checking: CheckingMode) -> Self {
+        self.checking = Some(checking);
         self
     }
 
@@ -318,6 +330,7 @@ impl ScenarioSpec {
         cfg.shared_wall_time = self.shared_wall_secs.map(Duration::from_secs);
         cfg.prune = self.prune.unwrap_or_default();
         cfg.metrics = self.metrics;
+        cfg.checking = self.checking.unwrap_or_default();
         cfg
     }
 
@@ -393,6 +406,15 @@ impl ScenarioSpec {
                 None => warn_once(&format!(
                     "warning: MCVERSI_METRICS: unknown value '{raw}' ignored \
                      (expected off, sample, or a cadence in test-runs)"
+                )),
+            }
+        }
+        if let Ok(raw) = std::env::var("MCVERSI_CHECKING") {
+            match parse_checking(&raw) {
+                Some(checking) => spec.checking = Some(checking),
+                None => warn_once(&format!(
+                    "warning: MCVERSI_CHECKING: unknown value '{raw}' ignored \
+                     (expected per_exec or collective)"
                 )),
             }
         }
@@ -727,6 +749,18 @@ fn parse_metrics(raw: &str) -> Option<Option<usize>> {
     }
 }
 
+/// Parses a `MCVERSI_CHECKING` value: `per_exec` checks every iteration's
+/// execution as it is observed; `collective` deduplicates by signature and
+/// checks novel outcomes collectively.  Returns `None` when the value is not
+/// understood.
+fn parse_checking(raw: &str) -> Option<CheckingMode> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "per_exec" | "per-exec" | "perexec" => Some(CheckingMode::PerExec),
+        "collective" => Some(CheckingMode::Collective),
+        _ => None,
+    }
+}
+
 /// Parses a `MCVERSI_CORES`-style value: numeric parts set the simulated core
 /// count, named parts (`strong`/`relaxed`, or `all`) select the pipeline
 /// strengths to sweep.  Returns `(core count, strengths)`.
@@ -887,6 +921,38 @@ mod tests {
         let back = ScenarioSpec::from_json(&json).expect("metrics-less spec parses");
         assert_eq!(back.metrics, None);
         assert_eq!(back.campaign().metrics, None);
+    }
+
+    #[test]
+    fn checking_mode_threads_into_the_campaign_and_is_optional_in_json() {
+        let spec = ScenarioSpec::small().checking(CheckingMode::Collective);
+        assert_eq!(spec.campaign().checking, CheckingMode::Collective);
+        assert_eq!(
+            ScenarioSpec::small().campaign().checking,
+            CheckingMode::PerExec
+        );
+        // Spec files written before the field existed (no `checking` key)
+        // still parse, defaulting to per-execution checking.
+        let json: String = spec
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"checking\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = ScenarioSpec::from_json(&json).expect("checking-less spec parses");
+        assert_eq!(back.checking, None);
+        assert_eq!(back.campaign().checking, CheckingMode::PerExec);
+    }
+
+    #[test]
+    fn checking_values_parse_like_the_env_variable() {
+        assert_eq!(parse_checking("per_exec"), Some(CheckingMode::PerExec));
+        assert_eq!(
+            parse_checking(" Collective "),
+            Some(CheckingMode::Collective)
+        );
+        assert_eq!(parse_checking("per-exec"), Some(CheckingMode::PerExec));
+        assert_eq!(parse_checking("batched"), None);
     }
 
     #[test]

@@ -421,6 +421,7 @@ mod tests {
             final_mean_ndt: 1.5,
             pruned: 0,
             metrics: None,
+            dedup: None,
         }
     }
 

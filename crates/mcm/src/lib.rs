@@ -51,6 +51,7 @@ pub mod execution;
 pub mod model;
 pub mod program;
 pub mod relation;
+pub mod signature;
 
 pub use checker::{Checker, Verdict, Violation};
 pub use cycle::{CriticalCycle, CycleEdge, CycleError, Dir};
@@ -58,6 +59,7 @@ pub use event::{Address, DepKind, Event, EventId, EventKind, FenceKind, Iiid, Pr
 pub use execution::{CandidateExecution, DependencySet, ExecutionBuilder};
 pub use model::{Architecture, ModelKind};
 pub use relation::Relation;
+pub use signature::{classify_execution, ExecutionSignature, OracleVerdict, SignatureCache};
 
 #[cfg(test)]
 mod smoke {

@@ -482,6 +482,11 @@ fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
             1 => Some(0),
             _ => Some(1 + pick(100)),
         },
+        checking: match pick(3) {
+            0 => None,
+            1 => Some(mcversi::core::CheckingMode::PerExec),
+            _ => Some(mcversi::core::CheckingMode::Collective),
+        },
         label: if pick(2) == 0 {
             None
         } else {
@@ -609,6 +614,84 @@ fn grid_cells_reproduce_field_built_campaigns() {
             );
         }
     }
+}
+
+/// The collective-checking differential sweep: over 40 seeds rotating
+/// through every model, both core strengths, bug on/off and all four test
+/// sources, a campaign run with signature-deduplicated collective checking
+/// reaches exactly the verdict of per-execution checking — same `found`,
+/// same detail, same discovering run — and, when nothing was found (so both
+/// modes evaluated every iteration of every run), the full result
+/// fingerprint matches bit-for-bit.
+#[test]
+fn collective_checking_is_verdict_equivalent_across_a_40_seed_sweep() {
+    use mcversi::core::{
+        run_campaign, CampaignConfig, CampaignResult, CheckingMode, GeneratorKind,
+    };
+    use mcversi::sim::{Bug, CoreStrength};
+    use std::time::Duration;
+
+    fn fingerprint(
+        r: &CampaignResult,
+    ) -> (
+        u64,
+        bool,
+        Option<String>,
+        usize,
+        Option<usize>,
+        u64,
+        u64,
+        u64,
+    ) {
+        (
+            r.seed,
+            r.found,
+            r.detail.clone(),
+            r.test_runs,
+            r.found_at_run,
+            r.simulated_cycles,
+            r.max_total_coverage.to_bits(),
+            r.final_mean_ndt.to_bits(),
+        )
+    }
+
+    let mut executions_seen = 0u64;
+    for seed in 0..40u64 {
+        let model = ModelKind::ALL[(seed % 5) as usize];
+        let core = [CoreStrength::Strong, CoreStrength::Relaxed][(seed % 2) as usize];
+        let bug = if (seed / 2) % 2 == 0 {
+            None
+        } else {
+            Some(Bug::LqNoTso)
+        };
+        let generator = GeneratorKind::ALL[(seed % 4) as usize];
+        let mut mcversi = McVerSiConfig::small()
+            .with_test_size(24)
+            .with_iterations(2)
+            .retarget(model);
+        mcversi.system.core_strength = core;
+        let base = CampaignConfig::new(generator, bug, mcversi, 3, Duration::from_secs(60));
+        let per = run_campaign(&base, seed);
+        let coll = run_campaign(&base.clone().with_checking(CheckingMode::Collective), seed);
+        assert_eq!(
+            (per.found, &per.detail, per.found_at_run),
+            (coll.found, &coll.detail, coll.found_at_run),
+            "seed {seed} ({generator}/{model}/{core:?}/{bug:?}): verdicts diverge"
+        );
+        if !per.found {
+            assert_eq!(
+                fingerprint(&per),
+                fingerprint(&coll),
+                "seed {seed} ({generator}/{model}/{core:?}/{bug:?})"
+            );
+        }
+        let dedup = coll.dedup.expect("collective mode reports dedup stats");
+        executions_seen += dedup.executions;
+    }
+    assert!(
+        executions_seen > 0,
+        "the sweep must actually exercise the collective path"
+    );
 }
 
 #[test]
