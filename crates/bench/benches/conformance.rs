@@ -1,0 +1,85 @@
+//! Criterion bench: vector-clock first-pass checking vs. per-execution
+//! checking.
+//!
+//! The vc first pass (`CheckingMode::Vc`) certifies most observed executions
+//! in polynomial time and only falls back to the axiomatic `Checker::check`
+//! on a vc violation or abstention (plus signature deduplication for repeated
+//! outcomes).  The preamble pins the checker-invocation reduction (>= 2x,
+//! measured through the `mcm.checks` telemetry counter) on a repeated-litmus
+//! TSO campaign and reports the end-to-end speedup; the criterion groups then
+//! measure both modes' full campaign wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcversi_core::McVerSiConfig;
+use mcversi_core::{run_campaign, CampaignConfig, CampaignResult, CheckingMode, GeneratorKind};
+use mcversi_telemetry::Stopwatch;
+use std::time::Duration;
+
+/// A heavy repeated-test campaign: every staged litmus test runs for 30
+/// iterations, so the first pass has plenty of valid executions to certify.
+fn campaign(checking: CheckingMode) -> CampaignConfig {
+    let mcversi = McVerSiConfig::small()
+        .with_test_size(32)
+        .with_iterations(30);
+    CampaignConfig::new(
+        GeneratorKind::DiyLitmus,
+        None,
+        mcversi,
+        12,
+        Duration::from_secs(600),
+    )
+    .with_checking(checking)
+}
+
+fn checker_calls(result: &CampaignResult) -> u64 {
+    *result
+        .metrics
+        .as_ref()
+        .expect("metrics enabled")
+        .counters
+        .get("mcm.checks")
+        .unwrap_or(&0)
+}
+
+fn bench_conformance(c: &mut Criterion) {
+    // Preamble: one instrumented pass per mode pins the reduction factor the
+    // acceptance criterion asks for and reports the end-to-end speedup.
+    let watch = Stopwatch::start();
+    let per = run_campaign(&campaign(CheckingMode::PerExec).with_metrics(0), 5);
+    let per_wall = watch.elapsed();
+    let watch = Stopwatch::start();
+    let vc = run_campaign(&campaign(CheckingMode::Vc).with_metrics(0), 5);
+    let vc_wall = watch.elapsed();
+    let (per_checks, vc_checks) = (checker_calls(&per), checker_calls(&vc));
+    let dedup = vc.dedup.expect("vc mode reports dedup stats");
+    eprintln!(
+        "vc-first checking: {per_checks} -> {vc_checks} Checker::check calls \
+         ({:.1}x fewer), {} vc-certified of {} executions; \
+         end-to-end {:?} -> {:?} ({:.2}x)",
+        per_checks as f64 / vc_checks.max(1) as f64,
+        dedup.oracle_valid,
+        dedup.executions,
+        per_wall,
+        vc_wall,
+        per_wall.as_secs_f64() / vc_wall.as_secs_f64().max(1e-9),
+    );
+    assert!(
+        per_checks >= 2 * vc_checks.max(1),
+        "the >=2x checker-invocation reduction regressed: \
+         per_exec={per_checks} vc={vc_checks}"
+    );
+
+    let mut group = c.benchmark_group("conformance");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("per_exec", CheckingMode::PerExec),
+        ("vc", CheckingMode::Vc),
+    ] {
+        let cfg = campaign(mode);
+        group.bench_function(name, |b| b.iter(|| run_campaign(&cfg, 7)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conformance);
+criterion_main!(benches);

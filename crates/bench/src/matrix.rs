@@ -439,6 +439,60 @@ pub fn verify_oracle_conformance(bounds: &EnumerationBounds) -> (String, usize) 
     (out, mismatches)
 }
 
+/// Verifies the vector-clock first pass (`mcversi-conformance`) against the
+/// axiomatic checker over the enumerated corpus: for every test × model, a
+/// decided vc verdict must equal the checker's, and vc may abstain only under
+/// the dependency-ordered models (it decides SC and TSO exactly).  Returns
+/// `(summary, mismatches)`.
+pub fn verify_vc_conformance(bounds: &EnumerationBounds) -> (String, usize) {
+    use mcversi_conformance::VcChecker;
+    use std::fmt::Write as _;
+    let corpus = enumerate(bounds);
+    let mut mismatches = 0usize;
+    let mut decided_valid = 0usize;
+    let mut decided_forbidden = 0usize;
+    let mut abstained = 0usize;
+    let mut out = String::new();
+    for test in corpus.iter() {
+        let exec = test.cycle.canonical_execution();
+        for model in ModelKind::ALL {
+            let vc = VcChecker::new(model).check(&exec);
+            let checker_forbids = is_forbidden(&exec, model);
+            let agrees = if vc.is_abstain() {
+                model.is_relaxed()
+            } else {
+                vc.is_violation() == checker_forbids
+            };
+            if !agrees {
+                mismatches += 1;
+                let _ = writeln!(
+                    out,
+                    "{} under {}: vc says {vc}, checker says forbidden={}",
+                    test.name, model, checker_forbids
+                );
+            } else if vc.is_abstain() {
+                abstained += 1;
+            } else if checker_forbids {
+                decided_forbidden += 1;
+            } else {
+                decided_valid += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} enumerated tests x {} models: {} vc-certified valid, \
+         {} forbidden, {} abstained, {} mismatches",
+        corpus.len(),
+        ModelKind::ALL.len(),
+        decided_valid,
+        decided_forbidden,
+        abstained,
+        mismatches
+    );
+    (out, mismatches)
+}
+
 /// Renders the verdict matrix and compares live checker verdicts against the
 /// pinned expectations.  Returns `(rendered table, mismatches)`.
 pub fn render_matrix() -> (String, usize) {
@@ -577,6 +631,17 @@ mod tests {
     #[test]
     fn oracle_conforms_to_the_checker_on_the_toy_corpus() {
         let (summary, mismatches) = verify_oracle_conformance(&EnumerationBounds::new(2, 4));
+        assert_eq!(mismatches, 0, "{summary}");
+        assert!(summary.contains("0 mismatches"));
+    }
+
+    /// Conformance pin for the vector-clock first pass: its decided verdicts
+    /// agree with `Checker::check` on every enumerated `2x4` test under every
+    /// model, it never abstains under SC/TSO, and it decides at least some
+    /// tests in both directions.
+    #[test]
+    fn vc_conforms_to_the_checker_on_the_toy_corpus() {
+        let (summary, mismatches) = verify_vc_conformance(&EnumerationBounds::new(2, 4));
         assert_eq!(mismatches, 0, "{summary}");
         assert!(summary.contains("0 mismatches"));
     }

@@ -1,0 +1,719 @@
+//! The vector-clock / frontier conformance checker.
+//!
+//! Roy et al.'s polynomial-time memory-consistency verification decides
+//! conformance by *frontier propagation*: events commit one at a time, a
+//! per-thread vector clock records the committed frontier, and an event may
+//! commit only once every event that must precede it has committed.  The
+//! execution conforms exactly when the frontier can be advanced to exhaustion;
+//! a stuck frontier witnesses a cycle among the remaining events.
+//!
+//! On a [`CandidateExecution`] with complete conflict orders this degenerates
+//! to acyclicity of the model's happens-before unions, which is what
+//! [`frontier_acyclic`] checks — a Kahn-style worklist that never materialises
+//! transitive closures, unlike the axiomatic [`Checker`]'s relation algebra.
+//! The verdict is *exact* for SC and TSO (the unions mirror their axioms
+//! one-for-one); for the dependency-ordered models the checker decides the
+//! po-loc/coherence/atomicity axioms plus the SC sufficient condition and
+//! [abstains](VcVerdict::Abstain) otherwise, leaving the axiomatic checker as
+//! the authority.
+//!
+//! The second half, [`infer_coherence`], reconstructs per-location coherence
+//! order for black-box traces where `co` is unobserved: the saturation rules
+//! forced by sc-per-location (write→write, write→read, read→write and
+//! read→read program order, plus the observed final state) either complete
+//! `co`, contradict each other (a definite violation), or leave writes
+//! unordered (the checker abstains rather than search totalisations).
+//!
+//! [`Checker`]: mcversi_mcm::checker::Checker
+
+use mcversi_mcm::event::{Address, EventId, FenceKind, Value};
+use mcversi_mcm::execution::CandidateExecution;
+use mcversi_mcm::model::{self, ModelKind};
+use mcversi_mcm::relation::Relation;
+use mcversi_telemetry as telemetry;
+use std::fmt;
+
+/// Executions the vector-clock pass certified valid (no axiomatic check run).
+static VC_PASS: telemetry::Counter = telemetry::Counter::new("vc.pass");
+/// Violations found by the vector-clock pass (the axiomatic checker is still
+/// consulted for the authoritative witness).
+static VC_FALLBACK: telemetry::Counter = telemetry::Counter::new("vc.fallback");
+/// Executions the vector-clock pass could not decide.
+static VC_ABSTAIN: telemetry::Counter = telemetry::Counter::new("vc.abstain");
+
+/// A violation witnessed by the frontier checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcWitness {
+    /// Name of the axiom whose relation the stuck frontier witnessed a cycle
+    /// in (matches the axiomatic checker's axiom names).
+    pub axiom: &'static str,
+    /// The witnessing cycle (or offending pairs flattened, for emptiness
+    /// axioms), as event ids of the checked execution.
+    pub cycle: Vec<EventId>,
+}
+
+impl fmt::Display for VcWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frontier stuck on axiom '{}' ({} events)",
+            self.axiom,
+            self.cycle.len()
+        )
+    }
+}
+
+/// Why the vector-clock checker abstained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbstainReason {
+    /// The target model is weaker than TSO and neither the decided axioms nor
+    /// the SC sufficient condition settled the verdict.
+    WeakModel(ModelKind),
+    /// Coherence inference left two writes to this address unordered, so the
+    /// trace admits several coherence orders and a one-pass decision would
+    /// have to search them.
+    CoherenceUnderdetermined(Address),
+    /// The execution object is malformed; the axiomatic checker reports this
+    /// case authoritatively.
+    Malformed(String),
+}
+
+impl fmt::Display for AbstainReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstainReason::WeakModel(m) => {
+                write!(
+                    f,
+                    "model {m} is weaker than TSO and no decided axiom settled it"
+                )
+            }
+            AbstainReason::CoherenceUnderdetermined(a) => {
+                write!(f, "coherence order for {a} is underdetermined by the trace")
+            }
+            AbstainReason::Malformed(e) => write!(f, "malformed execution: {e}"),
+        }
+    }
+}
+
+/// The three-valued verdict of the vector-clock first pass.
+///
+/// `Valid` is always sound (the axiomatic checker would also accept);
+/// `Violation` is always sound for SC and TSO and, for weaker models, only
+/// produced from axioms every model shares; `Abstain` means the pass could
+/// not decide and the caller must fall back to the axiomatic checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcVerdict {
+    /// The execution conforms to the model.
+    Valid,
+    /// The execution violates the model; the witness names the broken axiom.
+    Violation(VcWitness),
+    /// The pass could not decide; consult the axiomatic checker.
+    Abstain(AbstainReason),
+}
+
+impl VcVerdict {
+    /// Returns `true` when the pass certified the execution valid.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, VcVerdict::Valid)
+    }
+
+    /// Returns `true` when the pass witnessed a violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, VcVerdict::Violation(_))
+    }
+
+    /// Returns `true` when the pass abstained.
+    pub fn is_abstain(&self) -> bool {
+        matches!(self, VcVerdict::Abstain(_))
+    }
+}
+
+impl fmt::Display for VcVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcVerdict::Valid => write!(f, "valid"),
+            VcVerdict::Violation(w) => write!(f, "violation: {w}"),
+            VcVerdict::Abstain(r) => write!(f, "abstain: {r}"),
+        }
+    }
+}
+
+/// The vector-clock / frontier checker for one target model.
+#[derive(Debug, Clone, Copy)]
+pub struct VcChecker {
+    model: ModelKind,
+}
+
+impl VcChecker {
+    /// Creates a checker deciding conformance to `model`.
+    pub fn new(model: ModelKind) -> Self {
+        VcChecker { model }
+    }
+
+    /// The model this checker decides against.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Checks one execution (complete conflict orders required; use
+    /// [`infer_coherence`] first for trace-derived executions without `co`).
+    ///
+    /// Counts the outcome on the `vc.pass` / `vc.fallback` / `vc.abstain`
+    /// telemetry counters.
+    pub fn check(&self, exec: &CandidateExecution) -> VcVerdict {
+        let verdict = self.decide(exec);
+        match &verdict {
+            VcVerdict::Valid => VC_PASS.incr(),
+            VcVerdict::Violation(_) => VC_FALLBACK.incr(),
+            VcVerdict::Abstain(_) => VC_ABSTAIN.incr(),
+        }
+        verdict
+    }
+
+    fn decide(&self, exec: &CandidateExecution) -> VcVerdict {
+        if let Err(e) = exec.validate() {
+            return VcVerdict::Abstain(AbstainReason::Malformed(e.to_string()));
+        }
+        let fr = exec.fr();
+
+        // sc-per-location and rmw-atomicity hold in every model of the suite,
+        // so a breach of either is a violation regardless of target strength.
+        let mut sc_per_loc = exec.po_loc();
+        sc_per_loc.union_with(&exec.com());
+        if let Err(cycle) = frontier_acyclic(exec, &sc_per_loc) {
+            return VcVerdict::Violation(VcWitness {
+                axiom: "sc-per-location",
+                cycle,
+            });
+        }
+        let atomicity = model::rmw_atomicity_violations(exec, &fr);
+        if !atomicity.is_empty() {
+            let cycle = atomicity.iter().flat_map(|(a, b)| [a, b]).collect();
+            return VcVerdict::Violation(VcWitness {
+                axiom: "rmw-atomicity",
+                cycle,
+            });
+        }
+
+        // The SC happens-before union.  Under SC the fence order is contained
+        // in (transitive) program order, so `po_mem ∪ rf ∪ co ∪ fr` is exactly
+        // SC's ghb relation and its acyclicity decides SC both ways.
+        let mut sc_hb = model::po_mem(exec);
+        sc_hb.union_with(exec.rf());
+        sc_hb.union_with(exec.co());
+        sc_hb.union_with(&fr);
+
+        match self.model {
+            ModelKind::Sc => match frontier_acyclic(exec, &sc_hb) {
+                Ok(()) => VcVerdict::Valid,
+                Err(cycle) => VcVerdict::Violation(VcWitness {
+                    axiom: "ghb",
+                    cycle,
+                }),
+            },
+            ModelKind::Tso => {
+                // TSO's ghb, ingredient for ingredient: program order minus
+                // write→read (the store buffer), full fences and fence-implying
+                // RMWs, external reads-from, co and fr.
+                let mut ghb = model::po_mem(exec)
+                    .filter(|a, b| !(exec.event(a).is_write() && exec.event(b).is_read()));
+                ghb.union_with(&model::fence_separated(exec, |k| k == FenceKind::Full));
+                ghb.union_with(&exec.rf_external());
+                ghb.union_with(exec.co());
+                ghb.union_with(&fr);
+                match frontier_acyclic(exec, &ghb) {
+                    Ok(()) => VcVerdict::Valid,
+                    Err(cycle) => VcVerdict::Violation(VcWitness {
+                        axiom: "ghb",
+                        cycle,
+                    }),
+                }
+            }
+            // Models weaker than TSO: SC validity is sufficient (the strength
+            // chain is monotone), but an SC cycle proves nothing about them —
+            // their fence and dependency cumulativity is out of this pass's
+            // scope, so anything else is the axiomatic checker's call.
+            weak => match frontier_acyclic(exec, &sc_hb) {
+                Ok(()) => VcVerdict::Valid,
+                Err(_) => VcVerdict::Abstain(AbstainReason::WeakModel(weak)),
+            },
+        }
+    }
+}
+
+/// Frontier propagation: commits events whose predecessors (under `rel`) have
+/// all committed, advancing a per-thread vector clock, until either every
+/// event committed (`Ok`) or the frontier is stuck (`Err` with a witnessing
+/// cycle among the uncommitted events, in forward edge order).
+pub fn frontier_acyclic(exec: &CandidateExecution, rel: &Relation) -> Result<(), Vec<EventId>> {
+    let n = exec.len();
+    let mut indegree = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in rel.iter() {
+        let (a, b) = (a.index(), b.index());
+        if a >= n || b >= n {
+            continue;
+        }
+        out[a].push(b);
+        indegree[b] += 1;
+    }
+    // The frontier: events every predecessor of which has committed.  Initial
+    // writes and unconstrained events seed it; committing an event releases
+    // its successors, which is the vector-clock advance — per thread, the
+    // committed program-order index only ever grows.
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut committed = 0usize;
+    while let Some(i) = frontier.pop() {
+        committed += 1;
+        for &j in &out[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                frontier.push(j);
+            }
+        }
+    }
+    if committed == n {
+        return Ok(());
+    }
+    // The frontier is stuck: every remaining event still has an uncommitted
+    // predecessor, so walking predecessors inside the residue must revisit a
+    // node within n steps — that revisit closes the witnessing cycle.
+    let mut ins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, succs) in out.iter().enumerate() {
+        for &j in succs {
+            if indegree[j] > 0 && indegree[i] > 0 {
+                ins[j].push(i);
+            }
+        }
+    }
+    let start = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+    let mut path = vec![start];
+    let mut seen_at = vec![usize::MAX; n];
+    seen_at[start] = 0;
+    loop {
+        let cur = *path.last().unwrap_or(&start);
+        let Some(&pred) = ins[cur].first() else {
+            // Unreachable for a stuck frontier; bail with the raw residue.
+            return Err(path.into_iter().map(|i| EventId(i as u32)).collect());
+        };
+        if seen_at[pred] != usize::MAX {
+            // The walk collects predecessors, so reversing the revisited
+            // suffix yields the cycle in forward edge order (the edge from
+            // the suffix's first element back to its last closes it).
+            let cycle: Vec<EventId> = path[seen_at[pred]..]
+                .iter()
+                .rev()
+                .map(|&i| EventId(i as u32))
+                .collect();
+            return Err(cycle);
+        }
+        seen_at[pred] = path.len();
+        path.push(pred);
+    }
+}
+
+/// Result of per-location coherence-order inference over a trace-derived
+/// execution (see [`infer_coherence`]).
+#[derive(Debug, Clone)]
+pub enum CoherenceInference {
+    /// Every address's writes are totally ordered by the forced edges; the
+    /// returned execution carries the completed coherence order.  (Boxed:
+    /// an execution is much larger than the other variants' payloads.)
+    Complete(Box<CandidateExecution>),
+    /// The forced edges contradict each other: no coherence order satisfies
+    /// sc-per-location, so the trace violates every model of the suite.
+    Contradiction {
+        /// The address whose forced coherence edges form a cycle.
+        addr: Address,
+        /// The witnessing cycle of write events.
+        witness: Vec<EventId>,
+    },
+    /// The observed final value of this address matches no write of the
+    /// trace: the final state is unreachable under any coherence order.
+    FinalMismatch {
+        /// The address whose final value is unaccounted for.
+        addr: Address,
+        /// The observed final value.
+        value: Value,
+    },
+    /// Some pair of writes to this address is unordered after saturation; the
+    /// trace admits several coherence orders.
+    Underdetermined {
+        /// The address whose writes the trace leaves partially ordered.
+        addr: Address,
+    },
+}
+
+/// Infers each location's coherence order from observed reads-from, program
+/// order and (optionally) the final memory state.
+///
+/// The rules are exactly the orderings sc-per-location forces for
+/// same-address events (writes `w`, reads `r`, `src(r)` the rf-source):
+///
+/// * the initial write precedes every other write;
+/// * `w1 →po w2` forces `w1 →co w2`;
+/// * `w →po r` forces `w →co src(r)` (when `src(r) ≠ w`);
+/// * `r →po w` forces `src(r) →co w`;
+/// * `r1 →po r2` forces `src(r1) →co src(r2)` (when the sources differ);
+/// * a final value selects its write as coherence-maximal.
+///
+/// Any coherence order satisfying sc-per-location extends the transitive
+/// closure of these edges, so a total closure is *the* coherence order, a
+/// cyclic closure refutes all of them, and an incomplete one is reported as
+/// [`Underdetermined`](CoherenceInference::Underdetermined) rather than
+/// searched.
+pub fn infer_coherence(
+    exec: &CandidateExecution,
+    finals: &[(Address, Value)],
+) -> CoherenceInference {
+    let mut co = Relation::new();
+    for addr in exec.addresses() {
+        let writes: Vec<EventId> = exec.writes_to(addr).map(|e| e.id).collect();
+        if writes.len() <= 1 {
+            continue;
+        }
+        let mut forced = Relation::new();
+        // Already-known edges (initial-write ordering recorded at lowering).
+        for (a, b) in exec.co_observed().iter() {
+            if exec.event(a).addr == Some(addr) {
+                forced.insert(a, b);
+            }
+        }
+        let src_of = |r: EventId| -> Option<EventId> {
+            exec.rf().iter().find(|&(_, rd)| rd == r).map(|(w, _)| w)
+        };
+        for &a in &writes {
+            if exec.event(a).is_initial() {
+                for &b in &writes {
+                    if a != b {
+                        forced.insert(a, b);
+                    }
+                }
+            }
+        }
+        let same_addr_events: Vec<EventId> = exec
+            .events()
+            .iter()
+            .filter(|e| e.addr == Some(addr) && e.kind.is_memory_access())
+            .map(|e| e.id)
+            .collect();
+        for &a in &same_addr_events {
+            for &b in &same_addr_events {
+                if a == b || !exec.po().contains(a, b) {
+                    continue;
+                }
+                let ea = exec.event(a);
+                let eb = exec.event(b);
+                let wa = if ea.is_write() { Some(a) } else { src_of(a) };
+                let wb = if eb.is_write() { Some(b) } else { src_of(b) };
+                if let (Some(wa), Some(wb)) = (wa, wb) {
+                    if wa != wb {
+                        forced.insert(wa, wb);
+                    }
+                }
+            }
+        }
+        if let Some(&(_, value)) = finals.iter().find(|&&(a, _)| a == addr) {
+            let last = writes.iter().copied().find(|&w| {
+                exec.event(w).value == value
+                    && (value != Value::INITIAL || exec.event(w).is_initial())
+            });
+            let Some(last) = last else {
+                return CoherenceInference::FinalMismatch { addr, value };
+            };
+            for &w in &writes {
+                if w != last {
+                    forced.insert(w, last);
+                }
+            }
+        }
+        let closed = forced.transitive_closure();
+        if let Some(witness) = closed.find_cycle() {
+            return CoherenceInference::Contradiction { addr, witness };
+        }
+        for (i, &a) in writes.iter().enumerate() {
+            for &b in writes.iter().skip(i + 1) {
+                if !closed.contains(a, b) && !closed.contains(b, a) {
+                    return CoherenceInference::Underdetermined { addr };
+                }
+            }
+        }
+        co.union_with(&closed);
+    }
+    CoherenceInference::Complete(Box::new(CandidateExecution::from_parts_with_deps(
+        exec.events().to_vec(),
+        exec.po().clone(),
+        exec.rf().clone(),
+        co,
+        exec.deps().clone(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcversi_mcm::checker::Checker;
+    use mcversi_mcm::event::{ProcessorId, Value};
+    use mcversi_mcm::execution::ExecutionBuilder;
+
+    fn p(n: u32) -> ProcessorId {
+        ProcessorId(n)
+    }
+
+    /// SB without fences: two threads store then load the other's location,
+    /// both loads observing the initial value.
+    fn store_buffer_weak() -> CandidateExecution {
+        let mut b = ExecutionBuilder::new();
+        let (x, y) = (Address(0x100), Address(0x200));
+        let w0 = b.write(p(0), x, Value(1));
+        let r0 = b.read(p(0), y, Value(0));
+        let w1 = b.write(p(1), y, Value(1));
+        let r1 = b.read(p(1), x, Value(0));
+        b.reads_from_initial(r0);
+        b.reads_from_initial(r1);
+        b.coherence_after_initial(w0);
+        b.coherence_after_initial(w1);
+        b.build()
+    }
+
+    /// Message passing with the consumer observing the flag but stale data.
+    fn mp_violation() -> CandidateExecution {
+        let mut b = ExecutionBuilder::new();
+        let (x, y) = (Address(0x100), Address(0x200));
+        let wx = b.write(p(0), x, Value(1));
+        let wy = b.write(p(0), y, Value(1));
+        let ry = b.read(p(1), y, Value(1));
+        let rx = b.read(p(1), x, Value(0));
+        b.reads_from(wy, ry);
+        b.reads_from_initial(rx);
+        b.coherence_after_initial(wx);
+        b.coherence_after_initial(wy);
+        b.build()
+    }
+
+    #[test]
+    fn sb_is_tso_valid_but_sc_invalid() {
+        let exec = store_buffer_weak();
+        assert!(VcChecker::new(ModelKind::Tso).check(&exec).is_valid());
+        let sc = VcChecker::new(ModelKind::Sc).check(&exec);
+        assert!(sc.is_violation(), "{sc:?}");
+    }
+
+    #[test]
+    fn mp_is_a_tso_violation_with_a_real_cycle_witness() {
+        let exec = mp_violation();
+        let verdict = VcChecker::new(ModelKind::Tso).check(&exec);
+        let VcVerdict::Violation(w) = verdict else {
+            panic!("expected violation, got {verdict:?}");
+        };
+        assert_eq!(w.axiom, "ghb");
+        assert!(w.cycle.len() >= 2);
+        assert!(!format!("{w}").is_empty());
+    }
+
+    #[test]
+    fn weak_models_accept_sc_valid_and_abstain_on_sc_cycles() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write(p(0), Address(0x10), Value(1));
+        let r = b.read(p(1), Address(0x10), Value(1));
+        b.reads_from(w, r);
+        b.coherence_after_initial(w);
+        let simple = b.build();
+        for weak in [ModelKind::Armish, ModelKind::Powerish, ModelKind::Rmo] {
+            assert!(VcChecker::new(weak).check(&simple).is_valid());
+            let verdict = VcChecker::new(weak).check(&store_buffer_weak());
+            assert_eq!(
+                verdict,
+                VcVerdict::Abstain(AbstainReason::WeakModel(weak)),
+                "SB has an SC cycle, so the weak-model pass must abstain"
+            );
+        }
+    }
+
+    #[test]
+    fn coherence_cycle_is_a_violation_for_every_model() {
+        // CoRR inversion: same thread reads x=2 then x=1 while co orders
+        // w1 before w2 — a po-loc ∪ com cycle.
+        let mut b = ExecutionBuilder::new();
+        let x = Address(0x10);
+        let w1 = b.write(p(0), x, Value(1));
+        let w2 = b.write(p(0), x, Value(2));
+        let ra = b.read(p(1), x, Value(2));
+        let rb = b.read(p(1), x, Value(1));
+        b.reads_from(w2, ra);
+        b.reads_from(w1, rb);
+        b.coherence_after_initial(w1);
+        b.coherence(w1, w2);
+        let exec = b.build();
+        for model in ModelKind::ALL {
+            let verdict = VcChecker::new(model).check(&exec);
+            let VcVerdict::Violation(w) = verdict else {
+                panic!("{model}: expected violation, got {verdict:?}");
+            };
+            assert_eq!(w.axiom, "sc-per-location");
+        }
+    }
+
+    #[test]
+    fn rmw_atomicity_breach_is_reported() {
+        let mut b = ExecutionBuilder::new();
+        let x = Address(0x10);
+        let (rr, rw) = b.rmw(p(0), x, Value(0), Value(7));
+        let intruder = b.write(p(1), x, Value(3));
+        b.reads_from_initial(rr);
+        b.coherence_after_initial(intruder);
+        b.coherence(intruder, rw);
+        let exec = b.build();
+        let verdict = VcChecker::new(ModelKind::Tso).check(&exec);
+        let VcVerdict::Violation(w) = verdict else {
+            panic!("expected violation, got {verdict:?}");
+        };
+        assert_eq!(w.axiom, "rmw-atomicity");
+    }
+
+    #[test]
+    fn malformed_executions_abstain_to_the_axiomatic_checker() {
+        let mut b = ExecutionBuilder::new();
+        b.read(p(0), Address(0x10), Value(0));
+        let exec = b.build();
+        let verdict = VcChecker::new(ModelKind::Tso).check(&exec);
+        assert!(
+            matches!(verdict, VcVerdict::Abstain(AbstainReason::Malformed(_))),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn frontier_witness_is_a_closed_cycle() {
+        let exec = mp_violation();
+        let mut rel = model::po_mem(&exec);
+        rel.union_with(exec.rf());
+        rel.union_with(exec.co());
+        rel.union_with(&exec.fr());
+        let cycle = frontier_acyclic(&exec, &rel).expect_err("MP has an SC cycle");
+        assert!(cycle.len() >= 2);
+        for w in cycle.windows(2) {
+            assert!(rel.contains(w[0], w[1]), "broken edge {} -> {}", w[0], w[1]);
+        }
+        let (&first, &last) = (cycle.first().unwrap(), cycle.last().unwrap());
+        assert!(rel.contains(last, first), "cycle must close");
+    }
+
+    #[test]
+    fn vc_verdict_agrees_with_the_axiomatic_checker_on_litmus_shapes() {
+        for exec in [store_buffer_weak(), mp_violation()] {
+            for model in [ModelKind::Sc, ModelKind::Tso] {
+                let vc = VcChecker::new(model).check(&exec);
+                let axiomatic = Checker::new(model.instance()).check(&exec);
+                assert_eq!(
+                    vc.is_valid(),
+                    axiomatic.is_valid(),
+                    "{model}: vc={vc:?} axiomatic={axiomatic:?}"
+                );
+                assert!(!vc.is_abstain(), "SC/TSO decisions are exact");
+            }
+        }
+    }
+
+    fn strip_co(exec: &CandidateExecution) -> CandidateExecution {
+        // Keep only initial-write ordering, as trace lowering would.
+        let co = exec.co_observed().filter(|a, _| exec.event(a).is_initial());
+        CandidateExecution::from_parts_with_deps(
+            exec.events().to_vec(),
+            exec.po().clone(),
+            exec.rf().clone(),
+            co,
+            exec.deps().clone(),
+        )
+    }
+
+    #[test]
+    fn coherence_inference_recovers_the_unique_order() {
+        // One thread writes x=1 then x=2; a reader sees 1 then 2.  The final
+        // state pins nothing extra — po alone orders the writes.
+        let mut b = ExecutionBuilder::new();
+        let x = Address(0x10);
+        let w1 = b.write(p(0), x, Value(1));
+        let w2 = b.write(p(0), x, Value(2));
+        let r = b.read(p(1), x, Value(2));
+        b.reads_from(w2, r);
+        b.coherence_after_initial(w1);
+        b.coherence(w1, w2);
+        let full = b.build();
+        let stripped = strip_co(&full);
+        match infer_coherence(&stripped, &[]) {
+            CoherenceInference::Complete(exec) => {
+                assert!(exec.co().contains(w1, w2));
+                assert!(!exec.co().contains(w2, w1));
+                assert!(exec.validate().is_ok());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_state_orders_otherwise_incomparable_writes() {
+        // Two threads each write x once; nothing reads.  Without the final
+        // state the order is underdetermined; with it, pinned.
+        let mut b = ExecutionBuilder::new();
+        let x = Address(0x10);
+        let w1 = b.write(p(0), x, Value(1));
+        let w2 = b.write(p(1), x, Value(2));
+        b.coherence_after_initial(w1);
+        b.coherence_after_initial(w2);
+        let exec = strip_co(&b.build());
+        assert!(matches!(
+            infer_coherence(&exec, &[]),
+            CoherenceInference::Underdetermined { addr } if addr == x
+        ));
+        match infer_coherence(&exec, &[(x, Value(2))]) {
+            CoherenceInference::Complete(done) => {
+                assert!(done.co().contains(w1, w2));
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        assert!(matches!(
+            infer_coherence(&exec, &[(x, Value(9))]),
+            CoherenceInference::FinalMismatch { addr, value } if addr == x && value == Value(9)
+        ));
+    }
+
+    #[test]
+    fn contradictory_observations_are_refuted() {
+        // Reader thread sees x=2 then x=1 (CoRR), but po orders w1 before w2:
+        // the forced edges w1→w2 (po) and w2→w1 (read order) collide.
+        let mut b = ExecutionBuilder::new();
+        let x = Address(0x10);
+        let w1 = b.write(p(0), x, Value(1));
+        let w2 = b.write(p(0), x, Value(2));
+        let ra = b.read(p(1), x, Value(2));
+        let rb = b.read(p(1), x, Value(1));
+        b.reads_from(w2, ra);
+        b.reads_from(w1, rb);
+        b.coherence_after_initial(w1);
+        b.coherence(w1, w2);
+        let exec = strip_co(&b.build());
+        assert!(matches!(
+            infer_coherence(&exec, &[]),
+            CoherenceInference::Contradiction { addr, .. } if addr == x
+        ));
+    }
+
+    #[test]
+    fn inference_matches_observed_coherence_on_simulator_style_executions() {
+        // When inference completes on a stripped execution, the recovered co
+        // must order every pair exactly as the original did.
+        let execs = [store_buffer_weak(), mp_violation()];
+        for orig in execs {
+            match infer_coherence(&strip_co(&orig), &[]) {
+                CoherenceInference::Complete(inferred) => {
+                    for (a, b) in orig.co().iter() {
+                        assert!(inferred.co().contains(a, b), "lost co edge {a} -> {b}");
+                    }
+                }
+                CoherenceInference::Underdetermined { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Pins the verdict of every golden trace fixture through the library path
+//! (parse → lower → infer coherence → vector-clock check), and — for the
+//! fixtures a complete execution exists for — cross-checks against the
+//! axiomatic checker.  The `mcversi-check` binary round-trips the same
+//! fixtures in `crates/core/tests/check_traces.rs`.
+
+use mcversi_conformance::{check_lowered, parse, AbstainReason, VcVerdict};
+use mcversi_mcm::{Checker, ModelKind};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// (fixture, expected verdict) — the binary's exit-code pins mirror these.
+const EXPECTATIONS: [(&str, Expected); 7] = [
+    ("sc_valid.trace", Expected::Valid),
+    ("sc_violation.trace", Expected::Violation),
+    ("tso_valid.trace", Expected::Valid),
+    ("tso_violation.trace", Expected::Violation),
+    ("armish_valid.trace", Expected::ValidViaFallback),
+    ("rmo_violation.trace", Expected::Violation),
+    ("tso_undecided.trace", Expected::Undecided),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expected {
+    /// The vector-clock pass alone certifies the trace.
+    Valid,
+    /// The trace violates its model.
+    Violation,
+    /// The vector-clock pass abstains; the axiomatic checker certifies.
+    ValidViaFallback,
+    /// The observations underdetermine the coherence order.
+    Undecided,
+}
+
+#[test]
+fn golden_fixtures_produce_their_pinned_verdicts() {
+    for (name, expected) in EXPECTATIONS {
+        let program = parse(&fixture(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let model = program.model.unwrap_or(ModelKind::Tso);
+        let lowered = program.lower().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (verdict, exec) = check_lowered(&lowered, model);
+        match expected {
+            Expected::Valid => {
+                assert!(verdict.is_valid(), "{name}: expected valid, got {verdict}");
+            }
+            Expected::Violation => {
+                assert!(
+                    verdict.is_violation(),
+                    "{name}: expected violation, got {verdict}"
+                );
+            }
+            Expected::ValidViaFallback => {
+                assert!(
+                    matches!(verdict, VcVerdict::Abstain(AbstainReason::WeakModel(_))),
+                    "{name}: expected a weak-model abstention, got {verdict}"
+                );
+                let exec = exec
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{name}: no execution"));
+                let axiomatic = Checker::new(model.instance()).check(exec);
+                assert!(
+                    !axiomatic.is_violation(),
+                    "{name}: axiomatic fallback must certify the trace"
+                );
+            }
+            Expected::Undecided => {
+                assert!(
+                    matches!(
+                        verdict,
+                        VcVerdict::Abstain(AbstainReason::CoherenceUnderdetermined(_))
+                    ),
+                    "{name}: expected an underdetermined abstention, got {verdict}"
+                );
+            }
+        }
+        // Wherever a complete execution exists, the axiomatic checker must
+        // agree with the decided vector-clock verdicts.
+        if let Some(exec) = exec {
+            if verdict.is_valid() || verdict.is_violation() {
+                let axiomatic = Checker::new(model.instance()).check(&exec);
+                assert_eq!(
+                    verdict.is_violation(),
+                    axiomatic.is_violation(),
+                    "{name}: vc and axiomatic verdicts disagree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_override_changes_the_verdict_of_the_sb_shape() {
+    // The SB fixture is TSO-valid but SC-forbidden: the same trace checked
+    // against SC must flip to a violation (this is what `--model` does).
+    let program = parse(&fixture("tso_valid.trace")).expect("parses");
+    let lowered = program.lower().expect("lowers");
+    let (tso, _) = check_lowered(&lowered, ModelKind::Tso);
+    let (sc, _) = check_lowered(&lowered, ModelKind::Sc);
+    assert!(tso.is_valid());
+    assert!(sc.is_violation());
+}

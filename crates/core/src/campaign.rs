@@ -255,8 +255,8 @@ pub struct CampaignResult {
     /// results, which deserialize to `None`).
     pub metrics: Option<MetricsSnapshot>,
     /// Execution-deduplication statistics (present only when the sample ran
-    /// with [`CheckingMode::Collective`]; absent in older serialized results,
-    /// which deserialize to `None`).
+    /// with [`CheckingMode::Collective`] or [`CheckingMode::Vc`]; absent in
+    /// older serialized results, which deserialize to `None`).
     pub dedup: Option<DedupStats>,
 }
 
@@ -463,7 +463,8 @@ pub fn run_campaign_observed(
         final_mean_ndt: source.population_mean_ndt(),
         pruned,
         metrics: config.metrics.map(|_| telemetry::local_snapshot()),
-        dedup: (config.checking == CheckingMode::Collective).then(|| runner.dedup_stats()),
+        dedup: matches!(config.checking, CheckingMode::Collective | CheckingMode::Vc)
+            .then(|| runner.dedup_stats()),
     }
 }
 

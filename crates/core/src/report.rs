@@ -396,6 +396,7 @@ impl MetricsReport {
         }
 
         self.render_dedup(&mut out);
+        render_vc(&total, &mut out);
 
         if !total.histograms.is_empty() {
             out.push('\n');
@@ -436,6 +437,25 @@ impl MetricsReport {
             d.executions as f64 / d.checker_calls.max(1) as f64,
         );
     }
+}
+
+/// Appends the vector-clock first-pass summary line when the aggregated
+/// counters carry `vc.*` outcomes (samples that ran with
+/// `MCVERSI_CHECKING=vc` or checked traces through `mcversi-check`).
+fn render_vc(total: &MetricsSnapshot, out: &mut String) {
+    let get = |name: &str| total.counters.get(name).copied().unwrap_or(0);
+    let (pass, fallback, abstain) = (get("vc.pass"), get("vc.fallback"), get("vc.abstain"));
+    let checked = pass + fallback + abstain;
+    if checked == 0 {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\nVector-clock first pass: {checked} execution(s) checked, \
+         {pass} certified valid ({:.1}%), {fallback} violation fallback(s), \
+         {abstain} abstention(s)",
+        100.0 * pass as f64 / checked as f64,
+    );
 }
 
 /// Column width fitting every name in `names`.
@@ -649,6 +669,32 @@ mod tests {
             "dedup summary rendered: {rendered}"
         );
         assert!(rendered.contains("12 checker call(s) (20.0x fewer than per-exec)"));
+    }
+
+    #[test]
+    fn metrics_report_renders_the_vc_summary_line() {
+        let mut vc_sample = result(false, None);
+        let mut metrics = snapshot(1);
+        metrics.counters.insert("vc.pass".to_string(), 90);
+        metrics.counters.insert("vc.fallback".to_string(), 6);
+        metrics.counters.insert("vc.abstain".to_string(), 4);
+        vc_sample.metrics = Some(metrics);
+        let text = jsonl(&[CampaignEvent::SampleDone { result: vc_sample }]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        let rendered = report.render();
+        assert!(
+            rendered.contains(
+                "Vector-clock first pass: 100 execution(s) checked, \
+                 90 certified valid (90.0%), 6 violation fallback(s), 4 abstention(s)"
+            ),
+            "vc summary rendered: {rendered}"
+        );
+        // Without vc counters the line is absent.
+        let mut plain = result(false, None);
+        plain.metrics = Some(snapshot(1));
+        let text = jsonl(&[CampaignEvent::SampleDone { result: plain }]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        assert!(!report.render().contains("Vector-clock first pass"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::config::McVerSiConfig;
 use crate::coverage::AdaptiveCoverage;
 use crate::host::{HostInterface, SimHost};
+use mcversi_conformance::VcChecker;
 use mcversi_mcm::checker::Verdict;
 use mcversi_mcm::execution::CandidateExecution;
 use mcversi_mcm::signature::{self, ExecutionSignature, SignatureCache};
@@ -55,6 +56,13 @@ pub enum CheckingMode {
     /// (pinned by the differential property test); only the point within the
     /// run at which a violation surfaces may move later.
     Collective,
+    /// Vector-clock first pass: deduplicate by [`ExecutionSignature`], run
+    /// the polynomial-time [`VcChecker`] on each novel outcome and only fall
+    /// back to the axiomatic `Checker::check` when the first pass reports a
+    /// violation or abstains.  Nothing is batched, so verdicts *and* the
+    /// point within the run at which a violation surfaces are identical to
+    /// [`CheckingMode::PerExec`] (pinned by the differential property test).
+    Vc,
 }
 
 impl CheckingMode {
@@ -63,6 +71,7 @@ impl CheckingMode {
         match self {
             CheckingMode::PerExec => "per_exec",
             CheckingMode::Collective => "collective",
+            CheckingMode::Vc => "vc",
         }
     }
 }
@@ -78,8 +87,9 @@ impl Deserialize for CheckingMode {
         match v.as_str() {
             Some("per_exec") | Some("PerExec") => Ok(CheckingMode::PerExec),
             Some("collective") | Some("Collective") => Ok(CheckingMode::Collective),
+            Some("vc") | Some("Vc") => Ok(CheckingMode::Vc),
             _ => Err(DeError::expected(
-                "\"per_exec\" or \"collective\"",
+                "\"per_exec\", \"collective\" or \"vc\"",
                 "CheckingMode",
             )),
         }
@@ -97,8 +107,9 @@ pub struct DedupStats {
     pub cache_hits: u64,
     /// Novel signatures (first sighting of an outcome).
     pub cache_misses: u64,
-    /// Novel signatures certified valid by the cycle oracle with zero
-    /// checker runs.
+    /// Novel signatures certified valid by a first pass with zero checker
+    /// runs: the cycle oracle in collective mode, the vector-clock checker
+    /// in vc mode.
     pub oracle_valid: u64,
     /// `Checker::check` invocations actually performed.
     pub checker_calls: u64,
@@ -249,10 +260,17 @@ impl TestRunner {
         }
         // Collective checking keeps a per-test signature cache plus a batch
         // of novel outcomes whose verdicts are deferred to one collective
-        // pass (at the latest, the end of the run).
-        let mut collective = match self.checking {
-            CheckingMode::PerExec => None,
-            CheckingMode::Collective => Some(CollectiveState::new(self.host.staged_fingerprint())),
+        // pass (at the latest, the end of the run); vc-first checking keeps
+        // the cache and a vector-clock checker but never defers.
+        let mut check = match self.checking {
+            CheckingMode::PerExec => CheckState::PerExec,
+            CheckingMode::Collective => {
+                CheckState::Collective(CollectiveState::new(self.host.staged_fingerprint()))
+            }
+            CheckingMode::Vc => CheckState::VcFirst(VcState::new(
+                self.host.staged_fingerprint(),
+                self.host.model(),
+            )),
         };
 
         for _ in 0..iterations {
@@ -270,9 +288,9 @@ impl TestRunner {
                 // Batched outcomes come from earlier iterations: under
                 // per-execution checking a violating one would have ended the
                 // run before this fault, so the flushed verdict wins.
-                if let Some(state) = collective.as_mut() {
+                {
                     let _span = PHASE_CHECK.span();
-                    if let Some(v) = state.flush(&self.host, &mut self.dedup) {
+                    if let Some(v) = check.flush(&self.host, &mut self.dedup) {
                         verdict = RunVerdict::McmViolation(v);
                         break;
                     }
@@ -281,9 +299,9 @@ impl TestRunner {
                 break;
             }
             if outcome.hung {
-                if let Some(state) = collective.as_mut() {
+                {
                     let _span = PHASE_CHECK.span();
-                    if let Some(v) = state.flush(&self.host, &mut self.dedup) {
+                    if let Some(v) = check.flush(&self.host, &mut self.dedup) {
                         verdict = RunVerdict::McmViolation(v);
                         break;
                     }
@@ -293,12 +311,18 @@ impl TestRunner {
             }
             conflicts.add_iteration(&outcome.execution);
             let _span = PHASE_CHECK.span();
-            let violation = match collective.as_mut() {
-                None => match self.host.verify_reset_conflict(&outcome) {
+            let violation = match &mut check {
+                CheckState::PerExec => match self.host.verify_reset_conflict(&outcome) {
                     Verdict::Valid => None,
                     Verdict::Invalid(v) => Some(v),
                 },
-                Some(state) => state.observe(
+                CheckState::Collective(state) => state.observe(
+                    &outcome.execution,
+                    outcome.complete,
+                    &self.host,
+                    &mut self.dedup,
+                ),
+                CheckState::VcFirst(state) => state.observe(
                     &outcome.execution,
                     outcome.complete,
                     &self.host,
@@ -311,13 +335,12 @@ impl TestRunner {
             }
         }
 
-        // Collectively check any still-deferred novel outcomes.
-        if let Some(state) = collective.as_mut() {
-            if matches!(verdict, RunVerdict::Passed) {
-                let _span = PHASE_CHECK.span();
-                if let Some(v) = state.flush(&self.host, &mut self.dedup) {
-                    verdict = RunVerdict::McmViolation(v);
-                }
+        // Collectively check any still-deferred novel outcomes (a no-op in
+        // the undeferred modes).
+        if matches!(verdict, RunVerdict::Passed) {
+            let _span = PHASE_CHECK.span();
+            if let Some(v) = check.flush(&self.host, &mut self.dedup) {
+                verdict = RunVerdict::McmViolation(v);
             }
         }
 
@@ -341,6 +364,98 @@ impl TestRunner {
             iterations_run,
             cycles,
             retired_ops,
+        }
+    }
+}
+
+/// Per-test-run checking state, one variant per [`CheckingMode`].
+enum CheckState {
+    /// No state: every iteration is checked as it is observed.
+    PerExec,
+    /// Signature deduplication with deferred collective verdicts.
+    Collective(CollectiveState),
+    /// Signature deduplication with an undeferred vector-clock first pass.
+    VcFirst(VcState),
+}
+
+impl CheckState {
+    /// Settles any deferred verdicts; a no-op except in collective mode.
+    fn flush(&mut self, host: &SimHost, dedup: &mut DedupStats) -> Option<Violation> {
+        match self {
+            CheckState::PerExec | CheckState::VcFirst(_) => None,
+            CheckState::Collective(state) => state.flush(host, dedup),
+        }
+    }
+}
+
+/// Per-test-run state of the vc-first checking flow: the signature cache and
+/// the polynomial-time vector-clock checker consulted on novel outcomes.
+struct VcState {
+    cache: SignatureCache,
+    vc: VcChecker,
+}
+
+impl VcState {
+    fn new(program: u64, model: mcversi_mcm::ModelKind) -> Self {
+        VcState {
+            cache: SignatureCache::new(program),
+            vc: VcChecker::new(model),
+        }
+    }
+
+    /// Processes one observed execution; verdicts (and the iteration at
+    /// which a violation surfaces) are identical to per-execution checking
+    /// because nothing is deferred — the vector-clock pass only decides
+    /// whether the axiomatic checker needs to run at all.
+    fn observe(
+        &mut self,
+        execution: &CandidateExecution,
+        complete: bool,
+        host: &SimHost,
+        dedup: &mut DedupStats,
+    ) -> Option<Violation> {
+        if !complete {
+            // Partial observations carry event subsets that vary run to run;
+            // their signatures are not comparable, so check directly.
+            dedup.checker_calls += 1;
+            return match host.check_execution(execution) {
+                Verdict::Valid => None,
+                Verdict::Invalid(v) => Some(v),
+            };
+        }
+        dedup.executions += 1;
+        let sig = self.cache.signature_of(execution);
+        match self.cache.lookup(&sig) {
+            Some(Verdict::Valid) => {
+                dedup.cache_hits += 1;
+                None
+            }
+            Some(Verdict::Invalid(v)) => {
+                dedup.cache_hits += 1;
+                Some(v)
+            }
+            None => {
+                dedup.cache_misses += 1;
+                if self.vc.check(execution).is_valid() {
+                    // The vector-clock pass is exact on its Valid side for
+                    // every model (it abstains when unsure), so the verdict
+                    // can be cached without an axiomatic run.
+                    dedup.oracle_valid += 1;
+                    signature::record_oracle_valid();
+                    self.cache.insert(sig, Verdict::Valid);
+                    None
+                } else {
+                    // Violation (we want the authoritative witness) or
+                    // Abstain: fall back to the axiomatic checker.
+                    dedup.checker_calls += 1;
+                    let verdict = host.check_execution(execution);
+                    self.cache.insert(sig, verdict.clone());
+                    match verdict {
+                        Verdict::Valid => None,
+                        Verdict::Invalid(v) => Some(v),
+                    }
+                }
+            }
         }
     }
 }

@@ -36,7 +36,7 @@
 //! | `MCVERSI_LITMUS`       | litmus corpus of the `diy-litmus` baseline: `handpicked` or `enumerated[:<threads>x<edges>]` | `enumerated:4x6` |
 //! | `MCVERSI_JSONL`        | path; streams campaign events there as JSONL ([`crate::sink::JsonlSink`]) | unset |
 //! | `MCVERSI_METRICS`      | telemetry: `off`, `sample` (final snapshot only), or a cadence `n` (also stream a snapshot every `n` test-runs) | unset (off) |
-//! | `MCVERSI_CHECKING`     | execution checking mode: `per_exec` (check every iteration) or `collective` (signature-deduplicated collective checking) | `per_exec` |
+//! | `MCVERSI_CHECKING`     | execution checking mode: `per_exec` (check every iteration), `collective` (signature-deduplicated collective checking) or `vc` (vector-clock first pass, axiomatic fallback) | `per_exec` |
 //!
 //! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
 //! set the simulated core count, named parts select the pipeline strengths to
@@ -127,7 +127,8 @@ pub struct ScenarioSpec {
     /// snapshot every `n` test-runs).  See `MCVERSI_METRICS`.
     pub metrics: Option<usize>,
     /// Execution checking mode (`None` = [`CheckingMode::PerExec`];
-    /// serialized as `"per_exec"` / `"collective"`).  See `MCVERSI_CHECKING`.
+    /// serialized as `"per_exec"` / `"collective"` / `"vc"`).  See
+    /// `MCVERSI_CHECKING`.
     pub checking: Option<CheckingMode>,
     /// Optional display label (defaults to the paper's column naming).
     pub label: Option<String>,
@@ -414,7 +415,7 @@ impl ScenarioSpec {
                 Some(checking) => spec.checking = Some(checking),
                 None => warn_once(&format!(
                     "warning: MCVERSI_CHECKING: unknown value '{raw}' ignored \
-                     (expected per_exec or collective)"
+                     (expected per_exec, collective or vc)"
                 )),
             }
         }
@@ -751,12 +752,14 @@ fn parse_metrics(raw: &str) -> Option<Option<usize>> {
 
 /// Parses a `MCVERSI_CHECKING` value: `per_exec` checks every iteration's
 /// execution as it is observed; `collective` deduplicates by signature and
-/// checks novel outcomes collectively.  Returns `None` when the value is not
-/// understood.
+/// checks novel outcomes collectively; `vc` runs the polynomial-time
+/// vector-clock first pass and falls back to the axiomatic checker on
+/// violation or abstention.  Returns `None` when the value is not understood.
 fn parse_checking(raw: &str) -> Option<CheckingMode> {
     match raw.trim().to_ascii_lowercase().as_str() {
         "per_exec" | "per-exec" | "perexec" => Some(CheckingMode::PerExec),
         "collective" => Some(CheckingMode::Collective),
+        "vc" | "vc_first" | "vc-first" => Some(CheckingMode::Vc),
         _ => None,
     }
 }
@@ -942,6 +945,11 @@ mod tests {
         let back = ScenarioSpec::from_json(&json).expect("checking-less spec parses");
         assert_eq!(back.checking, None);
         assert_eq!(back.campaign().checking, CheckingMode::PerExec);
+        // The vc-first mode round-trips through JSON too.
+        let vc = ScenarioSpec::small().checking(CheckingMode::Vc);
+        assert_eq!(vc.campaign().checking, CheckingMode::Vc);
+        let back = ScenarioSpec::from_json(&vc.to_json()).expect("vc spec round trips");
+        assert_eq!(back.checking, Some(CheckingMode::Vc));
     }
 
     #[test]
@@ -952,6 +960,8 @@ mod tests {
             Some(CheckingMode::Collective)
         );
         assert_eq!(parse_checking("per-exec"), Some(CheckingMode::PerExec));
+        assert_eq!(parse_checking("vc"), Some(CheckingMode::Vc));
+        assert_eq!(parse_checking("VC-First"), Some(CheckingMode::Vc));
         assert_eq!(parse_checking("batched"), None);
     }
 

@@ -1,0 +1,105 @@
+//! Round-trips the golden trace fixtures through the `mcversi-check` binary,
+//! pinning exit codes, `--json` output shape and the `--model` / `--mode`
+//! flags.  The library-path verdicts for the same fixtures are pinned in
+//! `crates/conformance/tests/golden.rs`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../conformance/tests/golden")
+        .join(name)
+}
+
+fn run_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mcversi-check"))
+        .args(args)
+        .output()
+        .expect("mcversi-check runs")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+#[test]
+fn golden_fixtures_return_their_pinned_exit_codes() {
+    let pins: [(&str, i32); 7] = [
+        ("sc_valid.trace", 0),
+        ("sc_violation.trace", 1),
+        ("tso_valid.trace", 0),
+        ("tso_violation.trace", 1),
+        ("armish_valid.trace", 0),
+        ("rmo_violation.trace", 1),
+        ("tso_undecided.trace", 3),
+    ];
+    for (name, expected) in pins {
+        let path = fixture(name);
+        let out = run_check(&[path.to_str().expect("utf-8 path")]);
+        assert_eq!(
+            exit_code(&out),
+            expected,
+            "{name}: stdout={} stderr={}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn json_mode_emits_one_parseable_object_per_file() {
+    let valid = fixture("tso_valid.trace");
+    let violating = fixture("tso_violation.trace");
+    let out = run_check(&[
+        "--json",
+        valid.to_str().expect("utf-8 path"),
+        violating.to_str().expect("utf-8 path"),
+    ]);
+    // A violation anywhere dominates the valid file.
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSONL object per input file");
+    let first = serde_json::value_from_str(lines[0]).expect("valid JSON");
+    assert_eq!(first.get("verdict").and_then(|v| v.as_str()), Some("valid"));
+    assert_eq!(first.get("model").and_then(|v| v.as_str()), Some("TSO"));
+    let second = serde_json::value_from_str(lines[1]).expect("valid JSON");
+    assert_eq!(
+        second.get("verdict").and_then(|v| v.as_str()),
+        Some("violation")
+    );
+    assert!(
+        second.get("axiom").and_then(|v| v.as_str()).is_some(),
+        "violations name the broken axiom"
+    );
+}
+
+#[test]
+fn model_flag_overrides_the_trace_directive() {
+    // The SB fixture declares TSO (valid); forcing SC flips it.
+    let path = fixture("tso_valid.trace");
+    let out = run_check(&["--model", "sc", path.to_str().expect("utf-8 path")]);
+    assert_eq!(exit_code(&out), 1);
+}
+
+#[test]
+fn every_checking_mode_agrees_on_the_golden_verdicts() {
+    for mode in ["per_exec", "collective", "vc"] {
+        for (name, expected) in [("tso_valid.trace", 0), ("tso_violation.trace", 1)] {
+            let path = fixture(name);
+            let out = run_check(&["--mode", mode, path.to_str().expect("utf-8 path")]);
+            assert_eq!(exit_code(&out), expected, "{name} under mode {mode}");
+        }
+    }
+}
+
+#[test]
+fn usage_and_parse_errors_exit_2() {
+    let out = run_check(&[]);
+    assert_eq!(exit_code(&out), 2, "no input files is a usage error");
+    let out = run_check(&["--mode", "psychic"]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run_check(&["/nonexistent/definitely-missing.trace"]);
+    assert_eq!(exit_code(&out), 2, "unreadable input is an I/O error");
+}

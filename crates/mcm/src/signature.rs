@@ -49,6 +49,8 @@ static SIG_ORACLE_VALID: telemetry::Counter = telemetry::Counter::new("mcm.sig.o
 /// Novel signatures the oracle flagged as containing a forbidden cycle
 /// (the full checker still runs to produce the authoritative witness).
 static SIG_ORACLE_HINT: telemetry::Counter = telemetry::Counter::new("mcm.sig.oracle_hint");
+/// Least-recently-used signatures evicted from a full [`SignatureCache`].
+static SIG_EVICT: telemetry::Counter = telemetry::Counter::new("mcm.sig.evict");
 
 /// The attributed source of one load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -178,6 +180,13 @@ impl ExecutionSignature {
     }
 }
 
+/// Default capacity of a [`SignatureCache`], in distinct signatures.
+///
+/// Far above what one test-run's iteration budget can produce in practice,
+/// so eviction only engages on pathological campaigns (huge iteration counts
+/// with near-total non-determinism) — exactly the case the bound exists for.
+pub const DEFAULT_SIGNATURE_CAPACITY: usize = 4096;
+
 /// A per-test cache mapping outcome signatures to checker verdicts.
 ///
 /// The cache is scoped to one staged program (one test-run): the runner
@@ -185,22 +194,52 @@ impl ExecutionSignature {
 /// program's identity hash.  Lookups count hits and misses both locally and
 /// through the `mcm.sig.cache_hit` / `mcm.sig.cache_miss` telemetry
 /// counters.
-#[derive(Debug, Default)]
+///
+/// The cache is bounded: at most [`capacity`](Self::capacity) verdicts are
+/// retained (default [`DEFAULT_SIGNATURE_CAPACITY`]), and inserting beyond
+/// that evicts the least-recently-used signature — counted locally and on
+/// the `mcm.sig.evict` telemetry counter — so long campaigns cannot grow
+/// memory without bound.  An evicted verdict is re-derived on the next
+/// sighting (a miss), never answered incorrectly.
+#[derive(Debug)]
 pub struct SignatureCache {
     program: u64,
-    verdicts: HashMap<ExecutionSignature, Verdict>,
+    /// Verdict plus the use-stamp of the entry's most recent touch.
+    verdicts: HashMap<ExecutionSignature, (Verdict, u64)>,
+    /// Use-stamp → signature, ordered oldest first (the eviction index).
+    by_stamp: std::collections::BTreeMap<u64, ExecutionSignature>,
+    next_stamp: u64,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for SignatureCache {
+    fn default() -> Self {
+        SignatureCache::new(0)
+    }
 }
 
 impl SignatureCache {
-    /// Creates an empty cache for the given staged-program identity hash.
+    /// Creates an empty cache for the given staged-program identity hash,
+    /// with the default capacity.
     pub fn new(program: u64) -> Self {
+        Self::with_capacity(program, DEFAULT_SIGNATURE_CAPACITY)
+    }
+
+    /// Creates an empty cache with an explicit capacity (clamped to at least
+    /// one entry).
+    pub fn with_capacity(program: u64, capacity: usize) -> Self {
         SignatureCache {
             program,
             verdicts: HashMap::new(),
+            by_stamp: std::collections::BTreeMap::new(),
+            next_stamp: 0,
+            capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -209,18 +248,30 @@ impl SignatureCache {
         self.program
     }
 
+    /// The maximum number of verdicts the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Computes the signature of `exec` under this cache's program identity.
     pub fn signature_of(&self, exec: &CandidateExecution) -> ExecutionSignature {
         ExecutionSignature::of(exec, self.program)
     }
 
     /// Looks up the cached verdict for a signature, counting a hit or miss.
+    /// A hit refreshes the entry's recency.
     pub fn lookup(&mut self, signature: &ExecutionSignature) -> Option<Verdict> {
-        match self.verdicts.get(signature) {
-            Some(verdict) => {
+        let stamp = self.next_stamp;
+        match self.verdicts.get_mut(signature) {
+            Some((verdict, used)) => {
                 self.hits += 1;
                 SIG_CACHE_HIT.incr();
-                Some(verdict.clone())
+                let verdict = verdict.clone();
+                self.by_stamp.remove(used);
+                *used = stamp;
+                self.by_stamp.insert(stamp, signature.clone());
+                self.next_stamp += 1;
+                Some(verdict)
             }
             None => {
                 self.misses += 1;
@@ -230,9 +281,24 @@ impl SignatureCache {
         }
     }
 
-    /// Records the verdict for a signature.
+    /// Records the verdict for a signature, evicting the least-recently-used
+    /// entry when the cache is full.
     pub fn insert(&mut self, signature: ExecutionSignature, verdict: Verdict) {
-        self.verdicts.insert(signature, verdict);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some((_, used)) = self.verdicts.get(&signature) {
+            self.by_stamp.remove(used);
+        } else if self.verdicts.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.by_stamp.iter().next() {
+                if let Some(victim) = self.by_stamp.remove(&oldest) {
+                    self.verdicts.remove(&victim);
+                    self.evictions += 1;
+                    SIG_EVICT.incr();
+                }
+            }
+        }
+        self.by_stamp.insert(stamp, signature.clone());
+        self.verdicts.insert(signature, (verdict, stamp));
     }
 
     /// Number of distinct signatures with a recorded verdict.
@@ -253,6 +319,11 @@ impl SignatureCache {
     /// Lookup misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries evicted to keep the cache within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -667,6 +738,39 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.program(), 42);
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded_with_lru_eviction() {
+        let exec = sb_weak();
+        // Distinct program hashes give cheap distinct signatures.
+        let sig = |i: u64| ExecutionSignature::of(&exec, i);
+        let mut cache = SignatureCache::with_capacity(0, 3);
+        assert_eq!(cache.capacity(), 3);
+        for i in 0..3 {
+            cache.insert(sig(i), Verdict::Valid);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+        // Touch sig(0) so sig(1) becomes the least-recently-used entry.
+        assert_eq!(cache.lookup(&sig(0)), Some(Verdict::Valid));
+        cache.insert(sig(3), Verdict::Valid);
+        assert_eq!(cache.len(), 3, "the cache never exceeds its capacity");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.lookup(&sig(1)), None, "the LRU entry was evicted");
+        assert_eq!(cache.lookup(&sig(0)), Some(Verdict::Valid));
+        assert_eq!(cache.lookup(&sig(3)), Some(Verdict::Valid));
+        // Overwriting an existing signature neither grows nor evicts.
+        cache.insert(sig(0), Verdict::Valid);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        // The default capacity is pinned; degenerate capacities clamp to 1.
+        assert_eq!(
+            SignatureCache::new(1).capacity(),
+            DEFAULT_SIGNATURE_CAPACITY
+        );
+        assert_eq!(DEFAULT_SIGNATURE_CAPACITY, 4096);
+        assert_eq!(SignatureCache::with_capacity(0, 0).capacity(), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! controller.
 
 use crate::types::LineAddr;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One resident cache line: the protocol-specific payload plus LRU bookkeeping.
@@ -20,6 +21,11 @@ struct Entry<L> {
 #[derive(Debug, Clone)]
 pub struct CacheArray<L> {
     sets: Vec<Vec<Entry<L>>>,
+    /// Keyed lookup index: resident address → way position within its set.
+    /// Kept in sync by `insert`/`remove`/`drain_all` (a `swap_remove` moves
+    /// the displaced entry's position here), so `get`/`contains` avoid
+    /// scanning the set.  A `BTreeMap` keeps iteration order deterministic.
+    index: BTreeMap<LineAddr, usize>,
     ways: usize,
     line_bytes: u64,
     use_counter: u64,
@@ -35,6 +41,7 @@ impl<L> CacheArray<L> {
         assert!(sets > 0 && ways > 0 && line_bytes > 0);
         CacheArray {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            index: BTreeMap::new(),
             ways,
             line_bytes,
             use_counter: 0,
@@ -58,17 +65,17 @@ impl<L> CacheArray<L> {
 
     /// Returns a reference to a resident line.
     pub fn get(&self, addr: LineAddr) -> Option<&L> {
-        let set = &self.sets[self.set_index(addr)];
-        set.iter().find(|e| e.addr == addr).map(|e| &e.line)
+        let pos = *self.index.get(&addr)?;
+        self.sets[self.set_index(addr)].get(pos).map(|e| &e.line)
     }
 
     /// Returns a mutable reference to a resident line and touches its LRU state.
     pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut L> {
         self.use_counter += 1;
         let counter = self.use_counter;
+        let pos = *self.index.get(&addr)?;
         let idx = self.set_index(addr);
-        let set = &mut self.sets[idx];
-        set.iter_mut().find(|e| e.addr == addr).map(|e| {
+        self.sets[idx].get_mut(pos).map(|e| {
             e.last_use = counter;
             &mut e.line
         })
@@ -76,7 +83,7 @@ impl<L> CacheArray<L> {
 
     /// Returns `true` if the line is resident.
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.get(addr).is_some()
+        self.index.contains_key(&addr)
     }
 
     /// Returns `true` if inserting `addr` would require evicting another line.
@@ -112,6 +119,7 @@ impl<L> CacheArray<L> {
         let idx = self.set_index(addr);
         let set = &mut self.sets[idx];
         assert!(set.len() < self.ways, "set for {addr} is full; evict first");
+        self.index.insert(addr, set.len());
         set.push(Entry {
             addr,
             last_use: counter,
@@ -121,15 +129,20 @@ impl<L> CacheArray<L> {
 
     /// Removes a line and returns its payload.
     pub fn remove(&mut self, addr: LineAddr) -> Option<L> {
+        let pos = self.index.remove(&addr)?;
         let idx = self.set_index(addr);
         let set = &mut self.sets[idx];
-        let pos = set.iter().position(|e| e.addr == addr)?;
-        Some(set.swap_remove(pos).line)
+        let entry = set.swap_remove(pos);
+        if let Some(moved) = set.get(pos) {
+            self.index.insert(moved.addr, pos);
+        }
+        Some(entry.line)
     }
 
     /// Removes every resident line, returning them (used by the host-assisted
     /// reset between tests).
     pub fn drain_all(&mut self) -> Vec<(LineAddr, L)> {
+        self.index.clear();
         let mut out = Vec::new();
         for set in &mut self.sets {
             for e in set.drain(..) {
@@ -155,12 +168,12 @@ impl<L> CacheArray<L> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.index.len()
     }
 
     /// Returns `true` if no lines are resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.index.is_empty()
     }
 }
 
@@ -266,6 +279,26 @@ mod tests {
             *v += 100;
         }
         assert!(c.iter().all(|(_, &v)| v >= 100));
+    }
+
+    #[test]
+    fn keyed_index_survives_swap_remove_churn() {
+        // All lines map to set 0; removing a middle entry swap-moves the last
+        // entry into its slot, and the index must follow it.
+        let mut c: CacheArray<u32> = CacheArray::new(1, 4, 64);
+        for i in 0..4 {
+            c.insert(line(i), i as u32);
+        }
+        assert_eq!(c.remove(line(1)), Some(1));
+        for i in [0u64, 2, 3] {
+            assert_eq!(c.get(line(i)), Some(&(i as u32)), "line {i} after churn");
+            assert_eq!(c.remove(line(i)), Some(i as u32));
+        }
+        assert!(c.is_empty());
+        // Reinsertion after churn still round-trips.
+        c.insert(line(5), 55);
+        assert_eq!(c.get(line(5)), Some(&55));
+        assert_eq!(c.get_mut(line(5)).copied(), Some(55));
     }
 
     #[test]

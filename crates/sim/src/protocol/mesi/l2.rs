@@ -101,6 +101,11 @@ pub struct MesiL2 {
     node: NodeId,
     cache: CacheArray<L2Line>,
     trans: BTreeMap<LineAddr, Trans>,
+    /// Per-set count of outstanding memory fetches (`FetchForS`/`FetchForX`
+    /// entries in `trans`), so [`Self::set_has_pending_fetch`] is O(1) instead
+    /// of a scan over every in-flight transaction.  Maintained exclusively by
+    /// [`Self::trans_insert`] / [`Self::trans_remove`].
+    pending_fetches: Vec<u32>,
     requests: VecDeque<Msg>,
     responses: VecDeque<Msg>,
     pending_out: Vec<(Cycle, Msg)>,
@@ -114,6 +119,7 @@ impl MesiL2 {
             node: cfg.node_of_l2(bank),
             cache: CacheArray::new(cfg.l2_sets(), cfg.l2_ways, cfg.line_bytes),
             trans: BTreeMap::new(),
+            pending_fetches: vec![0; cfg.l2_sets()],
             requests: VecDeque::new(),
             responses: VecDeque::new(),
             pending_out: Vec::new(),
@@ -153,16 +159,42 @@ impl MesiL2 {
         ));
     }
 
+    fn is_fetch(trans: &Trans) -> bool {
+        matches!(trans, Trans::FetchForS { .. } | Trans::FetchForX { .. })
+    }
+
+    /// Starts (or replaces) an in-flight transaction, keeping the per-set
+    /// pending-fetch counters in sync.  A replacement may retire a fetch (the
+    /// old entry counts down before the new one counts up).
+    fn trans_insert(&mut self, line: LineAddr, trans: Trans) {
+        let set = self.cache.set_index(line);
+        if Self::is_fetch(&trans) {
+            self.pending_fetches[set] += 1;
+        }
+        if let Some(old) = self.trans.insert(line, trans) {
+            if Self::is_fetch(&old) {
+                self.pending_fetches[set] = self.pending_fetches[set].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Retires an in-flight transaction, keeping the per-set pending-fetch
+    /// counters in sync.
+    fn trans_remove(&mut self, line: LineAddr) -> Option<Trans> {
+        let old = self.trans.remove(&line)?;
+        if Self::is_fetch(&old) {
+            let set = self.cache.set_index(line);
+            self.pending_fetches[set] = self.pending_fetches[set].saturating_sub(1);
+        }
+        Some(old)
+    }
+
     /// Returns `true` if a memory fetch is already outstanding for a line in
     /// the same cache set.  Such a fetch has reserved the set's free way, so
     /// further allocations into the set must wait (otherwise the data arriving
     /// from memory would find the set full again).
     fn set_has_pending_fetch(&self, line: LineAddr) -> bool {
-        let set = self.cache.set_index(line);
-        self.trans.iter().any(|(l, t)| {
-            self.cache.set_index(*l) == set
-                && matches!(t, Trans::FetchForS { .. } | Trans::FetchForX { .. })
-        })
+        self.pending_fetches[self.cache.set_index(line)] > 0
     }
 
     /// Attempts to start an eviction to make room for `line`.  Returns `true`
@@ -201,7 +233,7 @@ impl MesiL2 {
                     let dst = ctx.cfg.node_of_l1(*s);
                     self.send_forward(ctx, dst, MsgPayload::Inv { line: victim });
                 }
-                self.trans.insert(
+                self.trans_insert(
                     victim,
                     Trans::EvictInv {
                         acks_left: sharers.len(),
@@ -213,7 +245,7 @@ impl MesiL2 {
                 let owner = entry.owner.expect("owned line has owner");
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::Recall { line: victim });
-                self.trans.insert(victim, Trans::EvictRecall);
+                self.trans_insert(victim, Trans::EvictRecall);
                 false
             }
         }
@@ -288,7 +320,7 @@ impl MesiL2 {
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::FwdGetS { line });
-                self.trans.insert(line, Trans::FwdForS { requestor });
+                self.trans_insert(line, Trans::FwdForS { requestor });
                 true
             }
             (MsgPayload::GetS { .. }, None) => {
@@ -297,7 +329,7 @@ impl MesiL2 {
                     return false;
                 }
                 let requestor = src_core.expect("GetS comes from an L1");
-                self.trans.insert(line, Trans::FetchForS { requestor });
+                self.trans_insert(line, Trans::FetchForS { requestor });
                 self.send_mem(ctx, MsgPayload::MemRead { line });
                 true
             }
@@ -333,7 +365,7 @@ impl MesiL2 {
                         let dst = ctx.cfg.node_of_l1(*s);
                         self.send_forward(ctx, dst, MsgPayload::Inv { line });
                     }
-                    self.trans.insert(
+                    self.trans_insert(
                         line,
                         Trans::InvForX {
                             requestor,
@@ -362,7 +394,7 @@ impl MesiL2 {
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::FwdGetX { line });
-                self.trans.insert(line, Trans::FwdForX { requestor });
+                self.trans_insert(line, Trans::FwdForX { requestor });
                 true
             }
             (MsgPayload::GetX { .. }, None) => {
@@ -371,7 +403,7 @@ impl MesiL2 {
                     return false;
                 }
                 let requestor = src_core.expect("GetX comes from an L1");
-                self.trans.insert(line, Trans::FetchForX { requestor });
+                self.trans_insert(line, Trans::FetchForX { requestor });
                 self.send_mem(ctx, MsgPayload::MemRead { line });
                 true
             }
@@ -445,7 +477,7 @@ impl MesiL2 {
             // ---- Memory data for fetches ----
             (MsgPayload::MemData { data, .. }, Trans::FetchForS { requestor }) => {
                 ctx.coverage.record(Transition::l2("I_S_Mem", "MemData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 self.cache.insert(
                     line,
                     L2Line {
@@ -470,7 +502,7 @@ impl MesiL2 {
             }
             (MsgPayload::MemData { data, .. }, Trans::FetchForX { requestor }) => {
                 ctx.coverage.record(Transition::l2("I_X_Mem", "MemData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 self.cache.insert(
                     line,
                     L2Line {
@@ -504,7 +536,7 @@ impl MesiL2 {
             ) => {
                 ctx.coverage.record(Transition::l2("SS_X_Inv", "InvAck"));
                 if acks_left > 1 {
-                    self.trans.insert(
+                    self.trans_insert(
                         line,
                         Trans::InvForX {
                             requestor,
@@ -512,7 +544,7 @@ impl MesiL2 {
                         },
                     );
                 } else {
-                    self.trans.remove(&line);
+                    self.trans_remove(line);
                     let entry = self.cache.get_mut(line).expect("resident during InvForX");
                     entry.state = L2State::Owned;
                     entry.owner = Some(requestor);
@@ -534,14 +566,14 @@ impl MesiL2 {
             (MsgPayload::InvAck { .. }, Trans::EvictInv { acks_left }) => {
                 ctx.coverage.record(Transition::l2("SS_Evict", "InvAck"));
                 if acks_left > 1 {
-                    self.trans.insert(
+                    self.trans_insert(
                         line,
                         Trans::EvictInv {
                             acks_left: acks_left - 1,
                         },
                     );
                 } else {
-                    self.trans.remove(&line);
+                    self.trans_remove(line);
                     let entry = self.cache.remove(line).expect("resident during eviction");
                     if entry.dirty {
                         self.send_mem(
@@ -558,7 +590,7 @@ impl MesiL2 {
             // ---- Owner writeback data for forwards ----
             (MsgPayload::WbData { data, dirty, .. }, Trans::FwdForS { requestor }) => {
                 ctx.coverage.record(Transition::l2("MT_S_Fwd", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let old_owner = self.cache.get(line).and_then(|l| l.owner);
                 let entry = self.cache.get_mut(line).expect("resident during FwdForS");
                 if *dirty {
@@ -587,7 +619,7 @@ impl MesiL2 {
             }
             (MsgPayload::WbData { data, dirty, .. }, Trans::FwdForX { requestor }) => {
                 ctx.coverage.record(Transition::l2("MT_X_Fwd", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let entry = self.cache.get_mut(line).expect("resident during FwdForX");
                 if *dirty {
                     entry.data = data.clone();
@@ -611,7 +643,7 @@ impl MesiL2 {
             }
             (MsgPayload::WbData { data, dirty, .. }, Trans::EvictRecall) => {
                 ctx.coverage.record(Transition::l2("MT_Evict", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let entry = self.cache.remove(line).expect("resident during eviction");
                 let drop_dirty_data = ctx.bugs.has(Bug::MesiReplaceRace) && !entry.dirty_expected;
                 if *dirty && !drop_dirty_data {
@@ -693,6 +725,7 @@ impl L2Controller for MesiL2 {
     fn hard_reset(&mut self) {
         self.cache.drain_all();
         self.trans.clear();
+        self.pending_fetches.fill(0);
         self.requests.clear();
         self.responses.clear();
         self.pending_out.clear();

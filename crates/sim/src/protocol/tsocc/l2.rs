@@ -72,6 +72,11 @@ pub struct TsoCcL2 {
     node: NodeId,
     cache: CacheArray<L2Line>,
     trans: BTreeMap<LineAddr, Trans>,
+    /// Per-set count of outstanding memory fetches (`FetchForS`/`FetchForX`
+    /// entries in `trans`), so [`Self::set_has_pending_fetch`] is O(1) instead
+    /// of a scan over every in-flight transaction.  Maintained exclusively by
+    /// [`Self::trans_insert`] / [`Self::trans_remove`].
+    pending_fetches: Vec<u32>,
     requests: VecDeque<Msg>,
     responses: VecDeque<Msg>,
     pending_out: Vec<(Cycle, Msg)>,
@@ -85,6 +90,7 @@ impl TsoCcL2 {
             node: cfg.node_of_l2(bank),
             cache: CacheArray::new(cfg.l2_sets(), cfg.l2_ways, cfg.line_bytes),
             trans: BTreeMap::new(),
+            pending_fetches: vec![0; cfg.l2_sets()],
             requests: VecDeque::new(),
             responses: VecDeque::new(),
             pending_out: Vec::new(),
@@ -118,14 +124,40 @@ impl TsoCcL2 {
         ));
     }
 
+    fn is_fetch(trans: &Trans) -> bool {
+        matches!(trans, Trans::FetchForS { .. } | Trans::FetchForX { .. })
+    }
+
+    /// Starts (or replaces) an in-flight transaction, keeping the per-set
+    /// pending-fetch counters in sync.  A replacement may retire a fetch (the
+    /// old entry counts down before the new one counts up).
+    fn trans_insert(&mut self, line: LineAddr, trans: Trans) {
+        let set = self.cache.set_index(line);
+        if Self::is_fetch(&trans) {
+            self.pending_fetches[set] += 1;
+        }
+        if let Some(old) = self.trans.insert(line, trans) {
+            if Self::is_fetch(&old) {
+                self.pending_fetches[set] = self.pending_fetches[set].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Retires an in-flight transaction, keeping the per-set pending-fetch
+    /// counters in sync.
+    fn trans_remove(&mut self, line: LineAddr) -> Option<Trans> {
+        let old = self.trans.remove(&line)?;
+        if Self::is_fetch(&old) {
+            let set = self.cache.set_index(line);
+            self.pending_fetches[set] = self.pending_fetches[set].saturating_sub(1);
+        }
+        Some(old)
+    }
+
     /// Returns `true` if a memory fetch is already outstanding for a line in
     /// the same cache set (the fetch has reserved the set's free way).
     fn set_has_pending_fetch(&self, line: LineAddr) -> bool {
-        let set = self.cache.set_index(line);
-        self.trans.iter().any(|(l, t)| {
-            self.cache.set_index(*l) == set
-                && matches!(t, Trans::FetchForS { .. } | Trans::FetchForX { .. })
-        })
+        self.pending_fetches[self.cache.set_index(line)] > 0
     }
 
     fn make_room(&mut self, ctx: &mut TickCtx<'_>, line: LineAddr) -> bool {
@@ -157,7 +189,7 @@ impl TsoCcL2 {
                 let owner = entry.owner.expect("exclusive line has owner");
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::Recall { line: victim });
-                self.trans.insert(victim, Trans::EvictRecall);
+                self.trans_insert(victim, Trans::EvictRecall);
                 false
             }
         }
@@ -190,7 +222,7 @@ impl TsoCcL2 {
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::Downgrade { line });
-                self.trans.insert(line, Trans::DownForS { requestor });
+                self.trans_insert(line, Trans::DownForS { requestor });
                 true
             }
             (MsgPayload::GetS { .. }, None) => {
@@ -199,7 +231,7 @@ impl TsoCcL2 {
                     return false;
                 }
                 let requestor = src_core.expect("GetS from an L1");
-                self.trans.insert(line, Trans::FetchForS { requestor });
+                self.trans_insert(line, Trans::FetchForS { requestor });
                 self.send_mem(ctx, MsgPayload::MemRead { line });
                 true
             }
@@ -226,7 +258,7 @@ impl TsoCcL2 {
                 }
                 let dst = ctx.cfg.node_of_l1(owner);
                 self.send_forward(ctx, dst, MsgPayload::Recall { line });
-                self.trans.insert(line, Trans::RecallForX { requestor });
+                self.trans_insert(line, Trans::RecallForX { requestor });
                 true
             }
             (MsgPayload::GetX { .. }, None) => {
@@ -235,7 +267,7 @@ impl TsoCcL2 {
                     return false;
                 }
                 let requestor = src_core.expect("GetX from an L1");
-                self.trans.insert(line, Trans::FetchForX { requestor });
+                self.trans_insert(line, Trans::FetchForX { requestor });
                 self.send_mem(ctx, MsgPayload::MemRead { line });
                 true
             }
@@ -293,7 +325,7 @@ impl TsoCcL2 {
         match (&msg.payload, trans) {
             (MsgPayload::MemData { data, .. }, Trans::FetchForS { requestor }) => {
                 ctx.coverage.record(Transition::l2("U_S_Mem", "MemData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 self.cache.insert(
                     line,
                     L2Line {
@@ -317,7 +349,7 @@ impl TsoCcL2 {
             }
             (MsgPayload::MemData { data, .. }, Trans::FetchForX { requestor }) => {
                 ctx.coverage.record(Transition::l2("U_X_Mem", "MemData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 self.cache.insert(
                     line,
                     L2Line {
@@ -346,7 +378,7 @@ impl TsoCcL2 {
                 Trans::DownForS { requestor },
             ) => {
                 ctx.coverage.record(Transition::l2("EX_S_Down", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let entry = self.cache.get_mut(line).expect("resident");
                 if *dirty {
                     entry.data = data.clone();
@@ -376,7 +408,7 @@ impl TsoCcL2 {
                 Trans::RecallForX { requestor },
             ) => {
                 ctx.coverage.record(Transition::l2("EX_X_Recall", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let entry = self.cache.get_mut(line).expect("resident");
                 if *dirty {
                     entry.data = data.clone();
@@ -401,7 +433,7 @@ impl TsoCcL2 {
             }
             (MsgPayload::WbData { data, dirty, .. }, Trans::EvictRecall) => {
                 ctx.coverage.record(Transition::l2("EX_Evict", "WbData"));
-                self.trans.remove(&line);
+                self.trans_remove(line);
                 let entry = self.cache.remove(line).expect("resident");
                 if *dirty {
                     self.send_mem(
@@ -475,6 +507,7 @@ impl L2Controller for TsoCcL2 {
     fn hard_reset(&mut self) {
         self.cache.drain_all();
         self.trans.clear();
+        self.pending_fetches.fill(0);
         self.requests.clear();
         self.responses.clear();
         self.pending_out.clear();

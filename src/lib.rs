@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the McVerSi framework.
 #![forbid(unsafe_code)]
 pub use mcversi_analysis as analysis;
+pub use mcversi_conformance as conformance;
 pub use mcversi_core as core;
 pub use mcversi_mcm as mcm;
 pub use mcversi_sim as sim;

@@ -482,10 +482,11 @@ fn arbitrary_spec(seed: u64) -> mcversi::core::ScenarioSpec {
             1 => Some(0),
             _ => Some(1 + pick(100)),
         },
-        checking: match pick(3) {
+        checking: match pick(4) {
             0 => None,
             1 => Some(mcversi::core::CheckingMode::PerExec),
-            _ => Some(mcversi::core::CheckingMode::Collective),
+            2 => Some(mcversi::core::CheckingMode::Collective),
+            _ => Some(mcversi::core::CheckingMode::Vc),
         },
         label: if pick(2) == 0 {
             None

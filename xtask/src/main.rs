@@ -1,7 +1,7 @@
 //! Repo-level static checks, run by CI next to `fmt`/`clippy`
 //! (`cargo run -p xtask`).
 //!
-//! Three source-hygiene rules the compiler cannot express, checked textually
+//! Four source-hygiene rules the compiler cannot express, checked textually
 //! over the *production* portion of every `crates/*/src/**.rs` file (each
 //! file is truncated at its first `#[cfg(test)]` line, so test modules are
 //! exempt):
@@ -18,6 +18,11 @@
 //!    keep the disabled path free of syscalls) and in the campaign deadline
 //!    logic of `crates/core/src/campaign.rs`.  Scattered ad-hoc timing would
 //!    bypass the metrics facade and its disabled-path cost guarantee.
+//! 4. **Trace parsing lives in one place**: the `mcversi-trace` wire-format
+//!    magic may appear only under `crates/conformance/`.  Everything else
+//!    (including `mcversi-check`) must go through
+//!    `mcversi_conformance::trace` rather than growing a second parser or
+//!    hand-rolled emitter for the format.
 //!
 //! Exit status: `0` when clean, `1` with `file:line` diagnostics otherwise.
 
@@ -39,6 +44,13 @@ const NO_PANIC_HELPERS: [&str; 3] = [
 /// (prefix) and the campaign deadline logic (exact file).
 const CLOCK_ALLOWED_PREFIX: &str = "crates/telemetry/";
 const CLOCK_ALLOWED_FILE: &str = "crates/core/src/campaign.rs";
+
+/// The only crate allowed to name the trace wire-format magic.
+const TRACE_ALLOWED_PREFIX: &str = "crates/conformance/";
+
+/// The `mcversi-trace` header magic, spelled so this file passes its own
+/// rule.
+const TRACE_MAGIC: &str = concat!("mcversi", "-trace");
 
 fn main() -> std::process::ExitCode {
     let root = repo_root();
@@ -97,11 +109,12 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()>
     Ok(())
 }
 
-/// Applies all three rules to one file's production lines.
+/// Applies all four rules to one file's production lines.
 fn check_file(rel: &str, text: &str, violations: &mut Vec<String>) {
     let no_panic = NO_PANIC_HELPERS.contains(&rel);
     let env_allowed = rel == ENV_ALLOWED;
     let clock_allowed = rel.starts_with(CLOCK_ALLOWED_PREFIX) || rel == CLOCK_ALLOWED_FILE;
+    let trace_allowed = rel.starts_with(TRACE_ALLOWED_PREFIX);
     for (idx, line) in text.lines().enumerate() {
         if line.trim_start().starts_with("#[cfg(test)]") {
             break; // test code below this point is exempt
@@ -124,6 +137,13 @@ fn check_file(rel: &str, text: &str, violations: &mut Vec<String>) {
             violations.push(format!(
                 "{rel}:{}: direct wall-clock read outside {CLOCK_ALLOWED_PREFIX} \
                  (use a telemetry Timer span or Stopwatch)",
+                idx + 1
+            ));
+        }
+        if !trace_allowed && line.contains(TRACE_MAGIC) {
+            violations.push(format!(
+                "{rel}:{}: trace wire-format magic outside {TRACE_ALLOWED_PREFIX} \
+                 (parse and emit traces through mcversi_conformance::trace)",
                 idx + 1
             ));
         }
