@@ -29,7 +29,8 @@ use mcversi_bench::{banner, metrics_summary, table_columns, write_artifact};
 use mcversi_core::report::{aggregate_cell, BugCoverageTable};
 use mcversi_core::scenario::jsonl_sink_from_env;
 use mcversi_core::sink::NullSink;
-use mcversi_core::{grid_from_env, SeedPolicy};
+use mcversi_core::{fabric_from_env, grid_from_env, CampaignResult, ScenarioSpec, SeedPolicy};
+use mcversi_fabric::{locate_worker, run_grid, FabricOptions, WorkerFault};
 use mcversi_sim::Bug;
 
 fn main() {
@@ -82,13 +83,17 @@ fn main() {
 
     let mut jsonl = jsonl_sink_from_env();
     let column_labels = grid.column_labels();
+    let cells = grid.cells();
+    // With MCVERSI_FABRIC set, the whole sweep runs through the multi-process
+    // coordinator up front; the per-cell loop below then only aggregates.
+    let fabric_results = fabric_from_env().map(|env| run_fabric_sweep(&cells, &env, &mut jsonl));
     let mut all_raw = Vec::new();
     // (core, model) groups arrive in grid order; tables render when a group
     // closes so long sweeps report incrementally.
     let mut open_group: Option<(String, String, BugCoverageTable)> = None;
     let mut current_bug: Option<Option<Bug>> = None;
 
-    for cell in grid.cells() {
+    for (cell_idx, cell) in cells.iter().enumerate() {
         let group_key = (cell.core_strength.to_string(), cell.model.to_string());
         match &open_group {
             Some((core, model, _)) if (core, model) == (&group_key.0, &group_key.1) => {}
@@ -117,9 +122,12 @@ fn main() {
         }
 
         let label = cell.display_label();
-        let results = match &mut jsonl {
-            Some(sink) => cell.run(sink),
-            None => cell.run(&mut NullSink),
+        let results = match &fabric_results {
+            Some(all) => all[cell_idx].1.clone(),
+            None => match &mut jsonl {
+                Some(sink) => cell.run(sink),
+                None => cell.run(&mut NullSink),
+            },
         };
         let table_cell = aggregate_cell(cell.generator, &label, &results, cell.max_test_runs);
         println!(
@@ -144,6 +152,72 @@ fn main() {
     }
     if let Ok(path) = write_artifact("table4_raw_results.json", &all_raw) {
         println!("raw results: {}", path.display());
+    }
+}
+
+/// Runs the whole sweep through the distributed-fabric coordinator
+/// (`MCVERSI_FABRIC` worker processes, optional `MCVERSI_JOURNAL`
+/// checkpoint/resume and `MCVERSI_FABRIC_FAULT` fault injection), returning
+/// per-cell results in grid order.  Any fabric failure aborts the run with
+/// exit status 4 — the journal keeps its progress for a later resume.
+fn run_fabric_sweep(
+    cells: &[ScenarioSpec],
+    env: &mcversi_core::FabricEnv,
+    jsonl: &mut Option<mcversi_core::JsonlSink<std::fs::File>>,
+) -> Vec<(ScenarioSpec, Vec<CampaignResult>)> {
+    let Some(worker) = locate_worker() else {
+        eprintln!(
+            "error: mcversi-work binary not found next to this executable \
+             (build it with `cargo build -p mcversi-fabric --bin mcversi-work`)"
+        );
+        std::process::exit(4);
+    };
+    let mut options = FabricOptions::new(worker);
+    options.workers = env.workers;
+    options.journal = env.journal.clone();
+    options.max_redispatch = env.max_redispatch;
+    if let Some(raw) = &env.fault {
+        match WorkerFault::parse(raw) {
+            Some(fault) => options.fault = Some(fault),
+            None => {
+                eprintln!("error: unparseable MCVERSI_FABRIC_FAULT `{raw}`");
+                std::process::exit(4);
+            }
+        }
+    }
+    println!(
+        "distributed fabric: {} worker(s){}{}",
+        options.workers,
+        match &options.journal {
+            Some(path) => format!(", journal {path}"),
+            None => String::new(),
+        },
+        match &options.fault {
+            Some(fault) => format!(", injected fault {}", fault.spec()),
+            None => String::new(),
+        },
+    );
+    let report = match jsonl {
+        Some(sink) => run_grid(cells, &options, sink),
+        None => run_grid(cells, &options, &mut NullSink),
+    };
+    match report {
+        Ok(report) => {
+            println!(
+                "fabric: {} dispatch(es), {} stolen, {} re-dispatched, \
+                 {} journaled sample(s) skipped{}\n",
+                report.stats.dispatched,
+                report.stats.stolen,
+                report.stats.redispatched,
+                report.stats.resume_skipped,
+                if report.resumed { " (resumed)" } else { "" },
+            );
+            report.cells
+        }
+        Err(e) => {
+            eprintln!("error: fabric campaign failed: {e}");
+            std::process::exit(4);
+        }
     }
 }
 

@@ -1,17 +1,19 @@
-//! `mcversi-report`: renders a campaign-event JSONL stream's telemetry.
+//! `mcversi-report`: renders campaign-event JSONL telemetry.
 //!
 //! Reads the JSONL a campaign wrote via `MCVERSI_JSONL` (with telemetry
 //! enabled through `MCVERSI_METRICS`, see [`mcversi_core::ScenarioSpec`])
 //! and prints per-phase wall-time attribution plus every counter and
-//! histogram, aggregated across samples.
+//! histogram, aggregated across samples.  Several streams — e.g. one journal
+//! per fabric worker — merge into one report; streams whose schema versions
+//! differ are rejected.
 //!
 //! ```text
-//! mcversi-report <events.jsonl>
-//! mcversi-report -          # read the stream from stdin
+//! mcversi-report <events.jsonl> [more.jsonl ...]
+//! mcversi-report -          # read a stream from stdin
 //! ```
 //!
-//! Exit status: `0` on success, `1` when the stream cannot be read or
-//! parsed, `2` on usage errors.
+//! Exit status: `0` on success, `1` when a stream cannot be read or parsed,
+//! `2` on usage errors.
 
 use mcversi_core::report::MetricsReport;
 use std::io::Read as _;
@@ -19,29 +21,34 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [path] = args.as_slice() else {
-        eprintln!("usage: mcversi-report <events.jsonl | ->");
+    if args.is_empty() {
+        eprintln!("usage: mcversi-report <events.jsonl | -> [more.jsonl ...]");
         return ExitCode::from(2);
-    };
-    let text = if path == "-" {
-        let mut buf = String::new();
-        match std::io::stdin().read_to_string(&mut buf) {
-            Ok(_) => buf,
-            Err(e) => {
-                eprintln!("mcversi-report: cannot read stdin: {e}");
-                return ExitCode::from(1);
+    }
+    let mut texts = Vec::with_capacity(args.len());
+    for path in &args {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("mcversi-report: cannot read stdin: {e}");
+                    return ExitCode::from(1);
+                }
             }
-        }
-    } else {
-        match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("mcversi-report: cannot read `{path}`: {e}");
-                return ExitCode::from(1);
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("mcversi-report: cannot read `{path}`: {e}");
+                    return ExitCode::from(1);
+                }
             }
-        }
-    };
-    match MetricsReport::from_jsonl(&text) {
+        };
+        texts.push(text);
+    }
+    let streams: Vec<&str> = texts.iter().map(String::as_str).collect();
+    match MetricsReport::from_jsonl_streams(&streams) {
         Ok(report) => {
             print!("{}", report.render());
             ExitCode::SUCCESS

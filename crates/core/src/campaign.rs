@@ -585,35 +585,55 @@ pub fn run_samples_streamed(
     base_seed: u64,
     sink: &mut dyn CampaignSink,
 ) -> Vec<SampleOutcome> {
-    if samples == 0 {
+    let indices: Vec<usize> = (0..samples).collect();
+    run_sample_subset(config, &indices, base_seed, sink)
+}
+
+/// Runs an explicit subset of a sample batch — the checkpoint/resume
+/// re-entry point of the distributed fabric.
+///
+/// `indices` lists the sample indices to run (normally a subset of
+/// `0..samples` whose results a resume journal does *not* already hold).
+/// Each index `i` runs with seed `base_seed + i`, exactly as it would in the
+/// full batch, so a batch split into "journaled" and "re-run" halves merges
+/// back into results bit-identical to an uninterrupted [`run_samples`] call.
+/// Outcomes are returned in `indices` order.
+pub fn run_sample_subset(
+    config: &CampaignConfig,
+    indices: &[usize],
+    base_seed: u64,
+    sink: &mut dyn CampaignSink,
+) -> Vec<SampleOutcome> {
+    if indices.is_empty() {
         return Vec::new();
     }
-    let workers = config.effective_parallelism(samples);
+    let workers = config.effective_parallelism(indices.len());
     let budget = config
         .shared_wall_time
         .map_or_else(WallBudget::unlimited, WallBudget::starting_now);
     let next_job = AtomicUsize::new(0);
     let (sender, receiver) =
         mpsc::sync_channel::<(usize, CampaignEvent)>(workers * EVENT_CHANNEL_DEPTH);
-    let mut outcomes: Vec<Option<SampleOutcome>> = (0..samples).map(|_| None).collect();
+    let mut outcomes: Vec<Option<SampleOutcome>> = (0..indices.len()).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.clamp(1, samples) {
+        for _ in 0..workers.clamp(1, indices.len()) {
             let sender = sender.clone();
             let next_job = &next_job;
             let budget = &budget;
             scope.spawn(move || loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= samples {
+                let slot = next_job.fetch_add(1, Ordering::Relaxed);
+                if slot >= indices.len() {
                     break;
                 }
+                let i = indices[slot];
                 let seed = base_seed.wrapping_add(i as u64);
                 // A send only fails once the receiver is gone, i.e. the batch
                 // is being torn down — then dropping events is the right call.
-                let _ = sender.send((i, CampaignEvent::SampleStart { seed, index: i }));
+                let _ = sender.send((slot, CampaignEvent::SampleStart { seed, index: i }));
                 let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     run_campaign_observed(config, seed, budget, &mut |event| {
-                        let _ = sender.send((i, event));
+                        let _ = sender.send((slot, event));
                     })
                 }));
                 let final_event = match run {
@@ -623,21 +643,21 @@ pub fn run_samples_streamed(
                         message: panic_message(payload),
                     },
                 };
-                let _ = sender.send((i, final_event));
+                let _ = sender.send((slot, final_event));
             });
         }
         drop(sender);
 
         // Drain on the calling thread while the workers run: this is what
         // makes the sink live rather than post-hoc.
-        for (i, event) in receiver {
+        for (slot, event) in receiver {
             match &event {
                 CampaignEvent::SampleDone { result } => {
-                    outcomes[i] = Some(SampleOutcome::Completed(result.clone()));
+                    outcomes[slot] = Some(SampleOutcome::Completed(result.clone()));
                 }
                 CampaignEvent::SamplePanic { seed, message } => {
                     EVT_SAMPLE_PANIC.incr();
-                    outcomes[i] = Some(SampleOutcome::Panicked {
+                    outcomes[slot] = Some(SampleOutcome::Panicked {
                         seed: *seed,
                         message: message.clone(),
                     });
@@ -1003,7 +1023,7 @@ mod tests {
                     | CampaignEvent::SamplePanic { seed: s, .. }
                     | CampaignEvent::Metrics { seed: s, .. } => *s == seed,
                     CampaignEvent::SampleDone { result } => result.seed == seed,
-                    CampaignEvent::Schema { .. } => false,
+                    _ => false,
                 })
                 .collect();
             assert!(

@@ -37,14 +37,17 @@ pub mod scenario;
 pub mod sink;
 
 pub use campaign::{
-    run_campaign, run_campaign_budgeted, run_campaign_observed, run_samples, run_samples_outcomes,
-    run_samples_streamed, CampaignConfig, CampaignResult, SampleOutcome, StaticPrune, WallBudget,
+    run_campaign, run_campaign_budgeted, run_campaign_observed, run_sample_subset, run_samples,
+    run_samples_outcomes, run_samples_streamed, CampaignConfig, CampaignResult, SampleOutcome,
+    StaticPrune, WallBudget,
 };
 pub use config::McVerSiConfig;
 pub use coverage::{AdaptiveCoverage, AdaptiveCoverageConfig};
 pub use generator::{GeneratorKind, TestSource};
 pub use runner::{CheckingMode, DedupStats, RunVerdict, TestRunResult, TestRunner};
-pub use scenario::{grid_from_env, ScenarioGrid, ScenarioSpec, SeedPolicy, SpecError};
+pub use scenario::{
+    fabric_from_env, grid_from_env, FabricEnv, ScenarioGrid, ScenarioSpec, SeedPolicy, SpecError,
+};
 pub use sink::{CampaignEvent, CampaignSink, CollectSink, JsonlSink, NullSink, ProgressSink};
 
 #[cfg(test)]

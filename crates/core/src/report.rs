@@ -239,10 +239,36 @@ impl std::fmt::Display for MetricsReportError {
 
 impl std::error::Error for MetricsReportError {}
 
-/// The telemetry of one campaign-event JSONL stream (see
+/// Distributed-fabric activity observed in a journal or worker stream:
+/// [`CampaignEvent::FabricStats`] totals plus resume/cell bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricTotals {
+    /// Shard dispatches to worker processes.
+    pub dispatched: u64,
+    /// Dispatches stolen from another worker's queue.
+    pub stolen: u64,
+    /// Shards re-dispatched after worker loss.
+    pub redispatched: u64,
+    /// Samples skipped thanks to a resume journal.
+    pub resume_skipped: u64,
+    /// [`CampaignEvent::Resume`] records observed.
+    pub resumes: usize,
+    /// [`CampaignEvent::CellDone`] records observed.
+    pub cells_done: usize,
+}
+
+impl FabricTotals {
+    /// Returns `true` when no fabric activity was observed at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FabricTotals::default()
+    }
+}
+
+/// The telemetry of one or more campaign-event JSONL streams (see
 /// [`crate::sink::JsonlSink`]), reduced to one final snapshot per sample.
 ///
-/// A [`CampaignEvent::SampleDone`] closes its sample with the result's final
+/// A [`CampaignEvent::SampleDone`] (or its cell-attributed fabric form,
+/// [`CampaignEvent::SampleResult`]) closes its sample with the result's final
 /// snapshot; a sample that never completed (crashed or still running) is
 /// represented by its last streamed [`CampaignEvent::Metrics`] snapshot,
 /// which is cumulative by construction.  Samples are kept individually —
@@ -264,6 +290,8 @@ pub struct MetricsReport {
     pub dedup: DedupStats,
     /// Number of completed samples that contributed to [`Self::dedup`].
     pub dedup_samples: usize,
+    /// Distributed-fabric activity, if the streams carried any.
+    pub fabric: FabricTotals,
 }
 
 impl MetricsReport {
@@ -276,18 +304,47 @@ impl MetricsReport {
     /// stream without a header (pre-versioning producer) is accepted.
     pub fn from_jsonl(text: &str) -> Result<Self, MetricsReportError> {
         let mut report = MetricsReport::default();
+        report.ingest(text, "")?;
+        Ok(report)
+    }
+
+    /// Parses and merges several campaign-event JSONL streams — e.g. one
+    /// journal per fabric worker — into one report.
+    ///
+    /// Every stream must carry the same schema version (in practice this
+    /// build's [`EVENT_SCHEMA_VERSION`]); a mix of versions is rejected with
+    /// the offending stream named, so a worker left behind by a format bump
+    /// cannot silently corrupt a merged report.  Error messages are prefixed
+    /// with the 1-based stream index.
+    pub fn from_jsonl_streams(streams: &[&str]) -> Result<Self, MetricsReportError> {
+        let mut report = MetricsReport::default();
+        for (idx, text) in streams.iter().enumerate() {
+            let prefix = if streams.len() > 1 {
+                format!("stream {}: ", idx + 1)
+            } else {
+                String::new()
+            };
+            report.ingest(text, &prefix)?;
+        }
+        Ok(report)
+    }
+
+    /// Folds one JSONL stream into the report (see [`Self::from_jsonl`]).
+    fn ingest(&mut self, text: &str, prefix: &str) -> Result<(), MetricsReportError> {
+        // Streamed snapshots are subsumed per stream: a `SampleDone` in one
+        // worker's stream must not cancel another worker's live snapshot.
         let mut streamed: BTreeMap<u64, MetricsSnapshot> = BTreeMap::new();
         for (idx, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let event: CampaignEvent = serde_json::from_str(line)
-                .map_err(|e| MetricsReportError(format!("line {}: {e}", idx + 1)))?;
-            report.events += 1;
+                .map_err(|e| MetricsReportError(format!("{prefix}line {}: {e}", idx + 1)))?;
+            self.events += 1;
             match event {
                 CampaignEvent::Schema { version } if version != EVENT_SCHEMA_VERSION => {
                     return Err(MetricsReportError(format!(
-                        "line {}: schema version {version} (this build reads \
+                        "{prefix}line {}: schema version {version} (this build reads \
                          {EVENT_SCHEMA_VERSION})",
                         idx + 1
                     )));
@@ -296,24 +353,58 @@ impl MetricsReport {
                 CampaignEvent::Metrics { seed, snapshot, .. } => {
                     streamed.insert(seed, snapshot);
                 }
-                CampaignEvent::SampleDone { result } => {
-                    report.wall_ns += result.wall_time.as_nanos() as u64;
+                CampaignEvent::SampleDone { result }
+                | CampaignEvent::SampleResult { cell: _, result } => {
+                    self.wall_ns += result.wall_time.as_nanos() as u64;
                     if let Some(dedup) = &result.dedup {
-                        report.dedup.merge(dedup);
-                        report.dedup_samples += 1;
+                        self.dedup.merge(dedup);
+                        self.dedup_samples += 1;
                     }
                     // The final snapshot subsumes the sample's streamed ones
                     // (all snapshots are cumulative).
                     let last_streamed = streamed.remove(&result.seed);
                     if let Some(snapshot) = result.metrics.or(last_streamed) {
-                        report.completed.push((result.seed, snapshot));
+                        self.completed.push((result.seed, snapshot));
                     }
+                }
+                CampaignEvent::CellDone { .. } => {
+                    self.fabric.cells_done += 1;
+                }
+                CampaignEvent::Resume {
+                    cells_skipped: _,
+                    samples_skipped,
+                } => {
+                    self.fabric.resumes += 1;
+                    self.fabric.resume_skipped += samples_skipped as u64;
+                }
+                CampaignEvent::FabricStats {
+                    dispatched,
+                    stolen,
+                    redispatched,
+                    resume_skipped,
+                } => {
+                    self.fabric.dispatched += dispatched;
+                    self.fabric.stolen += stolen;
+                    self.fabric.redispatched += redispatched;
+                    // `FabricStats.resume_skipped` restates the per-`Resume`
+                    // counts already folded in above; keep the larger so a
+                    // journal carrying both records is not double-counted.
+                    self.fabric.resume_skipped = self.fabric.resume_skipped.max(resume_skipped);
                 }
                 _ => {}
             }
         }
-        report.unfinished = streamed;
-        Ok(report)
+        for (seed, snapshot) in streamed {
+            match self.unfinished.entry(seed) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(snapshot);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().merge(&snapshot);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of samples represented (completed plus unfinished).
@@ -359,6 +450,7 @@ impl MetricsReport {
         if total.is_empty() {
             out.push_str("no telemetry recorded (run with MCVERSI_METRICS=sample or a cadence)\n");
             self.render_dedup(&mut out);
+            self.render_fabric(&mut out);
             return out;
         }
 
@@ -396,6 +488,7 @@ impl MetricsReport {
         }
 
         self.render_dedup(&mut out);
+        self.render_fabric(&mut out);
         render_vc(&total, &mut out);
 
         if !total.histograms.is_empty() {
@@ -435,6 +528,23 @@ impl MetricsReport {
             d.oracle_valid,
             d.checker_calls,
             d.executions as f64 / d.checker_calls.max(1) as f64,
+        );
+    }
+
+    /// Appends the distributed-fabric summary line when the streams carried
+    /// coordinator activity (`fabric.*` counters, resume or cell records).
+    fn render_fabric(&self, out: &mut String) {
+        if self.fabric.is_empty() {
+            return;
+        }
+        let f = &self.fabric;
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Distributed fabric: {} shard dispatch(es) ({} stolen, \
+             {} re-dispatched after worker loss), {} cell(s) completed, \
+             {} resume(s) skipping {} journaled sample(s)",
+            f.dispatched, f.stolen, f.redispatched, f.cells_done, f.resumes, f.resume_skipped,
         );
     }
 }
@@ -702,6 +812,141 @@ mod tests {
         let report = MetricsReport::from_jsonl("").expect("empty stream parses");
         assert!(report.is_empty());
         assert!(report.render().contains("MCVERSI_METRICS"));
+    }
+
+    #[test]
+    fn metrics_report_merges_per_worker_streams() {
+        // Two fabric worker journals: each stream's own SampleDone subsumes
+        // its streamed snapshots, but a live snapshot in one stream must not
+        // be cancelled by a completion in the other.
+        let mut done = result(true, Some(2));
+        done.seed = 1;
+        done.metrics = Some(snapshot(10));
+        let stream_a = jsonl(&[
+            CampaignEvent::Schema {
+                version: EVENT_SCHEMA_VERSION,
+            },
+            CampaignEvent::SampleResult {
+                cell: 7,
+                result: done,
+            },
+            CampaignEvent::CellDone {
+                cell: 7,
+                samples: 1,
+            },
+        ]);
+        let stream_b = jsonl(&[
+            CampaignEvent::Schema {
+                version: EVENT_SCHEMA_VERSION,
+            },
+            CampaignEvent::Metrics {
+                seed: 1,
+                run: 1,
+                snapshot: snapshot(4),
+            },
+        ]);
+        let report =
+            MetricsReport::from_jsonl_streams(&[&stream_a, &stream_b]).expect("streams parse");
+        assert_eq!(report.completed, vec![(1, snapshot(10))]);
+        assert_eq!(
+            report.unfinished[&1].counters["sim.l1.mesi.hit"], 4,
+            "stream B's live sample survives stream A's completion of seed 1"
+        );
+        assert_eq!(report.samples(), 2);
+        assert_eq!(report.fabric.cells_done, 1);
+    }
+
+    #[test]
+    fn metrics_report_rejects_mixed_schema_versions_naming_the_stream() {
+        let v1 = jsonl(&[CampaignEvent::Schema {
+            version: EVENT_SCHEMA_VERSION,
+        }]);
+        let foreign = "{\"Schema\":{\"version\":2}}".to_string();
+        let err = MetricsReport::from_jsonl_streams(&[&v1, &foreign]).unwrap_err();
+        assert!(
+            format!("{err}").contains("stream 2"),
+            "the offending stream is named: {err}"
+        );
+        assert!(format!("{err}").contains("schema version 2"));
+    }
+
+    #[test]
+    fn sample_results_count_exactly_like_sample_dones() {
+        let mut done = result(true, Some(3));
+        done.metrics = Some(snapshot(5));
+        done.dedup = Some(DedupStats {
+            executions: 10,
+            cache_hits: 8,
+            cache_misses: 2,
+            oracle_valid: 1,
+            checker_calls: 1,
+        });
+        let plain = jsonl(&[CampaignEvent::SampleDone {
+            result: done.clone(),
+        }]);
+        let attributed = jsonl(&[CampaignEvent::SampleResult {
+            cell: 42,
+            result: done,
+        }]);
+        let a = MetricsReport::from_jsonl(&plain).unwrap();
+        let b = MetricsReport::from_jsonl(&attributed).unwrap();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.total_wall_ns(), b.total_wall_ns());
+        assert_eq!(a.dedup, b.dedup);
+        assert_eq!(a.dedup_samples, b.dedup_samples);
+    }
+
+    #[test]
+    fn metrics_report_renders_the_fabric_summary_line() {
+        let text = jsonl(&[
+            CampaignEvent::Schema {
+                version: EVENT_SCHEMA_VERSION,
+            },
+            CampaignEvent::Resume {
+                cells_skipped: 1,
+                samples_skipped: 3,
+            },
+            CampaignEvent::CellDone {
+                cell: 1,
+                samples: 2,
+            },
+            CampaignEvent::CellDone {
+                cell: 2,
+                samples: 2,
+            },
+            // FabricStats restates the Resume's skip count: no double count.
+            CampaignEvent::FabricStats {
+                dispatched: 5,
+                stolen: 2,
+                redispatched: 1,
+                resume_skipped: 3,
+            },
+        ]);
+        let report = MetricsReport::from_jsonl(&text).expect("stream parses");
+        assert_eq!(
+            report.fabric,
+            FabricTotals {
+                dispatched: 5,
+                stolen: 2,
+                redispatched: 1,
+                resume_skipped: 3,
+                resumes: 1,
+                cells_done: 2,
+            }
+        );
+        let rendered = report.render();
+        assert!(
+            rendered.contains(
+                "Distributed fabric: 5 shard dispatch(es) (2 stolen, \
+                 1 re-dispatched after worker loss), 2 cell(s) completed, \
+                 1 resume(s) skipping 3 journaled sample(s)"
+            ),
+            "fabric summary rendered: {rendered}"
+        );
+        // A stream with no fabric records renders no fabric line.
+        let plain = MetricsReport::from_jsonl("").unwrap();
+        assert!(plain.fabric.is_empty());
+        assert!(!plain.render().contains("Distributed fabric"));
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //! | `MCVERSI_JSONL`        | path; streams campaign events there as JSONL ([`crate::sink::JsonlSink`]) | unset |
 //! | `MCVERSI_METRICS`      | telemetry: `off`, `sample` (final snapshot only), or a cadence `n` (also stream a snapshot every `n` test-runs) | unset (off) |
 //! | `MCVERSI_CHECKING`     | execution checking mode: `per_exec` (check every iteration), `collective` (signature-deduplicated collective checking) or `vc` (vector-clock first pass, axiomatic fallback) | `per_exec` |
+//! | `MCVERSI_FABRIC`       | worker child processes of the distributed fabric (`0` = run in-process) | unset   |
+//! | `MCVERSI_JOURNAL`      | path of the fabric checkpoint journal; an existing journal is resumed | unset   |
+//! | `MCVERSI_FABRIC_FAULT` | fault injected into the first worker dispatch (`kill-after:<n>`, `hang-after:<n>`, `corrupt-tail:<n>`; test/CI only) | unset   |
+//! | `MCVERSI_FABRIC_RETRIES` | re-dispatch attempts per shard after a worker dies | 2       |
 //!
 //! `MCVERSI_CORES` mixes both axes of the core configuration: numeric parts
 //! set the simulated core count, named parts select the pipeline strengths to
@@ -343,6 +347,25 @@ impl ScenarioSpec {
             .into_iter()
             .map(|outcome| outcome.into_result(&config))
             .collect()
+    }
+
+    /// A stable 64-bit identity for this spec as a grid cell: the FNV-1a
+    /// hash of its canonical JSON rendering.
+    ///
+    /// The id is derived from the cell's *content* (every spec field,
+    /// including `base_seed` and `label`), never from its position in a
+    /// grid enumeration, so shard assignment and journal records stay valid
+    /// when a grid is re-expanded in a different order or filtered.
+    pub fn cell_id(&self) -> u64 {
+        // FNV-1a, 64-bit: small, dependency-free and stable across platforms.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
     }
 
     // ---- serialization ----
@@ -854,6 +877,45 @@ pub fn models_from_env() -> Vec<ModelKind> {
         Ok(raw) => parse_models(&raw),
         Err(_) => parse_models(""),
     }
+}
+
+/// Distributed-fabric settings read from the environment (see
+/// [`fabric_from_env`]).  This is plain data: the fabric crate interprets
+/// it, `crates/core` only centralises the parsing (xtask rule 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricEnv {
+    /// Worker child processes (`MCVERSI_FABRIC`; `0`/unset = in-process).
+    pub workers: usize,
+    /// Journal path for checkpoint/resume (`MCVERSI_JOURNAL`).
+    pub journal: Option<String>,
+    /// Fault-injection spec for the first dispatches, e.g. `kill-after:25`
+    /// (`MCVERSI_FABRIC_FAULT`; test/CI only).
+    pub fault: Option<String>,
+    /// Re-dispatch attempts per shard after worker loss
+    /// (`MCVERSI_FABRIC_RETRIES`).
+    pub max_redispatch: usize,
+}
+
+/// Reads the `MCVERSI_FABRIC*` / `MCVERSI_JOURNAL` variables; `None` unless
+/// `MCVERSI_FABRIC` names a positive worker count.
+pub fn fabric_from_env() -> Option<FabricEnv> {
+    let raw = std::env::var("MCVERSI_FABRIC").ok()?;
+    let workers = match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        Ok(_) => return None,
+        Err(_) => {
+            warn_once(&format!(
+                "warning: MCVERSI_FABRIC: not a worker count: '{raw}' ignored"
+            ));
+            return None;
+        }
+    };
+    Some(FabricEnv {
+        workers,
+        journal: std::env::var("MCVERSI_JOURNAL").ok(),
+        fault: std::env::var("MCVERSI_FABRIC_FAULT").ok(),
+        max_redispatch: env_usize("MCVERSI_FABRIC_RETRIES", 2),
+    })
 }
 
 /// Opens a [`crate::sink::JsonlSink`] on the `MCVERSI_JSONL` path, if set.

@@ -86,6 +86,50 @@ pub enum CampaignEvent {
         /// Cumulative metrics since the sample started.
         snapshot: MetricsSnapshot,
     },
+    /// A fabric worker started a grid cell (distributed campaigns only).
+    CellStart {
+        /// Stable cell identity (`ScenarioSpec::cell_id`).
+        cell: u64,
+        /// The cell's human-readable label.
+        label: String,
+    },
+    /// A sample of a grid cell ran to completion on a fabric worker.  This is
+    /// the cell-attributed form of [`CampaignEvent::SampleDone`]: workers
+    /// rewrite `SampleDone` into `SampleResult` so a journal merging several
+    /// cells (and several workers) stays unambiguous.
+    SampleResult {
+        /// Stable cell identity (`ScenarioSpec::cell_id`).
+        cell: u64,
+        /// The completed result.
+        result: CampaignResult,
+    },
+    /// A fabric worker finished every requested sample of a grid cell.
+    CellDone {
+        /// Stable cell identity (`ScenarioSpec::cell_id`).
+        cell: u64,
+        /// How many samples the worker ran for this cell (excluding samples
+        /// skipped because a resume journal already had their results).
+        samples: usize,
+    },
+    /// The coordinator resumed a campaign from a partial journal; appended to
+    /// the journal itself so the resume is visible downstream.
+    Resume {
+        /// Cells skipped entirely because the journal marked them done.
+        cells_skipped: usize,
+        /// Individual samples skipped inside partially-complete cells.
+        samples_skipped: usize,
+    },
+    /// End-of-campaign coordinator statistics (distributed campaigns only).
+    FabricStats {
+        /// Shard dispatches to worker processes.
+        dispatched: u64,
+        /// Dispatches stolen from another worker's queue.
+        stolen: u64,
+        /// Shards re-dispatched after a worker died or went silent.
+        redispatched: u64,
+        /// Samples skipped thanks to a resume journal.
+        resume_skipped: u64,
+    },
 }
 
 /// A consumer of streaming campaign events.
@@ -116,6 +160,33 @@ pub trait CampaignSink: Send {
     /// A telemetry snapshot arrived.
     fn on_metrics(&mut self, _seed: u64, _run: usize, _snapshot: &MetricsSnapshot) {}
 
+    /// A fabric worker started a grid cell.
+    fn on_cell_start(&mut self, _cell: u64, _label: &str) {}
+
+    /// A cell-attributed sample completed on a fabric worker.  Defaults to
+    /// forwarding the result to [`CampaignSink::on_sample_done`], so
+    /// collectors and progress reporters see distributed completions without
+    /// fabric-specific code.
+    fn on_sample_result(&mut self, _cell: u64, result: &CampaignResult) {
+        self.on_sample_done(result);
+    }
+
+    /// A fabric worker finished a grid cell.
+    fn on_cell_done(&mut self, _cell: u64, _samples: usize) {}
+
+    /// The coordinator resumed from a partial journal.
+    fn on_resume(&mut self, _cells_skipped: usize, _samples_skipped: usize) {}
+
+    /// End-of-campaign coordinator statistics arrived.
+    fn on_fabric_stats(
+        &mut self,
+        _dispatched: u64,
+        _stolen: u64,
+        _redispatched: u64,
+        _resume_skipped: u64,
+    ) {
+    }
+
     /// Dispatches one event to the matching method (the channel-drain entry
     /// point; implementations normally override the specific methods).
     fn on_event(&mut self, event: &CampaignEvent) {
@@ -139,6 +210,19 @@ pub trait CampaignSink: Send {
                 run,
                 snapshot,
             } => self.on_metrics(*seed, *run, snapshot),
+            CampaignEvent::CellStart { cell, label } => self.on_cell_start(*cell, label),
+            CampaignEvent::SampleResult { cell, result } => self.on_sample_result(*cell, result),
+            CampaignEvent::CellDone { cell, samples } => self.on_cell_done(*cell, *samples),
+            CampaignEvent::Resume {
+                cells_skipped,
+                samples_skipped,
+            } => self.on_resume(*cells_skipped, *samples_skipped),
+            CampaignEvent::FabricStats {
+                dispatched,
+                stolen,
+                redispatched,
+                resume_skipped,
+            } => self.on_fabric_stats(*dispatched, *stolen, *redispatched, *resume_skipped),
         }
     }
 }

@@ -1,0 +1,618 @@
+//! The multi-process coordinator: dispatches [`GridShard`]s to a pool of
+//! `mcversi-work` child processes with work stealing across campaigns,
+//! heartbeat-based liveness, automatic re-dispatch after worker loss, and
+//! journal-backed checkpoint/resume.
+//!
+//! Every worker's stdout is a campaign-event JSONL stream.  The coordinator
+//! forwards all events to the caller's live sink, journals the *checkpoint*
+//! records (`CellStart`, `SampleResult`, `CellDone`, plus its own `Resume`
+//! and `FabricStats`) through a [`CheckpointSink`], and deduplicates by
+//! `(cell, seed)` so a re-dispatched shard can never journal a sample twice.
+
+use crate::journal::{CheckpointSink, JournalReplay};
+use crate::shard::{shard_cells, FabricError, GridShard, WorkerFault};
+use mcversi_core::sink::{CampaignEvent, CampaignSink, EVENT_SCHEMA_VERSION};
+use mcversi_core::{CampaignResult, ScenarioSpec};
+use mcversi_telemetry as telemetry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Shard dispatches to worker processes.
+static DISPATCHES: telemetry::Counter = telemetry::Counter::new("fabric.dispatch");
+/// Dispatches taken from another worker's queue.
+static STEALS: telemetry::Counter = telemetry::Counter::new("fabric.steal");
+/// Shards re-dispatched after a worker died or went silent.
+static REDISPATCHES: telemetry::Counter = telemetry::Counter::new("fabric.redispatch");
+/// Samples skipped because a resume journal already held their results.
+static RESUME_SKIPS: telemetry::Counter = telemetry::Counter::new("fabric.resume_skip");
+
+/// How the coordinator runs a campaign.
+#[derive(Debug, Clone)]
+pub struct FabricOptions {
+    /// Worker child processes to keep busy.
+    pub workers: usize,
+    /// Shards to split the grid into (`0` = twice the worker count, so work
+    /// stealing has spare shards to take).
+    pub shards: usize,
+    /// Path of the `mcversi-work` binary (see [`locate_worker`]).
+    pub worker_program: PathBuf,
+    /// Checkpoint journal path; an existing journal is resumed.
+    pub journal: Option<String>,
+    /// A worker silent for longer than this is presumed dead: its process is
+    /// killed and its shard re-dispatched.
+    pub heartbeat_timeout: Duration,
+    /// Re-dispatch attempts per dispatch chain after worker loss; exceeding
+    /// it fails the campaign (`0` = any worker loss is fatal).
+    pub max_redispatch: usize,
+    /// Fault injected into the first dispatched shard (tests/CI only); never
+    /// carried over to re-dispatches.
+    pub fault: Option<WorkerFault>,
+}
+
+impl FabricOptions {
+    /// Defaults: 2 workers, auto shard count, 30 s heartbeat, 2 retries.
+    pub fn new(worker_program: PathBuf) -> Self {
+        FabricOptions {
+            workers: 2,
+            shards: 0,
+            worker_program,
+            journal: None,
+            heartbeat_timeout: Duration::from_secs(30),
+            max_redispatch: 2,
+            fault: None,
+        }
+    }
+}
+
+/// Coordinator activity counts, mirrored into the `fabric.*` telemetry
+/// counters and the journal's final [`CampaignEvent::FabricStats`] record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStatsCounts {
+    /// Shard dispatches to worker processes.
+    pub dispatched: u64,
+    /// Dispatches stolen from another worker's queue.
+    pub stolen: u64,
+    /// Shards re-dispatched after worker loss.
+    pub redispatched: u64,
+    /// Samples skipped thanks to the resume journal.
+    pub resume_skipped: u64,
+}
+
+/// The outcome of a coordinated campaign.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Per-cell results in original grid order, each cell's results in seed
+    /// order — bit-identical to an uninterrupted in-process run.
+    pub cells: Vec<(ScenarioSpec, Vec<CampaignResult>)>,
+    /// Coordinator activity counts.
+    pub stats: FabricStatsCounts,
+    /// Whether a non-empty journal was resumed.
+    pub resumed: bool,
+}
+
+/// Locates the `mcversi-work` binary next to the current executable (same
+/// directory, or up to two levels up — covering `target/<profile>/` and
+/// `target/<profile>/deps/` layouts).
+pub fn locate_worker() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("mcversi-work{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let candidate = dir.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// A line-level message from one worker's stdout reader thread.
+enum WorkerMsg {
+    /// A parsed event line (boxed: events carry full result payloads).
+    Event(Box<CampaignEvent>),
+    /// An unparseable line (torn write or corruption); never journaled.
+    BadLine,
+    /// The worker's stdout closed: it exited or was killed.
+    Eof,
+}
+
+/// One worker slot of the pool.
+struct Slot {
+    /// The running child, if the slot is busy.
+    child: Option<Child>,
+    /// The shard the child is running, with its re-dispatch count.
+    work: Option<(GridShard, usize)>,
+    /// Dispatch generation: messages from earlier generations are stale.
+    generation: u64,
+    /// Coordinator-clock nanoseconds at the last line from this worker.
+    last_seen_ns: u64,
+}
+
+/// Per-cell bookkeeping the coordinator accumulates.
+struct Progress {
+    /// Completed results per cell, keyed `cell id → seed → result`.
+    results: BTreeMap<u64, BTreeMap<u64, CampaignResult>>,
+    /// `(cell, seed)` pairs already journaled (dedup for re-dispatches).
+    journaled: BTreeSet<(u64, u64)>,
+    /// Cells whose `CellStart` was already journaled.
+    started: BTreeSet<u64>,
+    /// Cells whose `CellDone` was already journaled.
+    closed: BTreeSet<u64>,
+}
+
+/// Runs `cells` through the worker pool and reassembles their results.
+///
+/// Events stream into `sink` as they arrive (worker `Schema` headers are
+/// verified and dropped); when `options.journal` is set, checkpoint records
+/// are appended there and an existing journal is replayed first — completed
+/// cells are skipped entirely, partially-complete cells re-run only their
+/// missing samples, and the merged final results are bit-identical to an
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// Fails when the journal is unusable or names cells outside this grid, when
+/// a worker cannot be spawned, or when a shard exceeds
+/// [`FabricOptions::max_redispatch`] worker losses.
+pub fn run_grid(
+    cells: &[ScenarioSpec],
+    options: &FabricOptions,
+    sink: &mut dyn CampaignSink,
+) -> Result<FabricReport, FabricError> {
+    let mut stats = FabricStatsCounts::default();
+    let by_id: BTreeMap<u64, &ScenarioSpec> =
+        cells.iter().map(|cell| (cell.cell_id(), cell)).collect();
+    if by_id.len() != cells.len() {
+        // Delegate the error message to the sharder, which names the twins.
+        shard_cells(cells, 1)?;
+    }
+
+    // ---- replay-to-resume ----
+    let mut journal = match &options.journal {
+        Some(path) => Some(CheckpointSink::append(path)?),
+        None => None,
+    };
+    let replay = match &options.journal {
+        Some(path) => JournalReplay::load(path)?,
+        None => JournalReplay::default(),
+    };
+    let mut progress = Progress {
+        results: BTreeMap::new(),
+        journaled: BTreeSet::new(),
+        started: BTreeSet::new(),
+        closed: BTreeSet::new(),
+    };
+    let resumed = replay.events > 0;
+    let mut cells_skipped = 0usize;
+    let mut samples_skipped = 0usize;
+    for (&cell_id, state) in &replay.cells {
+        let Some(spec) = by_id.get(&cell_id) else {
+            return Err(FabricError(format!(
+                "journal names cell {cell_id:#018x}, which is not in this grid \
+                 (resuming a different campaign?)"
+            )));
+        };
+        progress.started.insert(cell_id);
+        let mut kept = 0usize;
+        for (&seed, result) in &state.samples {
+            // Only seeds of this cell's sample range count; anything else in
+            // the journal would be a corrupted record.
+            let index = seed.wrapping_sub(spec.base_seed);
+            if index < spec.samples as u64 {
+                progress
+                    .results
+                    .entry(cell_id)
+                    .or_default()
+                    .insert(seed, result.clone());
+                progress.journaled.insert((cell_id, seed));
+                kept += 1;
+            }
+        }
+        samples_skipped += kept;
+        if kept >= spec.samples {
+            cells_skipped += 1;
+            progress.closed.insert(cell_id);
+        }
+    }
+    if resumed {
+        RESUME_SKIPS.add(samples_skipped as u64);
+        stats.resume_skipped = samples_skipped as u64;
+        let event = CampaignEvent::Resume {
+            cells_skipped,
+            samples_skipped,
+        };
+        if let Some(journal) = journal.as_mut() {
+            journal.record(&event);
+        }
+        sink.on_event(&event);
+    }
+
+    // ---- shard the remaining work ----
+    let pending: Vec<ScenarioSpec> = cells
+        .iter()
+        .filter(|cell| {
+            let have = progress
+                .results
+                .get(&cell.cell_id())
+                .map_or(0, BTreeMap::len);
+            have < cell.samples
+        })
+        .cloned()
+        .collect();
+    if !pending.is_empty() {
+        let shard_count = if options.shards > 0 {
+            options.shards
+        } else {
+            (options.workers * 2).max(1)
+        }
+        .min(pending.len());
+        let mut shards = shard_cells(&pending, shard_count)?;
+        shards.sort_by_key(|shard| shard.id);
+        for shard in &mut shards {
+            for (cell, skip) in shard.cells.iter().zip(shard.skip.iter_mut()) {
+                let id = cell.cell_id();
+                if let Some(done) = progress.results.get(&id) {
+                    *skip = done
+                        .keys()
+                        .map(|seed| seed.wrapping_sub(cell.base_seed) as usize)
+                        .filter(|&index| index < cell.samples)
+                        .collect();
+                }
+            }
+        }
+        if let Some(first) = shards.first_mut() {
+            first.fault = options.fault;
+        }
+        run_pool(
+            &mut shards,
+            options,
+            sink,
+            &mut journal,
+            &mut progress,
+            &mut stats,
+            &by_id,
+        )?;
+    }
+
+    // ---- final stats and merge ----
+    let event = CampaignEvent::FabricStats {
+        dispatched: stats.dispatched,
+        stolen: stats.stolen,
+        redispatched: stats.redispatched,
+        resume_skipped: stats.resume_skipped,
+    };
+    if let Some(journal) = journal.as_mut() {
+        journal.record(&event);
+    }
+    sink.on_event(&event);
+
+    let per_cell: BTreeMap<u64, Vec<CampaignResult>> = progress
+        .results
+        .into_iter()
+        .map(|(cell, by_seed)| (cell, by_seed.into_values().collect()))
+        .collect();
+    let merged = crate::shard::merge_results(cells, &per_cell)?;
+    Ok(FabricReport {
+        cells: merged,
+        stats,
+        resumed,
+    })
+}
+
+/// Runs the dispatch/steal/heartbeat loop until every pending shard's cells
+/// are complete (see [`run_grid`]).
+#[allow(clippy::too_many_arguments)]
+fn run_pool(
+    shards: &mut Vec<GridShard>,
+    options: &FabricOptions,
+    sink: &mut dyn CampaignSink,
+    journal: &mut Option<CheckpointSink>,
+    progress: &mut Progress,
+    stats: &mut FabricStatsCounts,
+    by_id: &BTreeMap<u64, &ScenarioSpec>,
+) -> Result<(), FabricError> {
+    let workers = options.workers.max(1).min(shards.len().max(1));
+    // Round-robin the shards over the worker slots' queues; an idle slot
+    // drains its own queue first and steals from the fullest other queue
+    // once it runs dry.
+    let mut queues: Vec<VecDeque<(GridShard, usize)>> =
+        (0..workers).map(|_| VecDeque::new()).collect();
+    for (idx, shard) in shards.drain(..).enumerate() {
+        queues[idx % workers].push_back((shard, 0));
+    }
+
+    let clock = telemetry::Stopwatch::start();
+    let heartbeat_ns = options.heartbeat_timeout.as_nanos() as u64;
+    let (sender, receiver) = mpsc::channel::<(usize, u64, WorkerMsg)>();
+    let mut slots: Vec<Slot> = (0..workers)
+        .map(|_| Slot {
+            child: None,
+            work: None,
+            generation: 0,
+            last_seen_ns: 0,
+        })
+        .collect();
+
+    let outcome = loop {
+        // Keep every idle slot fed: own queue first, then steal.
+        let mut spawn_error = None;
+        for slot_idx in 0..workers {
+            if slots[slot_idx].child.is_some() {
+                continue;
+            }
+            let work = queues[slot_idx].pop_front().or_else(|| {
+                let victim = (0..workers)
+                    .filter(|&other| other != slot_idx)
+                    .max_by_key(|&other| queues[other].len())
+                    .filter(|&other| !queues[other].is_empty())?;
+                let stolen = queues[victim].pop_back();
+                if stolen.is_some() {
+                    STEALS.incr();
+                    stats.stolen += 1;
+                }
+                stolen
+            });
+            let Some((shard, retries)) = work else {
+                continue;
+            };
+            slots[slot_idx].generation += 1;
+            let generation = slots[slot_idx].generation;
+            slots[slot_idx].last_seen_ns = clock.elapsed().as_nanos() as u64;
+            match spawn_worker(
+                &options.worker_program,
+                &shard,
+                slot_idx,
+                generation,
+                &sender,
+            ) {
+                Ok(child) => {
+                    DISPATCHES.incr();
+                    stats.dispatched += 1;
+                    slots[slot_idx].child = Some(child);
+                    slots[slot_idx].work = Some((shard, retries));
+                }
+                Err(e) => {
+                    // Abort the campaign (the journal keeps its progress for
+                    // a later resume).
+                    spawn_error = Some(FabricError(format!(
+                        "cannot spawn worker `{}`: {e}",
+                        options.worker_program.display()
+                    )));
+                    break;
+                }
+            }
+        }
+        if let Some(err) = spawn_error {
+            break Err(err);
+        }
+
+        // Done when no queued work and no busy slot remains.
+        if slots.iter().all(|slot| slot.child.is_none()) && queues.iter().all(VecDeque::is_empty) {
+            break Ok(());
+        }
+
+        match receiver.recv_timeout(Duration::from_millis(25)) {
+            Ok((slot_idx, generation, msg)) => {
+                if slots[slot_idx].generation != generation {
+                    continue; // stale message from a killed worker
+                }
+                slots[slot_idx].last_seen_ns = clock.elapsed().as_nanos() as u64;
+                match msg {
+                    WorkerMsg::Event(event) => {
+                        handle_event(*event, sink, journal, progress, by_id);
+                    }
+                    WorkerMsg::BadLine => {
+                        // Torn or corrupt worker output: ignore the line; the
+                        // shard-completion check decides whether anything was
+                        // lost.
+                    }
+                    WorkerMsg::Eof => {
+                        let slot = &mut slots[slot_idx];
+                        if let Some(mut child) = slot.child.take() {
+                            let _ = child.wait();
+                        }
+                        let Some((shard, retries)) = slot.work.take() else {
+                            continue;
+                        };
+                        if let Some(rest) = unfinished_remainder(&shard, progress) {
+                            if retries >= options.max_redispatch {
+                                break Err(FabricError(format!(
+                                    "worker lost shard {:#018x} {} time(s) \
+                                     (max_redispatch {}); resume from the journal \
+                                     to continue",
+                                    shard.id,
+                                    retries + 1,
+                                    options.max_redispatch
+                                )));
+                            }
+                            REDISPATCHES.incr();
+                            stats.redispatched += 1;
+                            queues[slot_idx].push_front((rest, retries + 1));
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All reader threads gone while slots are still busy: treat
+                // as worker loss on every busy slot (next loop re-checks).
+                for slot in &mut slots {
+                    if let Some(mut child) = slot.child.take() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+            }
+        }
+
+        // Heartbeat: a busy worker silent past the timeout is presumed hung;
+        // kill it — its reader thread then reports Eof and the normal
+        // worker-loss path re-dispatches the shard.
+        let now_ns = clock.elapsed().as_nanos() as u64;
+        for slot in &mut slots {
+            if let Some(child) = slot.child.as_mut() {
+                if now_ns.saturating_sub(slot.last_seen_ns) > heartbeat_ns {
+                    let _ = child.kill();
+                    slot.last_seen_ns = now_ns; // one kill per timeout
+                }
+            }
+        }
+    };
+
+    // Tear down whatever is still running (error paths; on success the pool
+    // is already empty).
+    for slot in &mut slots {
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    outcome
+}
+
+/// Spawns one `mcversi-work` process for `shard` and its stdout reader
+/// thread.
+fn spawn_worker(
+    program: &std::path::Path,
+    shard: &GridShard,
+    slot_idx: usize,
+    generation: u64,
+    sender: &mpsc::Sender<(usize, u64, WorkerMsg)>,
+) -> std::io::Result<Child> {
+    let mut child = Command::new(program)
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    if let Some(mut stdin) = child.stdin.take() {
+        let _ = stdin.write_all(shard.to_json().as_bytes());
+        // Dropping stdin closes the pipe: the worker sees EOF and starts.
+    }
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| std::io::Error::other("worker stdout not captured"))?;
+    let sender = sender.clone();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(stdout);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let msg = match serde_json::from_str::<CampaignEvent>(&line) {
+                Ok(event) => WorkerMsg::Event(Box::new(event)),
+                Err(_) => WorkerMsg::BadLine,
+            };
+            if sender.send((slot_idx, generation, msg)).is_err() {
+                return;
+            }
+        }
+        let _ = sender.send((slot_idx, generation, WorkerMsg::Eof));
+    });
+    Ok(child)
+}
+
+/// Routes one worker event: live sink always (except verified `Schema`
+/// headers), journal only for novel checkpoint records.
+fn handle_event(
+    event: CampaignEvent,
+    sink: &mut dyn CampaignSink,
+    journal: &mut Option<CheckpointSink>,
+    progress: &mut Progress,
+    by_id: &BTreeMap<u64, &ScenarioSpec>,
+) {
+    match &event {
+        CampaignEvent::Schema { version } => {
+            // Worker streams carry their own header; verified here, not
+            // forwarded (the journal and the live stream have their own).
+            debug_assert_eq!(*version, EVENT_SCHEMA_VERSION);
+            return;
+        }
+        CampaignEvent::CellStart { cell, .. } => {
+            if !progress.started.insert(*cell) {
+                return; // re-dispatch replays the cell start
+            }
+        }
+        CampaignEvent::SampleResult { cell, result } => {
+            if !progress.journaled.insert((*cell, result.seed)) {
+                return; // duplicate from an overlapping re-dispatch
+            }
+            progress
+                .results
+                .entry(*cell)
+                .or_default()
+                .insert(result.seed, result.clone());
+        }
+        CampaignEvent::CellDone { cell, .. } => {
+            // Re-synthesized below once the cell is globally complete; the
+            // worker's own record covers only its dispatch.
+            let complete = by_id.get(cell).is_some_and(|spec| {
+                progress.results.get(cell).map_or(0, BTreeMap::len) >= spec.samples
+            });
+            if !complete || !progress.closed.insert(*cell) {
+                return;
+            }
+            let done = CampaignEvent::CellDone {
+                cell: *cell,
+                samples: progress.results.get(cell).map_or(0, BTreeMap::len),
+            };
+            if let Some(journal) = journal.as_mut() {
+                journal.record(&done);
+            }
+            sink.on_event(&done);
+            return;
+        }
+        _ => {
+            // Progress events (SampleStart/TestRun/Violation/Metrics/
+            // SamplePanic): live sink only, the journal stays compact.
+            sink.on_event(&event);
+            return;
+        }
+    }
+    if let Some(journal) = journal.as_mut() {
+        journal.record(&event);
+    }
+    sink.on_event(&event);
+}
+
+/// The unfinished remainder of a dead worker's shard: its cells minus the
+/// globally completed samples.  `None` when the shard is in fact complete.
+fn unfinished_remainder(shard: &GridShard, progress: &Progress) -> Option<GridShard> {
+    let mut cells = Vec::new();
+    let mut skip = Vec::new();
+    for cell in &shard.cells {
+        let id = cell.cell_id();
+        let done: Vec<usize> = progress
+            .results
+            .get(&id)
+            .map(|by_seed| {
+                by_seed
+                    .keys()
+                    .map(|seed| seed.wrapping_sub(cell.base_seed) as usize)
+                    .filter(|&index| index < cell.samples)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if done.len() < cell.samples {
+            cells.push(cell.clone());
+            skip.push(done);
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    let ids: Vec<u64> = cells.iter().map(ScenarioSpec::cell_id).collect();
+    Some(GridShard {
+        id: crate::shard::shard_id(&ids),
+        cells,
+        skip,
+        fault: None, // faults fire on the first dispatch only
+    })
+}

@@ -1,0 +1,199 @@
+//! The worker half of the fabric: running one [`GridShard`] and streaming
+//! cell-attributed events (the library behind the `mcversi-work` binary).
+
+use crate::shard::{FabricError, GridShard};
+use mcversi_core::campaign::run_sample_subset;
+use mcversi_core::sink::{CampaignEvent, CampaignSink};
+use mcversi_core::ScenarioSpec;
+
+/// Rewrites the plain per-batch events of `run_sample_subset` into their
+/// cell-attributed fabric forms: every [`CampaignEvent::SampleDone`] becomes
+/// a [`CampaignEvent::SampleResult`] carrying the cell id, so a journal that
+/// interleaves many cells (and many workers) stays unambiguous.  All other
+/// events pass through unchanged.
+pub struct CellScopeSink<'a> {
+    cell: u64,
+    inner: &'a mut dyn CampaignSink,
+}
+
+impl std::fmt::Debug for CellScopeSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellScopeSink")
+            .field("cell", &self.cell)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> CellScopeSink<'a> {
+    /// Scopes `inner` to the cell with id `cell`.
+    pub fn new(cell: u64, inner: &'a mut dyn CampaignSink) -> Self {
+        CellScopeSink { cell, inner }
+    }
+}
+
+impl CampaignSink for CellScopeSink<'_> {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::SampleDone { result } => {
+                self.inner.on_event(&CampaignEvent::SampleResult {
+                    cell: self.cell,
+                    result: result.clone(),
+                })
+            }
+            other => self.inner.on_event(other),
+        }
+    }
+}
+
+/// Runs every cell of `shard`, streaming cell-attributed events into `sink`:
+/// `CellStart`, then the cell's sample events (with `SampleDone` rewritten to
+/// `SampleResult`), then `CellDone`.
+///
+/// Samples whose indices appear in the shard's per-cell `skip` lists are not
+/// run — the resume path: their results are already journaled.  A panicked
+/// sample still yields a `SampleResult` (the sentinel result of
+/// [`mcversi_core::SampleOutcome::into_result`]) so every requested sample
+/// checkpoints exactly once.
+///
+/// # Errors
+///
+/// Fails when the shard's `skip` table does not parallel its `cells`.
+pub fn run_shard(shard: &GridShard, sink: &mut dyn CampaignSink) -> Result<(), FabricError> {
+    if shard.skip.len() != shard.cells.len() {
+        return Err(FabricError(format!(
+            "malformed shard {:#018x}: {} cells but {} skip lists",
+            shard.id,
+            shard.cells.len(),
+            shard.skip.len()
+        )));
+    }
+    for (cell, skip) in shard.cells.iter().zip(&shard.skip) {
+        run_cell(cell, skip, sink);
+    }
+    Ok(())
+}
+
+/// Runs one cell of a shard (see [`run_shard`]).
+fn run_cell(cell: &ScenarioSpec, skip: &[usize], sink: &mut dyn CampaignSink) {
+    let id = cell.cell_id();
+    sink.on_event(&CampaignEvent::CellStart {
+        cell: id,
+        label: cell.display_label(),
+    });
+    let indices: Vec<usize> = (0..cell.samples).filter(|i| !skip.contains(i)).collect();
+    let config = cell.campaign();
+    let mut scoped = CellScopeSink::new(id, sink);
+    let outcomes = run_sample_subset(&config, &indices, cell.base_seed, &mut scoped);
+    for outcome in outcomes {
+        if let mcversi_core::SampleOutcome::Panicked { .. } = &outcome {
+            sink.on_event(&CampaignEvent::SampleResult {
+                cell: id,
+                result: outcome.into_result(&config),
+            });
+        }
+    }
+    sink.on_event(&CampaignEvent::CellDone {
+        cell: id,
+        samples: indices.len(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::shard_cells;
+    use mcversi_core::sink::NullSink;
+
+    /// Collects raw events (unlike `CollectSink`, which reduces to results).
+    #[derive(Default)]
+    struct EventLog(Vec<CampaignEvent>);
+
+    impl CampaignSink for EventLog {
+        fn on_event(&mut self, event: &CampaignEvent) {
+            self.0.push(event.clone());
+        }
+    }
+
+    fn tiny_cell(seed: u64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::small();
+        spec.base_seed = seed;
+        spec.samples = 2;
+        spec.test_size = 16;
+        spec.iterations = 1;
+        spec.max_test_runs = 2;
+        spec
+    }
+
+    #[test]
+    fn run_shard_streams_cell_attributed_events() {
+        let cells = vec![tiny_cell(1), tiny_cell(50)];
+        let shards = shard_cells(&cells, 1).unwrap();
+        assert_eq!(shards.len(), 1);
+        let mut log = EventLog::default();
+        run_shard(&shards[0], &mut log).unwrap();
+
+        let starts: Vec<u64> = log
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::CellStart { cell, .. } => Some(*cell),
+                _ => None,
+            })
+            .collect();
+        let mut expected = shards[0].cell_ids();
+        expected.sort_unstable();
+        let mut got = starts.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+
+        // Two samples per cell, all rewritten to SampleResult; no bare
+        // SampleDone survives.
+        let results = log
+            .0
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::SampleResult { .. }))
+            .count();
+        assert_eq!(results, 4);
+        assert!(!log
+            .0
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::SampleDone { .. })));
+        let dones = log
+            .0
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::CellDone { .. }))
+            .count();
+        assert_eq!(dones, 2);
+    }
+
+    #[test]
+    fn skip_lists_suppress_journaled_samples() {
+        let cells = vec![tiny_cell(7)];
+        let mut shards = shard_cells(&cells, 1).unwrap();
+        shards[0].skip[0] = vec![0];
+        let mut log = EventLog::default();
+        run_shard(&shards[0], &mut log).unwrap();
+        let seeds: Vec<u64> = log
+            .0
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::SampleResult { result, .. } => Some(result.seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds, vec![8], "only index 1 (seed 7+1) runs");
+        assert!(matches!(
+            log.0.last(),
+            Some(CampaignEvent::CellDone { samples: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_skip_tables_are_rejected() {
+        let cells = vec![tiny_cell(1)];
+        let mut shards = shard_cells(&cells, 1).unwrap();
+        shards[0].skip.clear();
+        let err = run_shard(&shards[0], &mut NullSink).unwrap_err();
+        assert!(err.0.contains("malformed shard"), "{err}");
+    }
+}

@@ -3,6 +3,7 @@
 pub use mcversi_analysis as analysis;
 pub use mcversi_conformance as conformance;
 pub use mcversi_core as core;
+pub use mcversi_fabric as fabric;
 pub use mcversi_mcm as mcm;
 pub use mcversi_sim as sim;
 pub use mcversi_telemetry as telemetry;

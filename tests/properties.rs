@@ -717,3 +717,120 @@ fn different_seeds_perturb_executions() {
         "different seeds should give different timings"
     );
 }
+
+/// The distributed-fabric differential sweep: a 20-seed grid of small cells
+/// (rotating models, cores, generators, bugs, and checking modes) run
+/// through the multi-process coordinator — with 2 workers and again with 4,
+/// work stealing on — reaches exactly the verdicts of the in-process path:
+/// same `found`, same `detail`, same `found_at_run`, same dedup stats, for
+/// every sample of every cell.
+#[test]
+fn fabric_coordinator_is_verdict_equivalent_across_a_20_seed_sweep() {
+    use mcversi::core::sink::NullSink;
+    use mcversi::core::{CampaignResult, CheckingMode, GeneratorKind, ScenarioSpec};
+    use mcversi::fabric::{run_grid, FabricOptions};
+    use mcversi::sim::{Bug, CoreStrength};
+
+    /// Locates (building on demand) the `mcversi-work` binary.  The root
+    /// test harness only builds this package's targets, so the fabric worker
+    /// may not exist yet — one `cargo build` fixes that, cheaply when the
+    /// workspace is already compiled.
+    fn worker_binary() -> std::path::PathBuf {
+        use std::sync::OnceLock;
+        static WORKER: OnceLock<std::path::PathBuf> = OnceLock::new();
+        WORKER
+            .get_or_init(|| {
+                let exe = std::env::current_exe().expect("test executable path");
+                // `target/<profile>/deps/<test>` → `target/<profile>/`.
+                let profile_dir = exe
+                    .parent()
+                    .and_then(std::path::Path::parent)
+                    .expect("test executable in target/<profile>/deps")
+                    .to_path_buf();
+                let worker =
+                    profile_dir.join(format!("mcversi-work{}", std::env::consts::EXE_SUFFIX));
+                if !worker.is_file() {
+                    let cargo = option_env!("CARGO").unwrap_or("cargo");
+                    let mut build = std::process::Command::new(cargo);
+                    build.args(["build", "-p", "mcversi-fabric", "--bin", "mcversi-work"]);
+                    if profile_dir.file_name().is_some_and(|n| n == "release") {
+                        build.arg("--release");
+                    }
+                    let status = build.status().expect("spawn cargo build for mcversi-work");
+                    assert!(status.success(), "cargo build for mcversi-work failed");
+                }
+                assert!(
+                    worker.is_file(),
+                    "worker binary not found at {}",
+                    worker.display()
+                );
+                worker
+            })
+            .clone()
+    }
+
+    type Verdict = (
+        u64,
+        bool,
+        Option<String>,
+        Option<usize>,
+        Option<mcversi::core::DedupStats>,
+    );
+
+    fn verdicts(results: &[CampaignResult]) -> Vec<Verdict> {
+        results
+            .iter()
+            .map(|r| (r.seed, r.found, r.detail.clone(), r.found_at_run, r.dedup))
+            .collect()
+    }
+
+    let cells: Vec<ScenarioSpec> = (0..20u64)
+        .map(|i| {
+            let mut cell = ScenarioSpec::small();
+            cell.base_seed = 1 + i * 1000;
+            cell.samples = 2;
+            cell.test_size = 16;
+            cell.iterations = 1;
+            cell.max_test_runs = 2;
+            cell.model = ModelKind::ALL[(i % 5) as usize];
+            cell.core_strength = [CoreStrength::Strong, CoreStrength::Relaxed][(i % 2) as usize];
+            cell.generator = GeneratorKind::ALL[(i % 4) as usize];
+            cell.bug = if (i / 2) % 2 == 0 {
+                None
+            } else {
+                Some(Bug::LqNoTso)
+            };
+            if i % 3 == 0 {
+                cell.checking = Some(CheckingMode::Collective);
+            }
+            cell
+        })
+        .collect();
+
+    let baseline: Vec<Vec<CampaignResult>> =
+        cells.iter().map(|cell| cell.run(&mut NullSink)).collect();
+    assert!(
+        baseline
+            .iter()
+            .flatten()
+            .any(|r| r.dedup.is_some_and(|d| d.executions > 0)),
+        "the sweep must exercise collective checking so dedup stats are compared"
+    );
+
+    for workers in [2usize, 4] {
+        let mut options = FabricOptions::new(worker_binary());
+        options.workers = workers;
+        options.shards = 8; // more shards than workers: stealing has spares
+        let report = run_grid(&cells, &options, &mut NullSink)
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+        assert_eq!(report.cells.len(), cells.len());
+        for ((cell, fabric_results), in_process) in report.cells.iter().zip(&baseline) {
+            assert_eq!(
+                verdicts(fabric_results),
+                verdicts(in_process),
+                "{workers} workers, cell {}",
+                cell.display_label()
+            );
+        }
+    }
+}
